@@ -1,0 +1,81 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+Three ablations complement the paper's own figures: pruning on/off
+(Section 4.1 vs 4.2), the vertex-ordering strategies measured by search-space
+size as well as label size, and an empirical check of Theorem 4.3's label-size
+bound.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import load_dataset
+from repro.experiments import (
+    format_ablation,
+    ordering_ablation,
+    pruning_ablation,
+    theorem43_check,
+)
+
+
+def test_ablation_pruning_on_off(run_once, save_result, full_scale):
+    """Pruned vs naive landmark labeling: index size and construction cost."""
+    dataset = "gnutella" if not full_scale else "epinions"
+    graph = load_dataset(dataset)
+
+    rows = run_once(pruning_ablation, graph)
+    text = format_ablation(rows, f"Ablation: pruning on/off ({dataset})")
+    print("\n" + text)
+    save_result("ablation_pruning", text)
+
+    pruned = next(r for r in rows if "pruned" in r["method"])
+    naive = next(r for r in rows if "naive" in r["method"])
+    # Pruning removes the overwhelming majority of label entries (the naive
+    # index is Θ(n) entries per vertex, i.e. quadratic overall).
+    assert pruned["total label entries"] < 0.1 * naive["total label entries"]
+    assert pruned["index bytes"] < 0.1 * naive["index bytes"]
+    assert pruned["build seconds"] < naive["build seconds"]
+
+
+def test_ablation_vertex_ordering(run_once, save_result, full_scale):
+    """Ordering strategies measured by label size, search space and build time."""
+    datasets = ["gnutella", "epinions"] if full_scale else ["gnutella"]
+
+    rows = run_once(
+        ordering_ablation, datasets, strategies=["degree", "closeness", "random"]
+    )
+    text = format_ablation(rows, "Ablation: vertex ordering strategies")
+    print("\n" + text)
+    save_result("ablation_ordering", text)
+
+    by_key = {(r["dataset"], r["strategy"]): r for r in rows}
+    for dataset in datasets:
+        degree = by_key[(dataset, "degree")]
+        closeness = by_key[(dataset, "closeness")]
+        random = by_key[(dataset, "random")]
+        # Centrality-aware orderings dominate the random baseline on every axis.
+        assert degree["avg label size"] < 0.3 * random["avg label size"]
+        assert degree["total visited"] < random["total visited"]
+        # Degree and Closeness are comparable (within a factor of two).
+        assert closeness["avg label size"] < 2 * degree["avg label size"]
+
+
+def test_ablation_theorem43_bound(run_once, save_result, full_scale):
+    """Theorem 4.3: average label size is O(k + eps * n) given landmark coverage."""
+    dataset = "epinions" if full_scale else "notredame"
+    num_pairs = 2_000 if full_scale else 600
+
+    rows = run_once(
+        theorem43_check,
+        dataset,
+        landmark_counts=(4, 16, 64, 256),
+        num_pairs=num_pairs,
+    )
+    text = format_ablation(rows, "Ablation: Theorem 4.3 label-size bound")
+    print("\n" + text)
+    save_result("ablation_theorem43", text)
+
+    for row in rows:
+        assert row["within bound"], row
+    # More landmarks answer a larger fraction of pairs exactly.
+    fractions = [row["landmark exact fraction"] for row in rows]
+    assert fractions == sorted(fractions)

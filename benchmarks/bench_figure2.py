@@ -1,0 +1,36 @@
+"""Benchmark regenerating Figure 2: degree and distance distributions."""
+
+from __future__ import annotations
+
+from repro.datasets import LARGE_DATASETS, SMALL_DATASETS
+from repro.experiments import (
+    format_figure2,
+    run_figure2_degrees,
+    run_figure2_distances,
+)
+
+
+def test_figure2_degree_and_distance_distributions(run_once, save_result, full_scale):
+    """Degree CCDFs (2a/2b) and sampled distance distributions (2c/2d)."""
+    datasets = SMALL_DATASETS + LARGE_DATASETS
+    num_pairs = 5_000 if full_scale else 1_500
+
+    def run_both():
+        degrees = run_figure2_degrees(datasets)
+        distances = run_figure2_distances(datasets, num_pairs=num_pairs)
+        return degrees, distances
+
+    degrees, distances = run_once(run_both)
+    text = format_figure2(degrees, distances)
+    print("\n" + text)
+    save_result("figure2", text)
+
+    # Figure 2a/2b: every stand-in has a heavy-tailed (power-law-like) degree
+    # CCDF, i.e. a clearly negative slope on log-log axes.
+    for series in degrees:
+        assert series.power_law_slope() < -0.4, series.dataset
+
+    # Figure 2c/2d: every stand-in is a small world (tiny average distance).
+    for series in distances:
+        assert series.average_distance() < 10, series.dataset
+        assert series.mode_distance() <= 8, series.dataset

@@ -1,0 +1,36 @@
+"""Benchmark regenerating Figure 3: effect of pruning and label-size distribution."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import format_figure3, run_figure3
+
+
+def test_figure3_pruning_profiles(run_once, save_result, full_scale):
+    """Labels per pruned BFS (3a), cumulative share (3b), label sizes (3c)."""
+    datasets = ["skitter", "indo", "flickr"] if full_scale else ["skitter", "indo"]
+
+    profiles = run_once(run_figure3, datasets)
+    text = format_figure3(profiles)
+    print("\n" + text)
+    save_result("figure3", text)
+
+    for profile in profiles:
+        n = profile.labels_per_bfs.shape[0]
+
+        # Figure 3a: labels added per BFS drop by orders of magnitude — after
+        # the first ~1000 BFSs each search labels only a handful of vertices.
+        first = profile.labels_per_bfs[0]
+        late = profile.labels_per_bfs[min(1_000, n - 1):].mean()
+        assert first > 50 * max(late, 0.02), profile.dataset
+
+        # Figure 3b: a large share of all labels is created at the beginning.
+        early_fraction = profile.cumulative_at([min(1_000, n)])[min(1_000, n)]
+        assert early_fraction > 0.5, profile.dataset
+        assert np.isclose(profile.cumulative_fraction[-1], 1.0)
+
+        # Figure 3c: label sizes are concentrated — the 90th percentile stays
+        # within a small factor of the median, so query time is stable.
+        median = max(profile.label_size_percentile(50), 1.0)
+        assert profile.label_size_percentile(90) < 12 * median, profile.dataset

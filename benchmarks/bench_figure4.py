@@ -1,0 +1,37 @@
+"""Benchmark regenerating Figure 4: pair coverage against the number of pruned BFSs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import format_figure4, run_figure4
+
+
+def test_figure4_pair_coverage(run_once, save_result, full_scale):
+    """Overall coverage (4a) and per-distance coverage (4b-4d)."""
+    datasets = (
+        ["gnutella", "epinions", "slashdot"] if full_scale else ["gnutella", "epinions"]
+    )
+    num_pairs = 5_000 if full_scale else 1_500
+
+    curves = run_once(run_figure4, datasets, num_pairs=num_pairs)
+    text = format_figure4(curves)
+    print("\n" + text)
+    save_result("figure4", text)
+
+    for curve in curves:
+        # Coverage is monotone and reaches 1 once every BFS has run.
+        assert np.all(np.diff(curve.overall) >= -1e-12)
+        assert np.isclose(curve.overall[-1], 1.0)
+
+        # Figure 4a: most pairs are covered very early (a few hundred BFSs out
+        # of thousands of vertices).
+        assert curve.coverage_at(256) > 0.6, curve.dataset
+
+        # Figure 4b-4d: distant pairs are covered earlier than close pairs.
+        distances = sorted(curve.by_distance)
+        if len(distances) >= 3:
+            checkpoint_index = int(np.flatnonzero(curve.checkpoints <= 16)[-1])
+            close = curve.by_distance[distances[0]][checkpoint_index]
+            far = curve.by_distance[distances[-1]][checkpoint_index]
+            assert far >= close, curve.dataset

@@ -1,0 +1,38 @@
+"""Benchmark for the scalability claim: growth of indexing and query cost with size."""
+
+from __future__ import annotations
+
+from repro.experiments.scaling import format_scaling, run_scaling
+
+
+def test_scaling_with_graph_size(run_once, save_result, full_scale):
+    """Indexing cost grows gently; query time and label size stay nearly flat."""
+    sizes = [1_000, 2_000, 4_000, 8_000, 16_000] if full_scale else [1_000, 2_000, 4_000, 8_000]
+    num_queries = 2_000 if full_scale else 800
+    num_bit_parallel = 16
+
+    points = run_once(
+        run_scaling,
+        sizes,
+        num_queries=num_queries,
+        num_bit_parallel_roots=num_bit_parallel,
+    )
+    text = format_scaling(points)
+    print("\n" + text)
+    save_result("scaling", text)
+
+    first, last = points[0], points[-1]
+    size_factor = last.num_vertices / first.num_vertices
+
+    # Indexing cost grows sub-quadratically in n (the naive method is Θ(n·m),
+    # i.e. ~quadratic here since m ∝ n).
+    assert last.indexing_seconds < (size_factor ** 2) * first.indexing_seconds
+
+    # Query time does not blow up with graph size (paper Section 7.2.2).
+    assert last.query_seconds < 5 * first.query_seconds
+
+    # Effective label size (normal entries plus bit-parallel hubs, the paper's
+    # LN column) grows far more slowly than the graph itself.
+    first_effective = first.average_label_size + num_bit_parallel
+    last_effective = last.average_label_size + num_bit_parallel
+    assert last_effective < 0.5 * size_factor * first_effective

@@ -1,0 +1,19 @@
+"""Benchmark regenerating Table 1: headline comparison against published numbers."""
+
+from __future__ import annotations
+
+from repro.experiments import format_table1, run_table1
+
+
+def test_table1_headline_comparison(run_once, save_result, full_scale):
+    """Measure PLL on representative datasets next to the published prior-method rows."""
+    datasets = None if full_scale else ["notredame", "wikitalk", "hollywood", "indochina"]
+    num_queries = 5_000 if full_scale else 1_000
+
+    rows = run_once(run_table1, datasets, num_queries=num_queries)
+    text = format_table1(rows)
+    print("\n" + text)
+    save_result("table1", text)
+
+    measured = [row for row in rows if row["source"] == "measured"]
+    assert measured, "expected at least one measured PLL row"

@@ -1,0 +1,22 @@
+"""Benchmark regenerating Table 4: the dataset inventory and its statistics."""
+
+from __future__ import annotations
+
+from repro.experiments import format_table4, run_table4
+
+
+def test_table4_dataset_inventory(run_once, save_result, full_scale):
+    """Materialise every dataset stand-in and report its size and statistics."""
+    num_pairs = 2_000 if full_scale else 500
+
+    rows = run_once(run_table4, None, with_statistics=True, num_pairs=num_pairs)
+    text = format_table4(rows)
+    print("\n" + text)
+    save_result("table4", text)
+
+    assert len(rows) >= 11
+    for row in rows:
+        # Every stand-in is a non-trivial graph with small-world distances.
+        assert row["repro |V|"] > 500
+        assert row["repro |E|"] > 0
+        assert row["avg distance"] < 15

@@ -1,0 +1,175 @@
+"""Benchmarks for the Section 6 variants: weighted, directed, paths, dynamic.
+
+The paper describes these extensions without evaluating them; this module
+gives them the same treatment as the main method so their overheads are
+documented: indexing time, index size and query time relative to the basic
+undirected/unweighted oracle on comparable inputs.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import (
+    DirectedPrunedLandmarkLabeling,
+    DynamicPrunedLandmarkLabeling,
+    PathPrunedLandmarkLabeling,
+    PrunedLandmarkLabeling,
+    WeightedPrunedLandmarkLabeling,
+)
+from repro.datasets import load_dataset
+from repro.experiments import format_table, random_pairs
+from repro.graph.csr import Graph
+from repro.generators import (
+    assign_random_weights,
+    grid_graph,
+    orient_edges,
+    split_edge_stream,
+)
+
+
+def _measure(oracle_factory, graph, pairs):
+    start = time.perf_counter()
+    oracle = oracle_factory().build(graph)
+    build_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    for s, t in pairs:
+        oracle.distance(s, t)
+    query_seconds = (time.perf_counter() - start) / max(len(pairs), 1)
+    return oracle, build_seconds, query_seconds
+
+
+def test_variants_overhead(run_once, save_result, full_scale):
+    """Weighted / directed / path-reconstructing variants vs the basic oracle."""
+    base_graph = load_dataset("gnutella")
+    weighted_graph = assign_random_weights(base_graph, low=1, high=10, seed=0)
+    directed_graph = orient_edges(base_graph, both_directions_probability=0.3, seed=0)
+    road_graph = grid_graph(40, 40, weighted=True, diagonal_probability=0.1, seed=0)
+    num_queries = 2_000 if full_scale else 500
+    pairs = random_pairs(base_graph.num_vertices, num_queries, seed=1)
+    road_pairs = random_pairs(road_graph.num_vertices, num_queries, seed=1)
+
+    def run_all():
+        rows = []
+        base, base_build, base_query = _measure(
+            lambda: PrunedLandmarkLabeling(num_bit_parallel_roots=16),
+            base_graph,
+            pairs,
+        )
+        rows.append(
+            {
+                "variant": "basic (hop distances)",
+                "graph": "gnutella stand-in",
+                "build s": round(base_build, 2),
+                "query us": round(base_query * 1e6, 1),
+                "avg label": round(base.average_label_size(), 1),
+            }
+        )
+        path_oracle, path_build, path_query = _measure(
+            PathPrunedLandmarkLabeling, base_graph, pairs
+        )
+        rows.append(
+            {
+                "variant": "path reconstruction",
+                "graph": "gnutella stand-in",
+                "build s": round(path_build, 2),
+                "query us": round(path_query * 1e6, 1),
+                "avg label": round(path_oracle.average_label_size(), 1),
+            }
+        )
+        weighted, weighted_build, weighted_query = _measure(
+            WeightedPrunedLandmarkLabeling, weighted_graph, pairs
+        )
+        rows.append(
+            {
+                "variant": "weighted (pruned Dijkstra)",
+                "graph": "gnutella stand-in + weights",
+                "build s": round(weighted_build, 2),
+                "query us": round(weighted_query * 1e6, 1),
+                "avg label": round(weighted.average_label_size(), 1),
+            }
+        )
+        directed, directed_build, directed_query = _measure(
+            DirectedPrunedLandmarkLabeling, directed_graph, pairs
+        )
+        rows.append(
+            {
+                "variant": "directed (IN/OUT labels)",
+                "graph": "gnutella stand-in, oriented",
+                "build s": round(directed_build, 2),
+                "query us": round(directed_query * 1e6, 1),
+                "avg label": round(directed.average_label_size(), 1),
+            }
+        )
+        road, road_build, road_query = _measure(
+            WeightedPrunedLandmarkLabeling, road_graph, road_pairs
+        )
+        rows.append(
+            {
+                "variant": "weighted (road-like grid)",
+                "graph": "40x40 weighted grid",
+                "build s": round(road_build, 2),
+                "query us": round(road_query * 1e6, 1),
+                "avg label": round(road.average_label_size(), 1),
+            }
+        )
+        return rows
+
+    rows = run_once(run_all)
+    text = format_table(rows, title="Section 6 variants: indexing and query cost")
+    print("\n" + text)
+    save_result("variants", text)
+
+    base_row = rows[0]
+    for row in rows[1:4]:
+        # Variants stay within an order of magnitude of the basic oracle's
+        # build cost on the same topology.
+        assert row["build s"] < 30 * max(base_row["build s"], 0.05)
+
+
+def test_dynamic_updates_throughput(run_once, save_result, full_scale):
+    """Insert-only dynamic maintenance vs rebuilding from scratch."""
+    graph = load_dataset("gnutella")
+    num_insertions = 500 if full_scale else 150
+    initial, stream = split_edge_stream(graph, 0.9, seed=3)
+    stream = stream[:num_insertions]
+
+    def run_dynamic():
+        oracle = DynamicPrunedLandmarkLabeling().build(initial)
+        start = time.perf_counter()
+        oracle.insert_edges(stream)
+        update_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        PrunedLandmarkLabeling().build(graph)
+        rebuild_seconds = time.perf_counter() - start
+        return oracle, update_seconds, rebuild_seconds
+
+    oracle, update_seconds, rebuild_seconds = run_once(run_dynamic)
+    per_insert_ms = update_seconds / max(len(stream), 1) * 1e3
+    rows = [
+        {
+            "operation": f"{len(stream)} edge insertions (incremental)",
+            "total s": round(update_seconds, 3),
+            "per edge ms": round(per_insert_ms, 3),
+        },
+        {
+            "operation": "full rebuild (static index)",
+            "total s": round(rebuild_seconds, 3),
+            "per edge ms": "-",
+        },
+    ]
+    text = format_table(rows, title="Dynamic updates: incremental insertion vs rebuild")
+    print("\n" + text)
+    save_result("dynamic_updates", text)
+
+    # Incremental maintenance of a single edge is much cheaper than a rebuild.
+    assert per_insert_ms / 1e3 < rebuild_seconds
+    # Spot-check correctness after the stream.
+    spot = random_pairs(graph.num_vertices, 50, seed=4)
+    static = PrunedLandmarkLabeling().build(
+        Graph(graph.num_vertices, list(initial.edges()) + list(stream))
+    )
+    assert np.array_equal(oracle.distances(spot), static.distances(spot))

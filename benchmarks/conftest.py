@@ -1,0 +1,60 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures: it runs the
+corresponding experiment driver once (via ``benchmark.pedantic`` so
+pytest-benchmark records the wall-clock cost of the whole experiment), prints
+the formatted table, and writes it to ``benchmarks/results/<name>.txt`` so the
+numbers quoted in ``EXPERIMENTS.md`` can be traced back to a file.
+
+Environment knobs
+-----------------
+``REPRO_BENCH_FULL=1``
+    Run the full-scale configuration (all datasets, larger query counts).
+    The default configuration covers every experiment but limits the most
+    expensive drivers to a representative subset so the whole suite finishes
+    in roughly ten to fifteen minutes on a laptop.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Callable
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Full-scale mode is opt-in through the environment.
+FULL_SCALE = os.environ.get("REPRO_BENCH_FULL", "0") not in ("", "0", "false")
+
+
+@pytest.fixture(scope="session")
+def full_scale() -> bool:
+    """Whether the benchmarks run in full-scale mode."""
+    return FULL_SCALE
+
+
+@pytest.fixture()
+def save_result() -> Callable[[str, str], Path]:
+    """Persist a formatted experiment result under ``benchmarks/results/``."""
+
+    def _save(name: str, text: str) -> Path:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        return path
+
+    return _save
+
+
+@pytest.fixture()
+def run_once(benchmark) -> Callable:
+    """Run a callable exactly once under pytest-benchmark timing."""
+
+    def _run(function, *args, **kwargs):
+        return benchmark.pedantic(
+            function, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return _run

@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Metabolic pathway discovery: shortest paths between compounds.
+
+The paper lists "discovery of optimal pathways between compounds in metabolic
+networks" [31, 32] among the applications of distance queries.  There the
+distance itself is not enough — biologists want the actual chain of reactions
+— so this example uses the path-reconstructing variant
+(``PathPrunedLandmarkLabeling``, Section 6 of the paper) on a synthetic
+metabolite–reaction network, and additionally identifies "choke point"
+compounds that appear on many shortest pathways (the load-point / choke-point
+analysis of reference [32]).
+
+Run with:  python examples/metabolic_pathways.py
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from typing import List
+
+import numpy as np
+
+from repro.core import PathPrunedLandmarkLabeling
+from repro.generators import holme_kim_graph
+from repro.graph import GraphBuilder, largest_connected_component
+
+
+def build_metabolic_network(num_compounds: int = 2_500, seed: int = 9):
+    """A synthetic metabolite network with compound names.
+
+    Metabolic networks are scale free with significant clustering (a few hub
+    currency metabolites such as ATP or NADH take part in very many
+    reactions), which is exactly what the Holme–Kim generator produces.  Names
+    are synthetic ("C0001", ...), with the top hubs relabelled to familiar
+    currency metabolites for readability.
+    """
+    topology = holme_kim_graph(num_compounds, 3, triad_probability=0.4, seed=seed)
+    topology, _ = largest_connected_component(topology)
+
+    hub_names = ["ATP", "ADP", "NADH", "NAD+", "H2O", "CO2", "CoA", "Pi"]
+    degree_rank = np.argsort(-topology.degrees())
+    names = [f"C{i:04d}" for i in range(topology.num_vertices)]
+    for hub_name, vertex in zip(hub_names, degree_rank):
+        names[int(vertex)] = hub_name
+
+    builder = GraphBuilder()
+    for u, v in topology.edges():
+        builder.add_edge(names[u], names[v])
+    return builder.build()
+
+
+def main() -> None:
+    network, labeling = build_metabolic_network()
+    print(
+        f"metabolic network stand-in: {network.num_vertices} compounds, "
+        f"{network.num_edges} reaction links"
+    )
+
+    start = time.perf_counter()
+    oracle = PathPrunedLandmarkLabeling().build(network)
+    print(
+        f"path-reconstructing index built in {time.perf_counter() - start:.2f} s "
+        f"(average label size {oracle.average_label_size():.1f})"
+    )
+
+    # ------------------------------------------------------------------ #
+    # Optimal pathways between a few compound pairs.
+    # ------------------------------------------------------------------ #
+    rng = np.random.default_rng(4)
+    print("\nshortest pathways between random compound pairs:")
+    for _ in range(5):
+        source = int(rng.integers(0, network.num_vertices))
+        target = int(rng.integers(0, network.num_vertices))
+        path = oracle.shortest_path(source, target)
+        if path is None:
+            continue
+        chain = " -> ".join(labeling.label_of(v) for v in path)
+        print(f"  [{len(path) - 1} steps] {chain}")
+
+    # ------------------------------------------------------------------ #
+    # Choke-point analysis: which compounds appear on many shortest pathways?
+    # ------------------------------------------------------------------ #
+    num_samples = 2_000
+    counter: Counter = Counter()
+    start = time.perf_counter()
+    for _ in range(num_samples):
+        source = int(rng.integers(0, network.num_vertices))
+        target = int(rng.integers(0, network.num_vertices))
+        path = oracle.shortest_path(source, target)
+        if path and len(path) > 2:
+            counter.update(path[1:-1])  # interior compounds only
+    elapsed = time.perf_counter() - start
+
+    print(
+        f"\nchoke-point analysis over {num_samples} sampled pathways "
+        f"({elapsed:.2f} s, {elapsed / num_samples * 1e3:.2f} ms per pathway):"
+    )
+    total = sum(counter.values())
+    for vertex, count in counter.most_common(8):
+        share = 100.0 * count / max(total, 1)
+        print(
+            f"  {labeling.label_of(vertex):>6s}: on {count} pathways "
+            f"({share:.1f}% of interior hops)"
+        )
+    print(
+        "\nthe currency-metabolite hubs dominate, matching the 'choke point' "
+        "observation of the metabolic-network literature the paper cites."
+    )
+
+
+if __name__ == "__main__":
+    main()

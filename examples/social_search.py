@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Socially-sensitive search: rank results by network distance to the user.
+
+The paper's introduction motivates distance queries with socially-sensitive
+search [40, 42]: when a user searches, items owned by (or interacted with by)
+*network-close* users should rank higher.  That requires the distance between
+the querying user and the owner of every candidate result — dozens to hundreds
+of distance queries per search, with interactive latency budgets.
+
+This example builds a synthetic social network, attaches a corpus of "posts"
+to random users, and runs a search that scores each matching post by a blend
+of textual relevance and the social distance between searcher and author.  It
+then compares the query cost of doing this with the pruned-landmark-labeling
+index versus per-query BFS.
+
+Run with:  python examples/social_search.py
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro import PrunedLandmarkLabeling
+from repro.baselines import OnlineBFSOracle
+from repro.datasets import load_dataset
+
+
+@dataclass
+class Post:
+    """A piece of content owned by one user of the social network."""
+
+    post_id: int
+    author: int
+    topic: str
+    relevance: float  # pretend textual-match score in [0, 1]
+
+
+TOPICS = ["graphs", "music", "cooking", "travel", "sports", "films"]
+
+
+def make_corpus(num_posts: int, num_users: int, seed: int) -> List[Post]:
+    """Attach random posts to random users."""
+    rng = np.random.default_rng(seed)
+    return [
+        Post(
+            post_id=i,
+            author=int(rng.integers(0, num_users)),
+            topic=TOPICS[int(rng.integers(0, len(TOPICS)))],
+            relevance=float(rng.uniform(0.2, 1.0)),
+        )
+        for i in range(num_posts)
+    ]
+
+
+def socially_sensitive_score(relevance: float, distance: float) -> float:
+    """Blend textual relevance with social proximity.
+
+    Unreachable authors still rank, but behind everyone the searcher is
+    connected to — the common production heuristic.
+    """
+    if not np.isfinite(distance):
+        return relevance * 0.1
+    return relevance / (1.0 + distance)
+
+
+def run_search(oracle, searcher: int, topic: str, corpus: List[Post], top_k: int = 10):
+    """Score every post matching ``topic`` and return the top-k."""
+    matches = [post for post in corpus if post.topic == topic]
+    scored = [
+        (socially_sensitive_score(post.relevance, oracle.distance(searcher, post.author)), post)
+        for post in matches
+    ]
+    scored.sort(key=lambda pair: pair[0], reverse=True)
+    return scored[:top_k], len(matches)
+
+
+def main() -> None:
+    graph = load_dataset("epinions")
+    print(
+        f"social network stand-in: {graph.num_vertices} users, "
+        f"{graph.num_edges} trust edges"
+    )
+
+    corpus = make_corpus(num_posts=4_000, num_users=graph.num_vertices, seed=11)
+    searcher = int(np.argmax(graph.degrees())) // 2  # an ordinary, mid-degree user
+    topic = "graphs"
+
+    # Index once, search many times.
+    start = time.perf_counter()
+    index = PrunedLandmarkLabeling(num_bit_parallel_roots=16).build(graph)
+    print(f"index built in {time.perf_counter() - start:.2f} s")
+
+    start = time.perf_counter()
+    results, num_candidates = run_search(index, searcher, topic, corpus)
+    indexed_seconds = time.perf_counter() - start
+    print(
+        f"\nsearch for '{topic}' by user {searcher}: scored {num_candidates} candidate "
+        f"posts in {indexed_seconds * 1e3:.1f} ms using the index"
+    )
+    print("top results (score, post, author, social distance):")
+    for score, post in results:
+        distance = index.distance(searcher, post.author)
+        print(
+            f"  score={score:.3f}  post#{post.post_id:<5d} author={post.author:<6d} "
+            f"distance={'inf' if not np.isfinite(distance) else int(distance)}"
+        )
+
+    # The same search with per-query BFS, on a subsample (it is too slow for all).
+    online = OnlineBFSOracle().build(graph)
+    subsample = [post for post in corpus if post.topic == topic][:25]
+    start = time.perf_counter()
+    for post in subsample:
+        online.distance(searcher, post.author)
+    online_per_query = (time.perf_counter() - start) / len(subsample)
+    indexed_per_query = indexed_seconds / max(num_candidates, 1)
+    print(
+        f"\nper-distance-query cost: index {indexed_per_query * 1e6:.1f} us vs "
+        f"online BFS {online_per_query * 1e6:.0f} us "
+        f"({online_per_query / max(indexed_per_query, 1e-12):.0f}x slower)"
+    )
+    print(
+        "with hundreds of candidates per search and strict latency budgets, the "
+        "index is what makes socially-sensitive ranking feasible."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Context-aware web search: boost pages close to the page being visited.
+
+The paper cites context-aware search [39, 29] as a second motivating
+application: while a user browses page P and issues a query, result pages that
+are few links away from P (in the hyperlink graph) are more likely to be
+relevant to the current context.  Because hyperlinks are directed, this
+example uses the *directed* variant of pruned landmark labeling
+(``DirectedPrunedLandmarkLabeling``) and ranks by the minimum of the two
+one-way distances.
+
+Run with:  python examples/web_context_ranking.py
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core import DirectedPrunedLandmarkLabeling
+from repro.generators import orient_edges, rmat_graph
+from repro.graph import largest_connected_component
+
+
+def build_web_graph(scale: int = 12, seed: int = 5):
+    """A synthetic hyperlink graph: R-MAT topology with mixed link reciprocity."""
+    undirected = rmat_graph(scale, 10.0, seed=seed)
+    undirected, _ = largest_connected_component(undirected)
+    return orient_edges(undirected, both_directions_probability=0.25, seed=seed)
+
+
+def context_score(base_score: float, distance: float) -> float:
+    """Damp a page's query-match score by its link distance from the context page."""
+    if not np.isfinite(distance):
+        return base_score * 0.05
+    return base_score * (0.5 ** min(distance, 8))
+
+
+def main() -> None:
+    web = build_web_graph()
+    print(
+        f"hyperlink graph stand-in: {web.num_vertices} pages, {web.num_edges} links "
+        "(directed)"
+    )
+
+    start = time.perf_counter()
+    oracle = DirectedPrunedLandmarkLabeling().build(web)
+    print(
+        f"directed index built in {time.perf_counter() - start:.2f} s "
+        f"(average IN+OUT label size {oracle.average_label_size():.1f})"
+    )
+
+    rng = np.random.default_rng(3)
+    context_page = int(np.argmax(web.degrees()))  # the page the user is reading
+    # Pretend these pages matched the textual query, with match scores.
+    candidates: List[Tuple[int, float]] = [
+        (int(rng.integers(0, web.num_vertices)), float(rng.uniform(0.3, 1.0)))
+        for _ in range(300)
+    ]
+
+    start = time.perf_counter()
+    ranked = []
+    for page, base_score in candidates:
+        # Hyperlink closeness in either direction counts as context relevance.
+        distance = min(
+            oracle.distance(context_page, page), oracle.distance(page, context_page)
+        )
+        ranked.append((context_score(base_score, distance), page, base_score, distance))
+    elapsed = time.perf_counter() - start
+    ranked.sort(reverse=True)
+
+    print(
+        f"\nre-ranked {len(candidates)} candidate pages against context page "
+        f"{context_page} in {elapsed * 1e3:.1f} ms "
+        f"({elapsed / len(candidates) * 1e6:.1f} us per candidate, two queries each)"
+    )
+    print("top 10 context-aware results (score, page, text score, link distance):")
+    for score, page, base_score, distance in ranked[:10]:
+        shown = "inf" if not np.isfinite(distance) else int(distance)
+        print(
+            f"  score={score:.3f}  page={page:<6d} text={base_score:.2f} "
+            f"distance={shown}"
+        )
+
+    # Show how the context changes the ordering relative to pure text scores.
+    text_only = sorted(candidates, key=lambda pair: pair[1], reverse=True)[:10]
+    context_top = {page for _, page, _, _ in ranked[:10]}
+    overlap = sum(1 for page, _ in text_only if page in context_top)
+    print(
+        f"\noverlap between text-only top-10 and context-aware top-10: {overlap}/10 "
+        "— context re-ranking meaningfully changes what the user sees."
+    )
+
+
+if __name__ == "__main__":
+    main()

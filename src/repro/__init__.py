@@ -1,0 +1,57 @@
+"""Pruned Landmark Labeling: fast exact shortest-path distance queries.
+
+A faithful, pure-Python (numpy-accelerated) reproduction of
+
+    Takuya Akiba, Yoichi Iwata, Yuichi Yoshida.
+    "Fast Exact Shortest-Path Distance Queries on Large Networks by Pruned
+    Landmark Labeling."  SIGMOD 2013.
+
+Quick start
+-----------
+>>> from repro import PrunedLandmarkLabeling
+>>> from repro.generators import barabasi_albert_graph
+>>> graph = barabasi_albert_graph(2_000, 3, seed=7)
+>>> oracle = PrunedLandmarkLabeling(num_bit_parallel_roots=8).build(graph)
+>>> oracle.distance(0, 1999) > 0  # exact hop distance, microsecond-scale queries
+True
+
+The package is organised as:
+
+* :mod:`repro.core` — the paper's contribution: pruned landmark labeling,
+  bit-parallel labels, weighted / directed / path / dynamic variants.
+* :mod:`repro.graph` — the graph substrate (CSR graphs, traversals, orderings).
+* :mod:`repro.generators` — synthetic network generators.
+* :mod:`repro.baselines` — online BFS, landmark estimation, hub labeling and
+  tree-decomposition baselines used in the paper's comparison tables.
+* :mod:`repro.datasets` — named, seeded stand-ins for the paper's datasets.
+* :mod:`repro.experiments` — drivers regenerating every table and figure.
+"""
+
+from repro._version import __version__
+from repro.core import (
+    DirectedPrunedLandmarkLabeling,
+    DynamicPrunedLandmarkLabeling,
+    PathPrunedLandmarkLabeling,
+    PrunedLandmarkLabeling,
+    WeightedPrunedLandmarkLabeling,
+    build_index,
+    load_index,
+    save_index,
+)
+from repro.graph import Graph, GraphBuilder, read_edge_list, write_edge_list
+
+__all__ = [
+    "__version__",
+    "PrunedLandmarkLabeling",
+    "WeightedPrunedLandmarkLabeling",
+    "DirectedPrunedLandmarkLabeling",
+    "PathPrunedLandmarkLabeling",
+    "DynamicPrunedLandmarkLabeling",
+    "build_index",
+    "save_index",
+    "load_index",
+    "Graph",
+    "GraphBuilder",
+    "read_edge_list",
+    "write_edge_list",
+]

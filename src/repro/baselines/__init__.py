@@ -1,0 +1,21 @@
+"""Baseline distance-query methods the paper compares against."""
+
+from repro.baselines.apsp import APSPOracle
+from repro.baselines.hub_labeling import HierarchicalHubLabeling
+from repro.baselines.landmark import LandmarkOracle
+from repro.baselines.online import (
+    BidirectionalBFSOracle,
+    OnlineBFSOracle,
+    OnlineDijkstraOracle,
+)
+from repro.baselines.tree_decomposition import TreeDecompositionOracle
+
+__all__ = [
+    "APSPOracle",
+    "HierarchicalHubLabeling",
+    "LandmarkOracle",
+    "OnlineBFSOracle",
+    "BidirectionalBFSOracle",
+    "OnlineDijkstraOracle",
+    "TreeDecompositionOracle",
+]

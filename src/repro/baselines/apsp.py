@@ -1,0 +1,95 @@
+"""All-pairs shortest path oracle: the ground-truth reference for tests.
+
+Storing the full ``n x n`` distance matrix is the "other extreme" the paper's
+introduction dismisses for large graphs (quadratic memory and preprocessing),
+but on the small graphs used in unit, property and integration tests it is the
+perfect oracle: every other method in this library is validated against it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import IndexStateError
+from repro.graph.csr import Graph
+from repro.graph.traversal import UNREACHABLE, bfs_distances, dijkstra_distances
+
+__all__ = ["APSPOracle"]
+
+
+class APSPOracle:
+    """Exact all-pairs shortest-path oracle (quadratic memory).
+
+    Parameters
+    ----------
+    weighted:
+        If true, use Dijkstra per source and store float distances; otherwise
+        BFS per source with integer distances.
+    """
+
+    def __init__(self, *, weighted: bool = False) -> None:
+        self.weighted = weighted
+        self._graph: Optional[Graph] = None
+        self._matrix: Optional[np.ndarray] = None
+        self._build_seconds: float = 0.0
+
+    def build(self, graph: Graph) -> "APSPOracle":
+        """Run one (BFS or Dijkstra) traversal per vertex and store the matrix."""
+        start = time.perf_counter()
+        n = graph.num_vertices
+        if self.weighted:
+            matrix = np.full((n, n), np.inf, dtype=np.float64)
+            for v in range(n):
+                matrix[v] = dijkstra_distances(graph, v)
+        else:
+            matrix = np.full((n, n), np.inf, dtype=np.float64)
+            for v in range(n):
+                row = bfs_distances(graph, v).astype(np.float64)
+                row[row == UNREACHABLE] = np.inf
+                matrix[v] = row
+        self._graph = graph
+        self._matrix = matrix
+        self._build_seconds = time.perf_counter() - start
+        return self
+
+    @property
+    def built(self) -> bool:
+        """Whether the matrix has been computed."""
+        return self._matrix is not None
+
+    def _require_built(self) -> None:
+        if not self.built:
+            raise IndexStateError("call build(graph) before querying")
+
+    def distance(self, s: int, t: int) -> float:
+        """Exact distance between ``s`` and ``t`` (``inf`` if disconnected)."""
+        self._require_built()
+        return float(self._matrix[s, t])
+
+    def distances(self, pairs: Iterable[Tuple[int, int]]) -> np.ndarray:
+        """Distances for a batch of ``(s, t)`` pairs."""
+        self._require_built()
+        pairs = list(pairs)
+        result = np.empty(len(pairs), dtype=np.float64)
+        for i, (s, t) in enumerate(pairs):
+            result[i] = self._matrix[s, t]
+        return result
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The full distance matrix (``inf`` marks unreachable pairs)."""
+        self._require_built()
+        return self._matrix
+
+    def index_size_bytes(self) -> int:
+        """Size of the distance matrix in bytes."""
+        self._require_built()
+        return int(self._matrix.nbytes)
+
+    @property
+    def build_seconds(self) -> float:
+        """Wall-clock seconds spent in :meth:`build`."""
+        return self._build_seconds

@@ -1,0 +1,192 @@
+"""Standard landmark-based approximate distance estimation (paper Section 2.2).
+
+The landmark method picks a small set of landmark vertices, precomputes the
+exact distance from every landmark to every vertex, and answers a query
+``(s, t)`` with the *upper bound* ``min_l d(s, l) + d(l, t)`` (and, by the
+triangle inequality, the lower bound ``max_l |d(s, l) - d(l, t)|``).
+
+This baseline matters for two reasons:
+
+1. It is the method the paper's Theorem 4.3 compares against: if landmarks
+   answer a ``1 - ε`` fraction of pairs exactly, pruned landmark labeling's
+   average label size is ``O(k + εn)``.  The ablation benchmark uses
+   :meth:`LandmarkOracle.exact_fraction` to check that relationship.
+2. Its error profile (poor for close pairs, good for distant pairs) explains
+   why pruning covers distant pairs first (Figure 4 of the paper).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import IndexBuildError, IndexStateError
+from repro.graph.csr import Graph
+from repro.graph.ordering import compute_order
+from repro.graph.traversal import UNREACHABLE, bfs_distances
+
+__all__ = ["LandmarkOracle"]
+
+
+class LandmarkOracle:
+    """Approximate distance oracle based on distances to ``k`` landmarks.
+
+    Parameters
+    ----------
+    num_landmarks:
+        Number of landmark vertices ``k``.
+    strategy:
+        Landmark selection strategy: any vertex-ordering strategy name from
+        :mod:`repro.graph.ordering` (``"degree"`` — the recommended choice —
+        ``"closeness"`` or ``"random"``).
+    seed:
+        Seed for randomised strategies.
+    """
+
+    def __init__(
+        self,
+        num_landmarks: int = 16,
+        *,
+        strategy: str = "degree",
+        seed: int = 0,
+    ) -> None:
+        if num_landmarks < 1:
+            raise IndexBuildError("num_landmarks must be positive")
+        self.num_landmarks = num_landmarks
+        self.strategy = strategy
+        self.seed = seed
+        self._graph: Optional[Graph] = None
+        self._landmarks: Optional[np.ndarray] = None
+        self._dist: Optional[np.ndarray] = None
+        self._build_seconds: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    def build(self, graph: Graph) -> "LandmarkOracle":
+        """Pick landmarks and run one BFS per landmark."""
+        start = time.perf_counter()
+        order = compute_order(graph, self.strategy, seed=self.seed)
+        landmarks = order[: min(self.num_landmarks, graph.num_vertices)]
+        dist = np.full(
+            (landmarks.shape[0], graph.num_vertices), UNREACHABLE, dtype=np.int32
+        )
+        for i, landmark in enumerate(landmarks):
+            dist[i] = bfs_distances(graph, int(landmark))
+        self._graph = graph
+        self._landmarks = landmarks
+        self._dist = dist
+        self._build_seconds = time.perf_counter() - start
+        return self
+
+    @property
+    def built(self) -> bool:
+        """Whether the oracle has been built."""
+        return self._dist is not None
+
+    def _require_built(self) -> None:
+        if not self.built:
+            raise IndexStateError("call build(graph) before querying")
+
+    # ------------------------------------------------------------------ #
+    # Estimation
+    # ------------------------------------------------------------------ #
+
+    def estimate(self, s: int, t: int) -> float:
+        """Upper-bound estimate ``min_l d(s, l) + d(l, t)`` (``inf`` if no landmark reaches both)."""
+        self._require_built()
+        if s == t:
+            return 0.0
+        d_s = self._dist[:, s].astype(np.int64)
+        d_t = self._dist[:, t].astype(np.int64)
+        valid = (d_s != UNREACHABLE) & (d_t != UNREACHABLE)
+        if not valid.any():
+            return float("inf")
+        return float((d_s[valid] + d_t[valid]).min())
+
+    def lower_bound(self, s: int, t: int) -> float:
+        """Triangle-inequality lower bound ``max_l |d(s, l) - d(l, t)|``."""
+        self._require_built()
+        if s == t:
+            return 0.0
+        d_s = self._dist[:, s].astype(np.int64)
+        d_t = self._dist[:, t].astype(np.int64)
+        valid = (d_s != UNREACHABLE) & (d_t != UNREACHABLE)
+        if not valid.any():
+            return 0.0
+        return float(np.abs(d_s[valid] - d_t[valid]).max())
+
+    def distance(self, s: int, t: int) -> float:
+        """Alias of :meth:`estimate`, so the oracle fits the common interface.
+
+        Note that unlike every other oracle in this package the returned value
+        is an *upper bound*, not necessarily the exact distance.
+        """
+        return self.estimate(s, t)
+
+    def distances(self, pairs: Iterable[Tuple[int, int]]) -> np.ndarray:
+        """Estimates for a batch of ``(s, t)`` pairs."""
+        pairs = list(pairs)
+        result = np.empty(len(pairs), dtype=np.float64)
+        for i, (s, t) in enumerate(pairs):
+            result[i] = self.estimate(int(s), int(t))
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Quality metrics
+    # ------------------------------------------------------------------ #
+
+    def exact_fraction(
+        self, pairs: Sequence[Tuple[int, int]], true_distances: Sequence[float]
+    ) -> float:
+        """Fraction of the given pairs whose estimate equals the true distance.
+
+        This is the ``1 - ε`` quantity of Theorem 4.3.
+        """
+        self._require_built()
+        if len(pairs) != len(true_distances):
+            raise IndexBuildError("pairs and true_distances must align")
+        if not pairs:
+            return 1.0
+        exact = 0
+        for (s, t), true in zip(pairs, true_distances):
+            estimate = self.estimate(int(s), int(t))
+            if estimate == true or (np.isinf(estimate) and np.isinf(true)):
+                exact += 1
+        return exact / len(pairs)
+
+    def mean_relative_error(
+        self, pairs: Sequence[Tuple[int, int]], true_distances: Sequence[float]
+    ) -> float:
+        """Mean relative error over finite-distance pairs."""
+        self._require_built()
+        errors = []
+        for (s, t), true in zip(pairs, true_distances):
+            if not np.isfinite(true) or true == 0:
+                continue
+            estimate = self.estimate(int(s), int(t))
+            errors.append(abs(estimate - true) / true)
+        return float(np.mean(errors)) if errors else 0.0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def landmarks(self) -> np.ndarray:
+        """The selected landmark vertices."""
+        self._require_built()
+        return self._landmarks
+
+    def index_size_bytes(self) -> int:
+        """Size of the landmark-distance matrix in bytes."""
+        self._require_built()
+        return int(self._dist.nbytes)
+
+    @property
+    def build_seconds(self) -> float:
+        """Wall-clock seconds spent in :meth:`build`."""
+        return self._build_seconds

@@ -1,0 +1,109 @@
+"""Online (index-free) distance computation baselines.
+
+These correspond to the "BFS" column of Table 3 in the paper: what a query
+costs when no index is available.  Three strategies are provided:
+
+* :class:`OnlineBFSOracle` — a full breadth-first search from the source for
+  every query (the paper's baseline).
+* :class:`BidirectionalBFSOracle` — alternating BFS from both endpoints,
+  usually an order of magnitude faster on small-world graphs and therefore the
+  fairer "practical online" comparison point.
+* :class:`OnlineDijkstraOracle` — Dijkstra's algorithm for weighted graphs.
+
+All three share the trivially small "index" (none) and therefore appear in the
+benchmark tables with zero indexing time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import IndexStateError
+from repro.graph.csr import Graph
+from repro.graph.traversal import (
+    UNREACHABLE,
+    bfs_distances,
+    bidirectional_bfs_distance,
+    dijkstra_distances,
+)
+
+__all__ = ["OnlineBFSOracle", "BidirectionalBFSOracle", "OnlineDijkstraOracle"]
+
+
+class _OnlineOracleBase:
+    """Shared plumbing for index-free oracles."""
+
+    def __init__(self) -> None:
+        self._graph: Optional[Graph] = None
+
+    def build(self, graph: Graph) -> "_OnlineOracleBase":
+        """Store the graph; no preprocessing is performed."""
+        self._graph = graph
+        return self
+
+    @property
+    def built(self) -> bool:
+        """Whether a graph has been attached."""
+        return self._graph is not None
+
+    def _require_built(self) -> None:
+        if not self.built:
+            raise IndexStateError("call build(graph) before querying")
+
+    def distances(self, pairs: Iterable[Tuple[int, int]]) -> np.ndarray:
+        """Distances for a batch of ``(s, t)`` pairs."""
+        pairs = list(pairs)
+        result = np.empty(len(pairs), dtype=np.float64)
+        for i, (s, t) in enumerate(pairs):
+            result[i] = self.distance(int(s), int(t))
+        return result
+
+    def index_size_bytes(self) -> int:
+        """Online methods store no index."""
+        return 0
+
+    @property
+    def build_seconds(self) -> float:
+        """Online methods spend no time preprocessing."""
+        return 0.0
+
+    def distance(self, s: int, t: int) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class OnlineBFSOracle(_OnlineOracleBase):
+    """Answer each query with a full BFS from the source vertex."""
+
+    def distance(self, s: int, t: int) -> float:
+        """Exact hop distance computed by one BFS (``inf`` if disconnected)."""
+        self._require_built()
+        if s == t:
+            return 0.0
+        dist = bfs_distances(self._graph, s)
+        d = dist[t]
+        return float("inf") if d == UNREACHABLE else float(d)
+
+
+class BidirectionalBFSOracle(_OnlineOracleBase):
+    """Answer each query with a bidirectional BFS meeting in the middle."""
+
+    def distance(self, s: int, t: int) -> float:
+        """Exact hop distance computed by alternating BFS (``inf`` if disconnected)."""
+        self._require_built()
+        if s == t:
+            return 0.0
+        return bidirectional_bfs_distance(self._graph, s, t)
+
+
+class OnlineDijkstraOracle(_OnlineOracleBase):
+    """Answer each query with one run of Dijkstra's algorithm (weighted graphs)."""
+
+    def distance(self, s: int, t: int) -> float:
+        """Exact weighted distance (``inf`` if disconnected)."""
+        self._require_built()
+        if s == t:
+            return 0.0
+        dist = dijkstra_distances(self._graph, s)
+        return float(dist[t])

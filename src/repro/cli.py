@@ -1,0 +1,243 @@
+"""Command-line interface: ``repro-pll``.
+
+Four sub-commands cover the common workflows:
+
+``repro-pll build``
+    Read an edge list, build a pruned-landmark-labeling index and save it.
+``repro-pll query``
+    Load a saved index and answer distance queries from the command line.
+``repro-pll datasets``
+    List the built-in benchmark datasets (the paper's Table 4 stand-ins).
+``repro-pll experiment``
+    Regenerate any of the paper's tables and figures and print them as text
+    (optionally also writing CSV files).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro._version import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``repro-pll`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro-pll",
+        description=(
+            "Pruned landmark labeling: exact shortest-path distance queries "
+            "(SIGMOD 2013 reproduction)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    build = subparsers.add_parser("build", help="build an index from an edge list")
+    build.add_argument("edge_list", help="path to a whitespace-separated edge list")
+    build.add_argument("-o", "--output", required=True, help="output .npz index file")
+    build.add_argument(
+        "--bit-parallel", type=int, default=16, help="number of bit-parallel BFSs"
+    )
+    build.add_argument(
+        "--ordering",
+        default="degree",
+        choices=["degree", "closeness", "random"],
+        help="vertex ordering strategy",
+    )
+    build.add_argument("--directed", action="store_true", help="treat edges as directed")
+
+    query = subparsers.add_parser("query", help="answer distance queries from an index")
+    query.add_argument("index", help="path to a saved .npz index")
+    query.add_argument(
+        "pairs",
+        nargs="*",
+        help="query pairs as 's,t' (e.g. 12,93); omit to read pairs from stdin",
+    )
+
+    datasets = subparsers.add_parser("datasets", help="list the built-in datasets")
+    datasets.add_argument(
+        "--size-class", choices=["small", "large"], default=None, help="filter by size"
+    )
+
+    experiment = subparsers.add_parser(
+        "experiment", help="regenerate one of the paper's tables or figures"
+    )
+    experiment.add_argument(
+        "name",
+        choices=[
+            "table1",
+            "table3",
+            "table4",
+            "table5",
+            "figure2",
+            "figure3",
+            "figure4",
+            "figure5",
+            "ablation-ordering",
+            "ablation-pruning",
+            "ablation-theorem43",
+        ],
+        help="experiment to run",
+    )
+    experiment.add_argument(
+        "--datasets", nargs="*", default=None, help="restrict to these dataset names"
+    )
+    experiment.add_argument(
+        "--num-queries", type=int, default=1_000, help="random query pairs per dataset"
+    )
+    experiment.add_argument(
+        "--no-baselines",
+        action="store_true",
+        help="table3 only: skip the baseline methods",
+    )
+    experiment.add_argument("--csv", default=None, help="also write results to this CSV file")
+    return parser
+
+
+def _command_build(args: argparse.Namespace) -> int:
+    from repro.core.index import PrunedLandmarkLabeling
+    from repro.core.serialization import save_index
+    from repro.graph.io import read_edge_list
+
+    graph, _ = read_edge_list(args.edge_list, directed=args.directed)
+    if args.directed:
+        print(
+            "note: saved indexes support undirected graphs; the graph will be "
+            "symmetrised",
+            file=sys.stderr,
+        )
+        graph = graph.to_undirected()
+    index = PrunedLandmarkLabeling(
+        ordering=args.ordering, num_bit_parallel_roots=args.bit_parallel
+    ).build(graph)
+    save_index(index, args.output)
+    print(
+        f"indexed {graph.num_vertices} vertices / {graph.num_edges} edges; "
+        f"average label size {index.average_label_size():.1f}; "
+        f"index written to {args.output}"
+    )
+    return 0
+
+
+def _parse_pairs(tokens: Sequence[str]) -> List[tuple]:
+    pairs = []
+    for token in tokens:
+        parts = token.replace(",", " ").split()
+        if len(parts) != 2:
+            raise ValueError(f"cannot parse query pair {token!r}; expected 's,t'")
+        pairs.append((int(parts[0]), int(parts[1])))
+    return pairs
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    from repro.core.serialization import load_index
+
+    index = load_index(args.index)
+    tokens = list(args.pairs)
+    if not tokens:
+        tokens = [line.strip() for line in sys.stdin if line.strip()]
+    for s, t in _parse_pairs(tokens):
+        distance = index.distance(s, t)
+        rendered = "inf" if distance == float("inf") else f"{distance:g}"
+        print(f"{s}\t{t}\t{rendered}")
+    return 0
+
+
+def _command_datasets(args: argparse.Namespace) -> int:
+    from repro.datasets.registry import get_dataset, list_datasets
+
+    print(f"{'name':12s} {'type':9s} {'class':6s} {'paper |V|':>12s} {'paper |E|':>13s}  description")
+    for name in list_datasets(args.size_class):
+        spec = get_dataset(name)
+        print(
+            f"{spec.name:12s} {spec.network_type:9s} {spec.size_class:6s} "
+            f"{spec.paper_vertices:12,d} {spec.paper_edges:13,d}  {spec.description}"
+        )
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    from repro import experiments as exp
+
+    csv_rows = None
+    if args.name == "table1":
+        rows = exp.run_table1(args.datasets, num_queries=args.num_queries)
+        print(exp.format_table1(rows))
+        csv_rows = rows
+    elif args.name == "table3":
+        measurements = exp.run_table3(
+            args.datasets,
+            num_queries=args.num_queries,
+            include_baselines=not args.no_baselines,
+        )
+        print(exp.format_table3(measurements))
+        csv_rows = [m.as_dict() for m in measurements]
+    elif args.name == "table4":
+        rows = exp.run_table4(args.datasets)
+        print(exp.format_table4(rows))
+        csv_rows = rows
+    elif args.name == "table5":
+        rows = exp.run_table5(args.datasets)
+        print(exp.format_table5(rows))
+        csv_rows = rows
+    elif args.name == "figure2":
+        degrees = exp.run_figure2_degrees(args.datasets)
+        distances = exp.run_figure2_distances(args.datasets)
+        print(exp.format_figure2(degrees, distances))
+    elif args.name == "figure3":
+        profiles = exp.run_figure3(args.datasets)
+        print(exp.format_figure3(profiles))
+    elif args.name == "figure4":
+        curves = exp.run_figure4(args.datasets, num_pairs=args.num_queries)
+        print(exp.format_figure4(curves))
+    elif args.name == "figure5":
+        points = exp.run_figure5(args.datasets, num_queries=args.num_queries)
+        print(exp.format_figure5(points))
+        csv_rows = [p.as_dict() for p in points]
+    elif args.name == "ablation-ordering":
+        rows = exp.ordering_ablation(args.datasets)
+        print(exp.format_ablation(rows, "Ablation: vertex ordering strategies"))
+        csv_rows = rows
+    elif args.name == "ablation-pruning":
+        from repro.datasets.registry import load_dataset
+
+        dataset = (args.datasets or ["gnutella"])[0]
+        rows = exp.pruning_ablation(load_dataset(dataset))
+        print(exp.format_ablation(rows, f"Ablation: pruning on/off ({dataset})"))
+        csv_rows = rows
+    elif args.name == "ablation-theorem43":
+        dataset = (args.datasets or ["epinions"])[0]
+        rows = exp.theorem43_check(dataset, num_pairs=args.num_queries)
+        print(exp.format_ablation(rows, "Ablation: Theorem 4.3 label-size bound"))
+        csv_rows = rows
+    else:  # pragma: no cover - argparse prevents this
+        raise ValueError(f"unknown experiment {args.name}")
+
+    if args.csv and csv_rows:
+        exp.write_csv(csv_rows, args.csv)
+        print(f"\nwrote {len(csv_rows)} rows to {args.csv}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``repro-pll`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "build":
+        return _command_build(args)
+    if args.command == "query":
+        return _command_query(args)
+    if args.command == "datasets":
+        return _command_datasets(args)
+    if args.command == "experiment":
+        return _command_experiment(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,235 @@
+"""Incremental (insert-only) maintenance of a pruned-landmark-labeling index.
+
+The paper's conclusion lists dynamic updates as future work; the authors later
+published the incremental algorithm used here (resume pruned BFSs from the
+endpoints of a new edge).  We include it as the library's "extension" feature:
+
+When an edge ``(a, b)`` is inserted, shortest paths can only *shrink*, so the
+existing label entries remain valid upper bounds and the index only needs new
+or improved entries.  For every hub ``r`` (of rank ``k``) appearing in the
+label of ``a`` with distance ``d``, distances from ``r`` through the new edge
+are at most ``d + 1`` at ``b`` and grow by one per hop beyond it, so a pruned
+BFS *resumed* from ``b`` at depth ``d + 1`` (pruning against hubs of rank at
+most ``k``) discovers every improvement attributable to ``r``; the symmetric
+pass handles hubs of ``b``.  Label minimality is not preserved — removed-edge
+(decremental) updates are out of scope, as in the original work.
+
+The dynamic index keeps labels in per-vertex sorted Python lists so that
+entries can be updated in place; query time is therefore a constant factor
+slower than the frozen :class:`~repro.core.labels.LabelSet`, which is the
+usual trade-off for updatability.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.index import PrunedLandmarkLabeling
+from repro.errors import IndexBuildError, IndexStateError
+from repro.graph.csr import Graph
+from repro.graph.ordering import compute_order
+
+__all__ = ["DynamicPrunedLandmarkLabeling"]
+
+
+class DynamicPrunedLandmarkLabeling:
+    """Pruned-landmark-labeling oracle supporting online edge insertions.
+
+    Parameters
+    ----------
+    ordering:
+        Vertex ordering strategy used for the initial build.  The rank of a
+        vertex is fixed at build time; newly important vertices are not
+        re-ranked (matching the original incremental algorithm).
+    seed:
+        Seed for randomised orderings.
+
+    Examples
+    --------
+    >>> from repro.graph import Graph
+    >>> graph = Graph(4, [(0, 1), (2, 3)])
+    >>> oracle = DynamicPrunedLandmarkLabeling().build(graph)
+    >>> oracle.distance(0, 3)
+    inf
+    >>> oracle.insert_edge(1, 2)
+    >>> oracle.distance(0, 3)
+    3.0
+    """
+
+    def __init__(self, *, ordering: str = "degree", seed: int = 0) -> None:
+        self.ordering = ordering
+        self.seed = seed
+        self._adjacency: Optional[List[Set[int]]] = None
+        self._order: Optional[np.ndarray] = None
+        self._rank: Optional[np.ndarray] = None
+        # Per-vertex parallel sorted lists: hub ranks and distances.
+        self._hubs: Optional[List[List[int]]] = None
+        self._dists: Optional[List[List[int]]] = None
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    def build(self, graph: Graph) -> "DynamicPrunedLandmarkLabeling":
+        """Build the initial index from a static graph."""
+        if graph.directed:
+            raise IndexBuildError(
+                "DynamicPrunedLandmarkLabeling expects an undirected graph"
+            )
+        static = PrunedLandmarkLabeling(
+            ordering=self.ordering, num_bit_parallel_roots=0, seed=self.seed
+        ).build(graph)
+        labels = static.label_set
+
+        n = graph.num_vertices
+        self._adjacency = [set(int(v) for v in graph.neighbors(u)) for u in range(n)]
+        self._order = labels.order.copy()
+        self._rank = labels.rank.copy()
+        self._hubs = []
+        self._dists = []
+        for v in range(n):
+            hubs, dists = labels.vertex_label(v)
+            self._hubs.append([int(h) for h in hubs])
+            self._dists.append([int(d) for d in dists])
+        return self
+
+    @property
+    def built(self) -> bool:
+        """Whether the initial index has been built."""
+        return self._hubs is not None
+
+    def _require_built(self) -> None:
+        if not self.built:
+            raise IndexStateError("the index has not been built yet; call build()")
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices covered by the index."""
+        self._require_built()
+        return len(self._hubs)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def _query_prefix(self, s: int, t: int, max_rank: int) -> float:
+        """Minimum label distance using only hubs of rank ``<= max_rank``."""
+        s_hubs, s_dists = self._hubs[s], self._dists[s]
+        t_hubs, t_dists = self._hubs[t], self._dists[t]
+        best = float("inf")
+        i, j = 0, 0
+        while i < len(s_hubs) and j < len(t_hubs):
+            hub_s, hub_t = s_hubs[i], t_hubs[j]
+            if hub_s > max_rank or hub_t > max_rank:
+                break
+            if hub_s == hub_t:
+                candidate = s_dists[i] + t_dists[j]
+                if candidate < best:
+                    best = candidate
+                i += 1
+                j += 1
+            elif hub_s < hub_t:
+                i += 1
+            else:
+                j += 1
+        return best
+
+    def distance(self, s: int, t: int) -> float:
+        """Exact shortest-path distance in the current (inserted-into) graph."""
+        self._require_built()
+        if s == t:
+            return 0.0
+        return self._query_prefix(s, t, max_rank=len(self._hubs))
+
+    def distances(self, pairs: Iterable[Tuple[int, int]]) -> np.ndarray:
+        """Distances for a batch of ``(s, t)`` pairs."""
+        self._require_built()
+        pairs = list(pairs)
+        result = np.empty(len(pairs), dtype=np.float64)
+        for i, (s, t) in enumerate(pairs):
+            result[i] = self.distance(int(s), int(t))
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+
+    def _upsert(self, vertex: int, hub_rank: int, distance: int) -> bool:
+        """Insert or improve the entry ``(hub_rank, distance)``; return whether changed."""
+        hubs = self._hubs[vertex]
+        dists = self._dists[vertex]
+        position = bisect.bisect_left(hubs, hub_rank)
+        if position < len(hubs) and hubs[position] == hub_rank:
+            if dists[position] <= distance:
+                return False
+            dists[position] = distance
+            return True
+        hubs.insert(position, hub_rank)
+        dists.insert(position, distance)
+        return True
+
+    def _resume_pruned_bfs(self, hub_rank: int, start: int, start_depth: int) -> None:
+        """Resume a pruned BFS for hub ``hub_rank`` from ``start`` at ``start_depth``."""
+        root = int(self._order[hub_rank])
+        queue = deque([(start, start_depth)])
+        seen: Dict[int, int] = {start: start_depth}
+        while queue:
+            vertex, depth = queue.popleft()
+            # Prune when hubs of rank <= hub_rank already certify the distance.
+            if self._query_prefix(root, vertex, hub_rank) <= depth:
+                continue
+            if not self._upsert(vertex, hub_rank, depth):
+                continue
+            for neighbor in self._adjacency[vertex]:
+                if neighbor not in seen or seen[neighbor] > depth + 1:
+                    seen[neighbor] = depth + 1
+                    queue.append((neighbor, depth + 1))
+
+    def insert_edge(self, a: int, b: int) -> None:
+        """Insert the undirected edge ``(a, b)`` and repair the index.
+
+        Inserting an edge that already exists (or a self loop) is a no-op.
+        """
+        self._require_built()
+        n = self.num_vertices
+        if not (0 <= a < n and 0 <= b < n):
+            raise IndexBuildError(f"edge endpoints ({a}, {b}) out of range")
+        if a == b or b in self._adjacency[a]:
+            return
+        self._adjacency[a].add(b)
+        self._adjacency[b].add(a)
+
+        # Propagate improvements from every hub of a through b, and vice versa.
+        for hub_rank, dist in list(zip(self._hubs[a], self._dists[a])):
+            self._resume_pruned_bfs(hub_rank, b, dist + 1)
+        for hub_rank, dist in list(zip(self._hubs[b], self._dists[b])):
+            self._resume_pruned_bfs(hub_rank, a, dist + 1)
+
+    def insert_edges(self, edges: Iterable[Tuple[int, int]]) -> None:
+        """Insert a stream of edges one by one."""
+        for a, b in edges:
+            self.insert_edge(int(a), int(b))
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def average_label_size(self) -> float:
+        """Average number of label entries per vertex."""
+        self._require_built()
+        n = len(self._hubs)
+        if n == 0:
+            return 0.0
+        return sum(len(h) for h in self._hubs) / n
+
+    def label_of(self, vertex: int) -> List[Tuple[int, int]]:
+        """Label entries of one vertex as ``(hub_vertex, distance)`` pairs."""
+        self._require_built()
+        return [
+            (int(self._order[h]), int(d))
+            for h, d in zip(self._hubs[vertex], self._dists[vertex])
+        ]

@@ -1,0 +1,127 @@
+"""Saving and loading pruned-landmark-labeling indexes.
+
+The paper points out (Section 6, "Disk-based Query Answering") that because a
+query touches only the two contiguous label regions of its endpoints, the
+index can live on disk and still answer queries with two seeks.  This module
+provides the on-disk format: a single ``.npz`` archive holding the flat label
+arrays, the bit-parallel arrays and a small metadata record.  A loaded index
+answers queries without access to the original graph.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro._version import __version__
+from repro.core.bitparallel import BitParallelLabels
+from repro.core.index import PrunedLandmarkLabeling
+from repro.core.labels import LabelSet
+from repro.errors import SerializationError
+
+__all__ = ["save_index", "load_index", "FORMAT_VERSION"]
+
+PathLike = Union[str, os.PathLike]
+
+#: Version tag embedded in every archive; bumped on incompatible layout changes.
+FORMAT_VERSION = 1
+
+
+def save_index(index: PrunedLandmarkLabeling, path: PathLike) -> None:
+    """Serialise a built index to ``path`` (a ``.npz`` archive).
+
+    Raises
+    ------
+    SerializationError
+        If the index has not been built yet.
+    """
+    if not index.built:
+        raise SerializationError("cannot save an index that has not been built")
+    labels = index.label_set
+    bit_parallel = index.bit_parallel_labels
+
+    # Bit-parallel root sets are ragged; store them flattened with offsets.
+    set_sizes = np.array([len(s) for s in bit_parallel.root_sets], dtype=np.int64)
+    set_indptr = np.zeros(set_sizes.shape[0] + 1, dtype=np.int64)
+    np.cumsum(set_sizes, out=set_indptr[1:])
+    set_members = np.array(
+        [v for group in bit_parallel.root_sets for v in group], dtype=np.int64
+    )
+
+    metadata = {
+        "format_version": FORMAT_VERSION,
+        "library_version": __version__,
+        "num_vertices": labels.num_vertices,
+        "num_bit_parallel_roots": bit_parallel.num_roots,
+        "ordering": index.ordering,
+    }
+    np.savez_compressed(
+        Path(path),
+        metadata=np.frombuffer(json.dumps(metadata).encode("utf-8"), dtype=np.uint8),
+        label_indptr=labels.indptr,
+        label_hubs=labels.hub_ranks,
+        label_dists=labels.distances,
+        order=labels.order,
+        bp_roots=bit_parallel.roots,
+        bp_dist=bit_parallel.dist,
+        bp_s_minus=bit_parallel.s_minus,
+        bp_s_zero=bit_parallel.s_zero,
+        bp_set_indptr=set_indptr,
+        bp_set_members=set_members,
+    )
+
+
+def load_index(path: PathLike) -> PrunedLandmarkLabeling:
+    """Load an index previously written by :func:`save_index`.
+
+    The returned oracle answers :meth:`~PrunedLandmarkLabeling.distance`
+    queries immediately; its ``graph`` attribute is ``None`` because the graph
+    itself is not part of the archive.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise SerializationError(f"index file {path} does not exist")
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            metadata = json.loads(bytes(archive["metadata"]).decode("utf-8"))
+            if metadata.get("format_version") != FORMAT_VERSION:
+                raise SerializationError(
+                    f"unsupported index format version {metadata.get('format_version')}"
+                )
+            labels = LabelSet(
+                archive["label_indptr"],
+                archive["label_hubs"],
+                archive["label_dists"],
+                archive["order"],
+            )
+            set_indptr = archive["bp_set_indptr"]
+            set_members = archive["bp_set_members"]
+            root_sets = [
+                [int(v) for v in set_members[set_indptr[i]: set_indptr[i + 1]]]
+                for i in range(set_indptr.shape[0] - 1)
+            ]
+            bit_parallel = BitParallelLabels(
+                roots=archive["bp_roots"],
+                root_sets=root_sets,
+                dist=archive["bp_dist"],
+                s_minus=archive["bp_s_minus"],
+                s_zero=archive["bp_s_zero"],
+            )
+    except SerializationError:
+        raise
+    except Exception as exc:  # malformed archive, wrong keys, bad JSON, ...
+        raise SerializationError(f"failed to load index from {path}: {exc}") from exc
+
+    index = PrunedLandmarkLabeling(
+        ordering=metadata.get("ordering", "degree"),
+        num_bit_parallel_roots=int(metadata.get("num_bit_parallel_roots", 0)),
+    )
+    index._labels = labels
+    index._bit_parallel = bit_parallel
+    index._order = labels.order
+    index._graph = None
+    return index

@@ -1,0 +1,85 @@
+"""Index statistics: the quantities reported in the paper's tables and figures.
+
+This module turns a built index into the measurement records used throughout
+the evaluation: average label size (the "LN" column of Table 3), index size
+("IS"), label-size distribution (Figure 3c), and per-BFS labeling counts
+(Figure 3a/3b).  The experiment harness composes these with timing data to
+produce the final tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.index import PrunedLandmarkLabeling
+
+__all__ = ["IndexStats", "collect_index_stats", "label_size_percentiles"]
+
+
+@dataclass
+class IndexStats:
+    """Summary of a built pruned-landmark-labeling index."""
+
+    num_vertices: int
+    num_edges: int
+    #: Average number of normal label entries per vertex (paper's "LN", left part).
+    average_label_size: float
+    #: Maximum normal label size over all vertices.
+    max_label_size: int
+    #: Total number of normal label entries.
+    total_label_entries: int
+    #: Number of bit-parallel roots (paper's "LN", right part).
+    num_bit_parallel_roots: int
+    #: Estimated index size in bytes (normal plus bit-parallel labels).
+    index_size_bytes: int
+    #: Label-size percentiles keyed by percentile value (0, 25, 50, 75, 90, 99, 100).
+    label_size_percentiles: Dict[int, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary view for CSV reporting."""
+        record: Dict[str, float] = {
+            "num_vertices": self.num_vertices,
+            "num_edges": self.num_edges,
+            "average_label_size": self.average_label_size,
+            "max_label_size": self.max_label_size,
+            "total_label_entries": self.total_label_entries,
+            "num_bit_parallel_roots": self.num_bit_parallel_roots,
+            "index_size_bytes": self.index_size_bytes,
+        }
+        for percentile, value in self.label_size_percentiles.items():
+            record[f"label_size_p{percentile}"] = value
+        return record
+
+
+def label_size_percentiles(
+    index: PrunedLandmarkLabeling,
+    percentiles: Optional[list] = None,
+) -> Dict[int, float]:
+    """Label-size percentiles over all vertices (Figure 3c's curve, summarised)."""
+    if percentiles is None:
+        percentiles = [0, 25, 50, 75, 90, 99, 100]
+    sizes = index.label_set.label_sizes()
+    if sizes.size == 0:
+        return {p: 0.0 for p in percentiles}
+    return {p: float(np.percentile(sizes, p)) for p in percentiles}
+
+
+def collect_index_stats(index: PrunedLandmarkLabeling) -> IndexStats:
+    """Collect all summary statistics from a built index."""
+    labels = index.label_set
+    sizes = labels.label_sizes()
+    graph = index.graph
+    num_edges = graph.num_edges if graph is not None else 0
+    return IndexStats(
+        num_vertices=labels.num_vertices,
+        num_edges=num_edges,
+        average_label_size=labels.average_label_size(),
+        max_label_size=int(sizes.max()) if sizes.size else 0,
+        total_label_entries=labels.total_entries(),
+        num_bit_parallel_roots=index.bit_parallel_labels.num_roots,
+        index_size_bytes=index.index_size_bytes(),
+        label_size_percentiles=label_size_percentiles(index),
+    )

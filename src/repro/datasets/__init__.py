@@ -1,0 +1,24 @@
+"""Dataset registry: synthetic stand-ins for the paper's networks plus loaders."""
+
+from repro.datasets.loaders import load_edge_list_dataset, register_custom_dataset
+from repro.datasets.registry import (
+    DATASETS,
+    LARGE_DATASETS,
+    SMALL_DATASETS,
+    DatasetSpec,
+    get_dataset,
+    list_datasets,
+    load_dataset,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "DATASETS",
+    "SMALL_DATASETS",
+    "LARGE_DATASETS",
+    "list_datasets",
+    "get_dataset",
+    "load_dataset",
+    "load_edge_list_dataset",
+    "register_custom_dataset",
+]

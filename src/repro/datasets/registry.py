@@ -1,0 +1,296 @@
+"""Named, seeded stand-ins for the paper's eleven evaluation datasets (Table 4).
+
+The paper evaluates on real SNAP / LAW networks ranging from 63 thousand to
+7.4 million vertices.  Those exact files are not redistributable here and are
+far beyond what a pure-Python index build can process in reasonable time, so
+the registry materialises *synthetic analogues*: for each dataset we pick the
+generator whose structural fingerprint matches the network's type —
+
+* social networks (Epinions, Slashdot, WikiTalk, Flickr, Hollywood):
+  preferential attachment with clustering / densified hubs,
+* web graphs (NotreDame, Indo, Indochina): R-MAT with strong locality,
+* computer networks (Gnutella, Skitter, MetroSec): power-law configuration
+  models and hub-densified graphs —
+
+scaled down to a few thousand vertices and generated from a fixed seed, so the
+entire benchmark suite is deterministic and laptop friendly.  The paper's
+original sizes are kept as metadata so reports can show the correspondence.
+All stand-ins are restricted to their largest connected component, matching
+how distance queries behave on the originals (their giant components cover
+almost every vertex).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import DatasetError
+from repro.generators import (
+    barabasi_albert_graph,
+    configuration_model_graph,
+    dense_hub_graph,
+    forest_fire_graph,
+    holme_kim_graph,
+    power_law_degree_sequence,
+    rmat_graph,
+)
+from repro.graph.components import largest_connected_component
+from repro.graph.csr import Graph
+
+__all__ = [
+    "DatasetSpec",
+    "DATASETS",
+    "SMALL_DATASETS",
+    "LARGE_DATASETS",
+    "list_datasets",
+    "get_dataset",
+    "load_dataset",
+]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Description of one benchmark dataset.
+
+    Attributes
+    ----------
+    name:
+        Registry key (matches the paper's dataset name, lower-cased).
+    network_type:
+        "Social", "Web" or "Computer", as in Table 4.
+    paper_vertices / paper_edges:
+        The size of the original real-world network, for reporting.
+    size_class:
+        ``"small"`` (the five datasets used for method comparison) or
+        ``"large"`` (the six datasets used for the scalability study).
+    default_bit_parallel:
+        Number of bit-parallel BFSs the paper uses for this dataset
+        (16 for the small five, 64 for the large six).
+    generator:
+        Zero-argument callable returning the synthetic stand-in graph.
+    description:
+        One-line description of the original network.
+    """
+
+    name: str
+    network_type: str
+    paper_vertices: int
+    paper_edges: int
+    size_class: str
+    default_bit_parallel: int
+    generator: Callable[[], Graph]
+    description: str = ""
+
+    def load(self) -> Graph:
+        """Materialise the synthetic stand-in (largest connected component)."""
+        graph = self.generator()
+        graph, _ = largest_connected_component(graph)
+        return graph
+
+
+def _gnutella() -> Graph:
+    degrees = power_law_degree_sequence(4_000, exponent=2.3, min_degree=2, seed=101)
+    return configuration_model_graph(degrees, seed=101)
+
+
+def _epinions() -> Graph:
+    return holme_kim_graph(4_000, 6, triad_probability=0.4, seed=102)
+
+
+def _slashdot() -> Graph:
+    return holme_kim_graph(4_500, 10, triad_probability=0.3, seed=103)
+
+
+def _notredame() -> Graph:
+    return rmat_graph(12, 9.0, seed=104)
+
+
+def _wikitalk() -> Graph:
+    return forest_fire_graph(6_000, forward_probability=0.45, seed=105)
+
+
+def _skitter() -> Graph:
+    degrees = power_law_degree_sequence(
+        9_000, exponent=2.1, min_degree=2, max_degree=400, seed=106
+    )
+    return configuration_model_graph(degrees, seed=106)
+
+
+def _indo() -> Graph:
+    return rmat_graph(13, 16.0, seed=107)
+
+
+def _metrosec() -> Graph:
+    return dense_hub_graph(
+        9_000, 4, num_hubs=12, hub_extra_fraction=0.05, seed=108
+    )
+
+
+def _flickr() -> Graph:
+    return holme_kim_graph(10_000, 12, triad_probability=0.3, seed=109)
+
+
+def _hollywood() -> Graph:
+    return dense_hub_graph(
+        8_000, 12, num_hubs=30, hub_extra_fraction=0.08, seed=110
+    )
+
+
+def _indochina() -> Graph:
+    return rmat_graph(14, 14.0, seed=111)
+
+
+DATASETS: Dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in [
+        DatasetSpec(
+            name="gnutella",
+            network_type="Computer",
+            paper_vertices=63_000,
+            paper_edges=148_000,
+            size_class="small",
+            default_bit_parallel=16,
+            generator=_gnutella,
+            description="Gnutella P2P overlay snapshot (Aug 2002)",
+        ),
+        DatasetSpec(
+            name="epinions",
+            network_type="Social",
+            paper_vertices=76_000,
+            paper_edges=509_000,
+            size_class="small",
+            default_bit_parallel=16,
+            generator=_epinions,
+            description="Epinions who-trusts-whom social network",
+        ),
+        DatasetSpec(
+            name="slashdot",
+            network_type="Social",
+            paper_vertices=82_000,
+            paper_edges=948_000,
+            size_class="small",
+            default_bit_parallel=16,
+            generator=_slashdot,
+            description="Slashdot friend/foe network (Feb 2009)",
+        ),
+        DatasetSpec(
+            name="notredame",
+            network_type="Web",
+            paper_vertices=326_000,
+            paper_edges=1_500_000,
+            size_class="small",
+            default_bit_parallel=16,
+            generator=_notredame,
+            description="University of Notre Dame web graph (1999)",
+        ),
+        DatasetSpec(
+            name="wikitalk",
+            network_type="Social",
+            paper_vertices=2_400_000,
+            paper_edges=4_700_000,
+            size_class="small",
+            default_bit_parallel=16,
+            generator=_wikitalk,
+            description="Wikipedia talk-page communication network",
+        ),
+        DatasetSpec(
+            name="skitter",
+            network_type="Computer",
+            paper_vertices=1_700_000,
+            paper_edges=11_000_000,
+            size_class="large",
+            default_bit_parallel=64,
+            generator=_skitter,
+            description="Skitter internet topology from traceroutes (2005)",
+        ),
+        DatasetSpec(
+            name="indo",
+            network_type="Web",
+            paper_vertices=1_400_000,
+            paper_edges=17_000_000,
+            size_class="large",
+            default_bit_parallel=64,
+            generator=_indo,
+            description=".in-domain web crawl (2004)",
+        ),
+        DatasetSpec(
+            name="metrosec",
+            network_type="Computer",
+            paper_vertices=2_300_000,
+            paper_edges=22_000_000,
+            size_class="large",
+            default_bit_parallel=64,
+            generator=_metrosec,
+            description="MetroSec internet traffic graph",
+        ),
+        DatasetSpec(
+            name="flickr",
+            network_type="Social",
+            paper_vertices=1_800_000,
+            paper_edges=23_000_000,
+            size_class="large",
+            default_bit_parallel=64,
+            generator=_flickr,
+            description="Flickr photo-sharing social network",
+        ),
+        DatasetSpec(
+            name="hollywood",
+            network_type="Social",
+            paper_vertices=1_100_000,
+            paper_edges=114_000_000,
+            size_class="large",
+            default_bit_parallel=64,
+            generator=_hollywood,
+            description="Hollywood movie-actor collaboration network (2009)",
+        ),
+        DatasetSpec(
+            name="indochina",
+            network_type="Web",
+            paper_vertices=7_400_000,
+            paper_edges=194_000_000,
+            size_class="large",
+            default_bit_parallel=64,
+            generator=_indochina,
+            description="Indochina country-domain web crawl (2004)",
+        ),
+    ]
+}
+
+#: The five smaller datasets used for the full method comparison (Table 3 top half).
+SMALL_DATASETS: List[str] = [
+    name for name, spec in DATASETS.items() if spec.size_class == "small"
+]
+
+#: The six larger datasets used for the scalability study (Table 3 bottom half).
+LARGE_DATASETS: List[str] = [
+    name for name, spec in DATASETS.items() if spec.size_class == "large"
+]
+
+
+def list_datasets(size_class: Optional[str] = None) -> List[str]:
+    """Names of all registered datasets, optionally filtered by size class."""
+    if size_class is None:
+        return list(DATASETS)
+    if size_class not in ("small", "large"):
+        raise DatasetError(f"unknown size class {size_class!r}")
+    return [name for name, spec in DATASETS.items() if spec.size_class == size_class]
+
+
+def get_dataset(name: str) -> DatasetSpec:
+    """Look up a dataset spec by name (case insensitive)."""
+    key = name.lower()
+    try:
+        return DATASETS[key]
+    except KeyError:
+        known = ", ".join(sorted(DATASETS))
+        raise DatasetError(
+            f"unknown dataset {name!r}; known datasets: {known}"
+        ) from None
+
+
+@lru_cache(maxsize=None)
+def load_dataset(name: str) -> Graph:
+    """Materialise a dataset by name, with in-process caching."""
+    return get_dataset(name).load()

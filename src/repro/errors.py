@@ -1,0 +1,65 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All exceptions raised on purpose by this library derive from :class:`ReproError`
+so that callers can catch library failures without accidentally swallowing
+programming errors (``TypeError``, ``KeyError`` from unrelated code, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class GraphError(ReproError):
+    """Raised when a graph is malformed or an operation is not applicable.
+
+    Examples: negative vertex ids in an edge list, querying a vertex that does
+    not exist, asking for an unweighted traversal on a weighted-only API.
+    """
+
+
+class VertexError(GraphError, IndexError):
+    """Raised when a vertex id is out of range for a graph or an index.
+
+    Inherits from :class:`IndexError` so that code treating vertex ids as
+    indices behaves naturally under ``try/except IndexError``.
+    """
+
+    def __init__(self, vertex: int, num_vertices: int) -> None:
+        super().__init__(
+            f"vertex {vertex} is out of range for a graph with "
+            f"{num_vertices} vertices"
+        )
+        self.vertex = vertex
+        self.num_vertices = num_vertices
+
+
+class EdgeError(GraphError):
+    """Raised when an edge specification is invalid (bad endpoints or weight)."""
+
+
+class IndexBuildError(ReproError):
+    """Raised when a distance index cannot be constructed.
+
+    Typical causes: a distance overflowing the 8-bit representation used for
+    label distances, or inconsistent options (e.g. bit-parallel labels
+    requested on a weighted graph, which the paper explicitly rules out).
+    """
+
+
+class IndexStateError(ReproError):
+    """Raised when an index is used before it is built, or after invalidation."""
+
+
+class SerializationError(ReproError):
+    """Raised when an index cannot be saved to or loaded from disk."""
+
+
+class DatasetError(ReproError):
+    """Raised when a named dataset is unknown or cannot be materialised."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment driver is configured inconsistently."""

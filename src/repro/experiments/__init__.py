@@ -1,0 +1,98 @@
+"""Experiment drivers regenerating every table and figure of the paper."""
+
+from repro.experiments.ablations import (
+    format_ablation,
+    ordering_ablation,
+    pruning_ablation,
+    theorem43_check,
+)
+from repro.experiments.figure2 import (
+    DegreeSeries,
+    DistanceSeries,
+    format_figure2,
+    run_figure2_degrees,
+    run_figure2_distances,
+)
+from repro.experiments.figure3 import PruningProfile, format_figure3, run_figure3
+from repro.experiments.figure4 import CoverageCurve, format_figure4, run_figure4
+from repro.experiments.figure5 import (
+    BitParallelSweepPoint,
+    format_figure5,
+    run_figure5,
+)
+from repro.experiments.harness import (
+    MethodMeasurement,
+    MethodSpec,
+    measure_method,
+    run_comparison,
+)
+from repro.experiments.scaling import (
+    ScalingPoint,
+    format_scaling,
+    run_scaling,
+)
+from repro.experiments.reporting import (
+    format_bytes,
+    format_measurements,
+    format_query_time,
+    format_seconds,
+    format_table,
+    write_csv,
+)
+from repro.experiments.table1 import format_table1, run_table1
+from repro.experiments.table3 import default_methods, format_table3, run_table3
+from repro.experiments.table4 import format_table4, run_table4
+from repro.experiments.table5 import format_table5, run_table5
+from repro.experiments.workloads import (
+    QueryWorkload,
+    distance_stratified_workload,
+    random_pair_workload,
+    random_pairs,
+)
+
+__all__ = [
+    "MethodMeasurement",
+    "MethodSpec",
+    "measure_method",
+    "run_comparison",
+    "QueryWorkload",
+    "random_pairs",
+    "random_pair_workload",
+    "distance_stratified_workload",
+    "run_table1",
+    "format_table1",
+    "run_table3",
+    "format_table3",
+    "default_methods",
+    "run_table4",
+    "format_table4",
+    "run_table5",
+    "format_table5",
+    "run_figure2_degrees",
+    "run_figure2_distances",
+    "format_figure2",
+    "DegreeSeries",
+    "DistanceSeries",
+    "run_figure3",
+    "format_figure3",
+    "PruningProfile",
+    "run_figure4",
+    "format_figure4",
+    "CoverageCurve",
+    "run_figure5",
+    "format_figure5",
+    "BitParallelSweepPoint",
+    "pruning_ablation",
+    "ordering_ablation",
+    "theorem43_check",
+    "format_ablation",
+    "ScalingPoint",
+    "run_scaling",
+    "format_scaling",
+    "format_table",
+    "format_seconds",
+    "format_query_time",
+    "format_bytes",
+    "format_measurements",
+    "write_csv",
+]

@@ -1,0 +1,139 @@
+"""Figure 2: dataset properties (degree distributions and distance distributions).
+
+Figure 2 of the paper has four panels: the complementary cumulative degree
+distribution of the five smaller (2a) and six larger (2b) datasets on log-log
+axes, and the distribution of distances over one million random pairs for the
+same two groups (2c, 2d).  The drivers below compute the underlying series;
+the benchmark prints them as compact text sparklines / tables since plotting
+libraries are not available offline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.datasets.registry import LARGE_DATASETS, SMALL_DATASETS, load_dataset
+from repro.experiments.reporting import format_table
+from repro.graph.statistics import degree_ccdf, distance_distribution
+
+__all__ = [
+    "DegreeSeries",
+    "DistanceSeries",
+    "run_figure2_degrees",
+    "run_figure2_distances",
+    "format_figure2",
+]
+
+
+@dataclass
+class DegreeSeries:
+    """Complementary cumulative degree distribution of one dataset (Fig. 2a/2b)."""
+
+    dataset: str
+    degrees: np.ndarray
+    cumulative_counts: np.ndarray
+
+    def power_law_slope(self) -> float:
+        """Least-squares slope of the CCDF on log-log axes (a power-law check)."""
+        mask = (self.degrees > 0) & (self.cumulative_counts > 0)
+        if mask.sum() < 2:
+            return 0.0
+        x = np.log10(self.degrees[mask].astype(np.float64))
+        y = np.log10(self.cumulative_counts[mask].astype(np.float64))
+        slope, _ = np.polyfit(x, y, 1)
+        return float(slope)
+
+
+@dataclass
+class DistanceSeries:
+    """Distance distribution of one dataset over sampled pairs (Fig. 2c/2d)."""
+
+    dataset: str
+    distances: np.ndarray
+    fractions: np.ndarray
+
+    def average_distance(self) -> float:
+        """Mean of the sampled distance distribution."""
+        if self.distances.size == 0:
+            return float("nan")
+        return float((self.distances * self.fractions).sum() / self.fractions.sum())
+
+    def mode_distance(self) -> int:
+        """Most common sampled distance."""
+        if self.distances.size == 0:
+            return 0
+        return int(self.distances[int(np.argmax(self.fractions))])
+
+
+def run_figure2_degrees(
+    datasets: Optional[Sequence[str]] = None,
+) -> List[DegreeSeries]:
+    """Degree CCDF series for the requested datasets (default: all eleven)."""
+    names = list(datasets) if datasets else SMALL_DATASETS + LARGE_DATASETS
+    series = []
+    for name in names:
+        graph = load_dataset(name)
+        degrees, counts = degree_ccdf(graph)
+        series.append(DegreeSeries(name, degrees, counts))
+    return series
+
+
+def run_figure2_distances(
+    datasets: Optional[Sequence[str]] = None,
+    *,
+    num_pairs: int = 5_000,
+    seed: int = 0,
+) -> List[DistanceSeries]:
+    """Distance-distribution series for the requested datasets."""
+    names = list(datasets) if datasets else SMALL_DATASETS + LARGE_DATASETS
+    series = []
+    for name in names:
+        graph = load_dataset(name)
+        distances, fractions = distance_distribution(graph, num_pairs, seed=seed)
+        series.append(DistanceSeries(name, distances, fractions))
+    return series
+
+
+def format_figure2(
+    degree_series: Sequence[DegreeSeries],
+    distance_series: Sequence[DistanceSeries],
+) -> str:
+    """Summarise both panels of Figure 2 as text tables."""
+    degree_rows: List[Dict[str, object]] = []
+    for series in degree_series:
+        degree_rows.append(
+            {
+                "dataset": series.dataset,
+                "max degree": int(series.degrees.max()) if series.degrees.size else 0,
+                "ccdf log-log slope": round(series.power_law_slope(), 2),
+            }
+        )
+    distance_rows: List[Dict[str, object]] = []
+    for series in distance_series:
+        distribution = "  ".join(
+            f"d={int(d)}:{f:.2f}" for d, f in zip(series.distances, series.fractions)
+        )
+        distance_rows.append(
+            {
+                "dataset": series.dataset,
+                "avg dist": round(series.average_distance(), 2),
+                "mode": series.mode_distance(),
+                "distribution": distribution,
+            }
+        )
+    return (
+        format_table(
+            degree_rows,
+            ["dataset", "max degree", "ccdf log-log slope"],
+            title="Figure 2a/2b: degree CCDF (power-law slope on log-log axes)",
+        )
+        + "\n\n"
+        + format_table(
+            distance_rows,
+            ["dataset", "avg dist", "mode", "distribution"],
+            title="Figure 2c/2d: distance distribution over random pairs",
+        )
+    )

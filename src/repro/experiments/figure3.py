@@ -1,0 +1,134 @@
+"""Figure 3: effect of pruning and the distribution of label sizes.
+
+Three panels, all measured on indexes built *without* bit-parallel labels (as
+in the paper):
+
+* 3a — number of vertices labelled by the x-th pruned BFS (log-log): drops by
+  orders of magnitude within the first few thousand BFSs.
+* 3b — cumulative share of all label entries created by the first x BFSs:
+  most of the index is produced at the very beginning.
+* 3c — distribution of final per-vertex label sizes (sorted ascending):
+  label sizes are concentrated, so query time is stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.index import PrunedLandmarkLabeling
+from repro.datasets.registry import load_dataset
+from repro.experiments.reporting import format_table
+
+__all__ = ["PruningProfile", "run_figure3", "format_figure3", "DEFAULT_FIGURE3_DATASETS"]
+
+#: The paper uses Skitter, Indo and Flickr for Figure 3.
+DEFAULT_FIGURE3_DATASETS = ["skitter", "indo", "flickr"]
+
+
+@dataclass
+class PruningProfile:
+    """Per-dataset pruning profile backing all three panels of Figure 3."""
+
+    dataset: str
+    #: labels added by the k-th pruned BFS (panel 3a).
+    labels_per_bfs: np.ndarray
+    #: cumulative fraction of all labels after the k-th BFS (panel 3b).
+    cumulative_fraction: np.ndarray
+    #: per-vertex label sizes sorted ascending (panel 3c).
+    sorted_label_sizes: np.ndarray
+
+    def labels_at(self, checkpoints: Sequence[int]) -> Dict[int, int]:
+        """Labels added by the BFS at each checkpoint index (1-based)."""
+        result = {}
+        for checkpoint in checkpoints:
+            index = min(checkpoint, self.labels_per_bfs.shape[0]) - 1
+            if index >= 0:
+                result[checkpoint] = int(self.labels_per_bfs[index])
+        return result
+
+    def cumulative_at(self, checkpoints: Sequence[int]) -> Dict[int, float]:
+        """Cumulative label fraction after each checkpoint (1-based)."""
+        result = {}
+        for checkpoint in checkpoints:
+            index = min(checkpoint, self.cumulative_fraction.shape[0]) - 1
+            if index >= 0:
+                result[checkpoint] = float(self.cumulative_fraction[index])
+        return result
+
+    def label_size_percentile(self, percentile: float) -> float:
+        """Percentile of the final label-size distribution (panel 3c)."""
+        if self.sorted_label_sizes.size == 0:
+            return 0.0
+        return float(np.percentile(self.sorted_label_sizes, percentile))
+
+
+def run_figure3(
+    datasets: Optional[Sequence[str]] = None,
+    *,
+    seed: int = 0,
+) -> List[PruningProfile]:
+    """Build stat-collecting indexes (no bit-parallel labels) and extract the profiles."""
+    profiles = []
+    for name in datasets or DEFAULT_FIGURE3_DATASETS:
+        graph = load_dataset(name)
+        index = PrunedLandmarkLabeling(
+            num_bit_parallel_roots=0, collect_stats=True, seed=seed
+        ).build(graph)
+        stats = index.construction_stats
+        profiles.append(
+            PruningProfile(
+                dataset=name,
+                labels_per_bfs=stats.labeled_per_bfs,
+                cumulative_fraction=stats.cumulative_labeled_fraction(),
+                sorted_label_sizes=np.sort(index.label_set.label_sizes()),
+            )
+        )
+    return profiles
+
+
+def format_figure3(profiles: Sequence[PruningProfile]) -> str:
+    """Render the three panels as checkpoint tables."""
+    checkpoints = [1, 10, 100, 1_000, 10_000]
+    rows_a: List[Dict[str, object]] = []
+    rows_b: List[Dict[str, object]] = []
+    rows_c: List[Dict[str, object]] = []
+    for profile in profiles:
+        labels = profile.labels_at(checkpoints)
+        cumulative = profile.cumulative_at(checkpoints)
+        rows_a.append(
+            {"dataset": profile.dataset}
+            | {f"BFS #{c}": labels.get(c, "-") for c in checkpoints}
+        )
+        rows_b.append(
+            {"dataset": profile.dataset}
+            | {
+                f"after {c}": (
+                    f"{cumulative[c]:.2f}" if c in cumulative else "-"
+                )
+                for c in checkpoints
+            }
+        )
+        rows_c.append(
+            {
+                "dataset": profile.dataset,
+                "p10": profile.label_size_percentile(10),
+                "p50": profile.label_size_percentile(50),
+                "p90": profile.label_size_percentile(90),
+                "p99": profile.label_size_percentile(99),
+                "max": float(profile.sorted_label_sizes[-1])
+                if profile.sorted_label_sizes.size
+                else 0.0,
+            }
+        )
+    return (
+        format_table(rows_a, title="Figure 3a: labels added by the x-th pruned BFS")
+        + "\n\n"
+        + format_table(
+            rows_b, title="Figure 3b: cumulative fraction of labels after x BFSs"
+        )
+        + "\n\n"
+        + format_table(rows_c, title="Figure 3c: distribution of final label sizes")
+    )

@@ -1,0 +1,145 @@
+"""Figure 4: fraction of vertex pairs covered after each pruned BFS.
+
+A pair ``(s, t)`` is *covered* after ``k`` BFSs when the labels created by the
+first ``k`` BFSs already answer its exact distance.  Figure 4a plots this
+coverage curve for random pairs; Figures 4b–4d split the pairs by their true
+distance, showing that distant pairs are covered much earlier than close pairs
+— the structural fact behind both the accuracy profile of landmark-based
+estimates and the effectiveness of pruning.
+
+The covering step of a pair is recovered *post hoc* from the final index: the
+labels produced by the first ``k`` BFSs are exactly the final label entries
+whose hub rank is below ``k``, so the covering step is one plus the smallest
+rank of a hub realising the exact distance
+(:meth:`~repro.core.index.PrunedLandmarkLabeling.covering_rank`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.index import PrunedLandmarkLabeling
+from repro.datasets.registry import load_dataset
+from repro.experiments.reporting import format_table
+from repro.experiments.workloads import distance_stratified_workload
+
+__all__ = [
+    "CoverageCurve",
+    "run_figure4",
+    "format_figure4",
+    "DEFAULT_FIGURE4_DATASETS",
+]
+
+#: The paper uses Gnutella, Epinions and Slashdot for Figure 4.
+DEFAULT_FIGURE4_DATASETS = ["gnutella", "epinions", "slashdot"]
+
+
+@dataclass
+class CoverageCurve:
+    """Coverage-vs-BFS-count curves for one dataset."""
+
+    dataset: str
+    #: Checkpoints (number of BFSs performed) at which coverage is evaluated.
+    checkpoints: np.ndarray
+    #: Overall fraction of sampled pairs covered at each checkpoint (Fig. 4a).
+    overall: np.ndarray
+    #: Per-distance coverage: distance -> fractions at each checkpoint (Fig. 4b-d).
+    by_distance: Dict[int, np.ndarray]
+
+    def coverage_at(self, checkpoint: int) -> float:
+        """Overall coverage at (or just below) a given BFS count."""
+        valid = np.flatnonzero(self.checkpoints <= checkpoint)
+        if valid.size == 0:
+            return 0.0
+        return float(self.overall[valid[-1]])
+
+
+def _checkpoints(num_vertices: int) -> np.ndarray:
+    """Logarithmically spaced BFS-count checkpoints: 1, 2, 4, ..., n."""
+    points = [1]
+    while points[-1] < num_vertices:
+        points.append(min(points[-1] * 2, num_vertices))
+    return np.asarray(points, dtype=np.int64)
+
+
+def run_figure4(
+    datasets: Optional[Sequence[str]] = None,
+    *,
+    num_pairs: int = 2_000,
+    seed: int = 0,
+) -> List[CoverageCurve]:
+    """Compute coverage curves for the requested datasets (no bit-parallel labels)."""
+    curves = []
+    for name in datasets or DEFAULT_FIGURE4_DATASETS:
+        graph = load_dataset(name)
+        index = PrunedLandmarkLabeling(num_bit_parallel_roots=0, seed=seed).build(graph)
+        workload = distance_stratified_workload(graph, num_pairs, seed=seed)
+
+        covering_steps = np.array(
+            [
+                index.covering_rank(s, t) or (graph.num_vertices + 1)
+                for s, t in workload.pairs
+            ],
+            dtype=np.int64,
+        )
+        checkpoints = _checkpoints(graph.num_vertices)
+        overall = np.array(
+            [
+                float((covering_steps <= checkpoint).mean())
+                if covering_steps.size
+                else 0.0
+                for checkpoint in checkpoints
+            ]
+        )
+        by_distance: Dict[int, np.ndarray] = {}
+        for distance, indices in sorted(workload.by_distance.items()):
+            steps = covering_steps[np.asarray(indices, dtype=np.int64)]
+            by_distance[distance] = np.array(
+                [float((steps <= checkpoint).mean()) for checkpoint in checkpoints]
+            )
+        curves.append(
+            CoverageCurve(
+                dataset=name,
+                checkpoints=checkpoints,
+                overall=overall,
+                by_distance=by_distance,
+            )
+        )
+    return curves
+
+
+def format_figure4(curves: Sequence[CoverageCurve]) -> str:
+    """Render the coverage curves as checkpoint tables."""
+    sections: List[str] = []
+    display_checkpoints = [1, 4, 16, 64, 256, 1_024, 4_096]
+    for curve in curves:
+        rows: List[Dict[str, object]] = []
+        rows.append(
+            {"series": "all pairs"}
+            | {
+                f"x={c}": f"{curve.coverage_at(c):.2f}"
+                for c in display_checkpoints
+                if c <= curve.checkpoints[-1]
+            }
+        )
+        for distance, fractions in curve.by_distance.items():
+            row: Dict[str, object] = {"series": f"d = {distance}"}
+            for checkpoint in display_checkpoints:
+                if checkpoint > curve.checkpoints[-1]:
+                    continue
+                valid = np.flatnonzero(curve.checkpoints <= checkpoint)
+                row[f"x={checkpoint}"] = f"{fractions[valid[-1]]:.2f}" if valid.size else "-"
+            rows.append(row)
+        sections.append(
+            format_table(
+                rows,
+                title=(
+                    f"Figure 4 ({curve.dataset}): fraction of pairs covered "
+                    "after x pruned BFSs"
+                ),
+            )
+        )
+    return "\n\n".join(sections)

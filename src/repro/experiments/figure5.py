@@ -1,0 +1,124 @@
+"""Figure 5: performance against the number of bit-parallel BFSs.
+
+The paper sweeps the number ``t`` of bit-parallel BFSs over 1…1024 on Skitter,
+Indo and Flickr and plots four panels: (a) preprocessing time, (b) query time,
+(c) average size of a normal label and (d) index size.  The qualitative
+finding is that a moderate ``t`` improves all four, and that performance is
+insensitive to the exact value unless ``t`` is made extremely large.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.index import PrunedLandmarkLabeling
+from repro.datasets.registry import load_dataset
+from repro.experiments.reporting import (
+    format_bytes,
+    format_query_time,
+    format_seconds,
+    format_table,
+)
+from repro.experiments.workloads import random_pairs
+
+__all__ = [
+    "BitParallelSweepPoint",
+    "run_figure5",
+    "format_figure5",
+    "DEFAULT_FIGURE5_DATASETS",
+    "DEFAULT_SWEEP",
+]
+
+#: The paper uses Skitter, Indo and Flickr for Figure 5.
+DEFAULT_FIGURE5_DATASETS = ["skitter", "indo", "flickr"]
+
+#: Sweep over the number of bit-parallel BFSs (the paper goes up to 1024).
+DEFAULT_SWEEP = [0, 1, 4, 16, 64, 256]
+
+
+@dataclass
+class BitParallelSweepPoint:
+    """One (dataset, t) measurement for Figure 5."""
+
+    dataset: str
+    num_bit_parallel: int
+    preprocessing_seconds: float
+    query_seconds: float
+    average_normal_label_size: float
+    index_bytes: int
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary view for CSV reporting."""
+        return {
+            "dataset": self.dataset,
+            "num_bit_parallel": self.num_bit_parallel,
+            "preprocessing_seconds": self.preprocessing_seconds,
+            "query_seconds": self.query_seconds,
+            "average_normal_label_size": self.average_normal_label_size,
+            "index_bytes": self.index_bytes,
+        }
+
+
+def run_figure5(
+    datasets: Optional[Sequence[str]] = None,
+    *,
+    sweep: Optional[Sequence[int]] = None,
+    num_queries: int = 1_000,
+    seed: int = 0,
+) -> List[BitParallelSweepPoint]:
+    """Sweep the number of bit-parallel BFSs and measure all four panels."""
+    points = []
+    for name in datasets or DEFAULT_FIGURE5_DATASETS:
+        graph = load_dataset(name)
+        pairs = random_pairs(graph.num_vertices, num_queries, seed=seed)
+        for t in sweep if sweep is not None else DEFAULT_SWEEP:
+            start = time.perf_counter()
+            index = PrunedLandmarkLabeling(num_bit_parallel_roots=t, seed=seed).build(
+                graph
+            )
+            preprocessing = time.perf_counter() - start
+
+            start = time.perf_counter()
+            for s, target in pairs:
+                index.distance(s, target)
+            query = (time.perf_counter() - start) / max(len(pairs), 1)
+
+            points.append(
+                BitParallelSweepPoint(
+                    dataset=name,
+                    num_bit_parallel=t,
+                    preprocessing_seconds=preprocessing,
+                    query_seconds=query,
+                    average_normal_label_size=index.average_label_size(),
+                    index_bytes=index.index_size_bytes(),
+                )
+            )
+    return points
+
+
+def format_figure5(points: Sequence[BitParallelSweepPoint]) -> str:
+    """Render the sweep as one table per dataset (rows = t, columns = panels)."""
+    by_dataset: Dict[str, List[BitParallelSweepPoint]] = {}
+    for point in points:
+        by_dataset.setdefault(point.dataset, []).append(point)
+    sections = []
+    for dataset, dataset_points in by_dataset.items():
+        rows = [
+            {
+                "bit-parallel BFSs": point.num_bit_parallel,
+                "(a) preprocessing": format_seconds(point.preprocessing_seconds),
+                "(b) query time": format_query_time(point.query_seconds),
+                "(c) normal label size": round(point.average_normal_label_size, 1),
+                "(d) index size": format_bytes(point.index_bytes),
+            }
+            for point in sorted(dataset_points, key=lambda p: p.num_bit_parallel)
+        ]
+        sections.append(
+            format_table(
+                rows,
+                title=f"Figure 5 ({dataset}): performance vs number of bit-parallel BFSs",
+            )
+        )
+    return "\n\n".join(sections)

@@ -1,0 +1,182 @@
+"""Measurement harness: indexing time, index size, query time, label size.
+
+Every table row of the paper reports the same four quantities for a method on
+a dataset: indexing time (IT), index size (IS), average query time (QT) and,
+for labeling methods, the average label size (LN).  This module measures all
+of them uniformly for any oracle exposing the informal protocol used across
+this library (``build(graph)``, ``distance(s, t)``, optionally
+``index_size_bytes()`` / ``average_label_size()``), and records "did not
+finish" outcomes when a baseline refuses or exceeds its budget — the analogue
+of the paper's DNF entries.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import IndexBuildError
+from repro.graph.csr import Graph
+
+__all__ = ["MethodMeasurement", "measure_method", "MethodSpec", "run_comparison"]
+
+
+@dataclass
+class MethodMeasurement:
+    """Outcome of measuring one method on one graph."""
+
+    method: str
+    dataset: str
+    num_vertices: int
+    num_edges: int
+    #: Indexing (preprocessing) wall-clock time in seconds; the paper's IT.
+    indexing_seconds: float = 0.0
+    #: Index size in bytes; the paper's IS.
+    index_bytes: int = 0
+    #: Average query time in seconds over the workload; the paper's QT.
+    query_seconds: float = 0.0
+    #: Average label entries per vertex, when the method has labels; paper's LN.
+    average_label_size: Optional[float] = None
+    #: Number of bit-parallel roots, when applicable.
+    bit_parallel_roots: Optional[int] = None
+    #: Whether the method finished; False reproduces the paper's "DNF" cells.
+    finished: bool = True
+    #: Human-readable note (e.g. the reason a method did not finish).
+    note: str = ""
+    #: Distances returned on the workload (used for cross-method validation).
+    query_results: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary view for CSV reporting."""
+        return {
+            "method": self.method,
+            "dataset": self.dataset,
+            "num_vertices": self.num_vertices,
+            "num_edges": self.num_edges,
+            "indexing_seconds": self.indexing_seconds,
+            "index_bytes": self.index_bytes,
+            "query_seconds": self.query_seconds,
+            "average_label_size": self.average_label_size,
+            "bit_parallel_roots": self.bit_parallel_roots,
+            "finished": self.finished,
+            "note": self.note,
+        }
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """A named method: a zero-argument factory producing a fresh oracle."""
+
+    name: str
+    factory: Callable[[], object]
+    #: Methods whose per-query cost is high get a smaller query sample.
+    max_query_pairs: Optional[int] = None
+
+
+def measure_method(
+    name: str,
+    oracle_factory: Callable[[], object],
+    graph: Graph,
+    pairs: Sequence[Tuple[int, int]],
+    *,
+    dataset: str = "",
+    max_query_pairs: Optional[int] = None,
+    collect_results: bool = False,
+) -> MethodMeasurement:
+    """Build one oracle, time its construction, and time its queries.
+
+    A method that raises :class:`~repro.errors.IndexBuildError` (the library's
+    "this input is beyond my configured limits" signal) or :class:`MemoryError`
+    is reported as unfinished rather than crashing the whole comparison,
+    mirroring the DNF entries in the paper's tables.
+    """
+    measurement = MethodMeasurement(
+        method=name,
+        dataset=dataset,
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+    )
+    oracle = oracle_factory()
+
+    start = time.perf_counter()
+    try:
+        oracle.build(graph)
+    except (IndexBuildError, MemoryError) as exc:
+        measurement.finished = False
+        measurement.note = f"DNF: {exc}"
+        return measurement
+    measurement.indexing_seconds = time.perf_counter() - start
+
+    if hasattr(oracle, "index_size_bytes"):
+        measurement.index_bytes = int(oracle.index_size_bytes())
+    if hasattr(oracle, "average_label_size"):
+        measurement.average_label_size = float(oracle.average_label_size())
+    if hasattr(oracle, "bit_parallel_labels"):
+        measurement.bit_parallel_roots = oracle.bit_parallel_labels.num_roots
+
+    query_pairs = list(pairs)
+    if max_query_pairs is not None and len(query_pairs) > max_query_pairs:
+        query_pairs = query_pairs[:max_query_pairs]
+    if query_pairs:
+        results = np.empty(len(query_pairs), dtype=np.float64)
+        start = time.perf_counter()
+        for i, (s, t) in enumerate(query_pairs):
+            results[i] = oracle.distance(s, t)
+        elapsed = time.perf_counter() - start
+        measurement.query_seconds = elapsed / len(query_pairs)
+        if collect_results:
+            measurement.query_results = results
+    return measurement
+
+
+def run_comparison(
+    graph: Graph,
+    methods: Sequence[MethodSpec],
+    pairs: Sequence[Tuple[int, int]],
+    *,
+    dataset: str = "",
+    validate: bool = True,
+) -> List[MethodMeasurement]:
+    """Measure several methods on the same graph and workload.
+
+    With ``validate`` (the default), the distances returned by every finished
+    *exact* method are cross-checked on the common prefix of the workload and
+    a mismatch raises ``AssertionError`` — a comparison whose methods disagree
+    is meaningless.  Approximate methods (anything exposing
+    ``is_exact = False``) are exempt.
+    """
+    measurements: List[MethodMeasurement] = []
+    reference: Optional[np.ndarray] = None
+    reference_len = 0
+    for spec in methods:
+        measurement = measure_method(
+            spec.name,
+            spec.factory,
+            graph,
+            pairs,
+            dataset=dataset,
+            max_query_pairs=spec.max_query_pairs,
+            collect_results=validate,
+        )
+        measurements.append(measurement)
+        if not validate or not measurement.finished:
+            continue
+        oracle_exact = getattr(spec.factory, "is_exact", True)
+        if measurement.query_results is None or not oracle_exact:
+            continue
+        if reference is None:
+            reference = measurement.query_results
+            reference_len = reference.shape[0]
+        else:
+            overlap = min(reference_len, measurement.query_results.shape[0])
+            if overlap and not np.array_equal(
+                reference[:overlap], measurement.query_results[:overlap]
+            ):
+                raise AssertionError(
+                    f"exact methods disagree on dataset {dataset!r}: "
+                    f"{measurements[0].method} vs {measurement.method}"
+                )
+    return measurements

@@ -1,0 +1,164 @@
+"""Formatting helpers: human-readable tables and CSV export for experiment output.
+
+The experiment drivers produce lists of dictionaries or measurement records;
+this module renders them the way the paper's tables look (aligned columns,
+seconds / microseconds / megabytes units) and optionally writes CSV files so
+results can be post-processed elsewhere.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+import os
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+__all__ = [
+    "format_seconds",
+    "format_query_time",
+    "format_bytes",
+    "format_table",
+    "write_csv",
+    "format_measurements",
+]
+
+PathLike = Union[str, os.PathLike]
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration the way the paper does (e.g. ``61 s``, ``0.5 s``)."""
+    if not math.isfinite(seconds):
+        return "inf"
+    if seconds >= 100:
+        return f"{seconds:,.0f} s"
+    if seconds >= 1:
+        return f"{seconds:.1f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f} ms"
+    return f"{seconds * 1e6:.1f} us"
+
+
+def format_query_time(seconds: float) -> str:
+    """Render a per-query latency in microseconds / milliseconds."""
+    if not math.isfinite(seconds):
+        return "inf"
+    if seconds >= 1:
+        return f"{seconds:.2f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds * 1e6:.1f} us"
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Render a byte count as B / KB / MB / GB (decimal units, as in the paper)."""
+    value = float(num_bytes)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if value < 1000 or unit == "TB":
+            if unit == "B":
+                return f"{value:.0f} {unit}"
+            return f"{value:.1f} {unit}"
+        value /= 1000.0
+    return f"{value:.1f} TB"  # pragma: no cover - unreachable
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Render a list of dictionaries as an aligned text table.
+
+    Parameters
+    ----------
+    rows:
+        The records to print.
+    columns:
+        Column order; defaults to the keys of the first row.
+    title:
+        Optional title printed above the table.
+    """
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def cell(value: object) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    rendered = [[cell(row.get(column)) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(r[i]) for r in rendered))
+        for i, column in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(column).ljust(width) for column, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered:
+        lines.append("  ".join(value.ljust(width) for value, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def write_csv(
+    rows: Sequence[Mapping[str, object]],
+    path: PathLike,
+    *,
+    columns: Optional[Sequence[str]] = None,
+) -> None:
+    """Write records to a CSV file (column order as in :func:`format_table`)."""
+    if not rows:
+        with open(path, "w", newline="", encoding="utf-8") as handle:
+            handle.write("")
+        return
+    if columns is None:
+        columns = list(rows[0].keys())
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(columns), extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({column: row.get(column) for column in columns})
+
+
+def format_measurements(measurements: Iterable) -> str:
+    """Render :class:`~repro.experiments.harness.MethodMeasurement` records.
+
+    Produces a table shaped like the paper's Table 3: one row per
+    (dataset, method) with IT / IS / QT / LN columns.
+    """
+    rows: List[Dict[str, object]] = []
+    for m in measurements:
+        if not m.finished:
+            rows.append(
+                {
+                    "dataset": m.dataset,
+                    "method": m.method,
+                    "IT": "DNF",
+                    "IS": "-",
+                    "QT": "-",
+                    "LN": "-",
+                }
+            )
+            continue
+        label = "-"
+        if m.average_label_size is not None:
+            label = f"{m.average_label_size:.1f}"
+            if m.bit_parallel_roots:
+                label = f"{m.average_label_size:.1f}+{m.bit_parallel_roots}"
+        rows.append(
+            {
+                "dataset": m.dataset,
+                "method": m.method,
+                "IT": format_seconds(m.indexing_seconds),
+                "IS": format_bytes(m.index_bytes),
+                "QT": format_query_time(m.query_seconds),
+                "LN": label,
+            }
+        )
+    return format_table(rows, ["dataset", "method", "IT", "IS", "QT", "LN"])

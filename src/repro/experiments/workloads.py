@@ -1,0 +1,130 @@
+"""Query workloads for the experiments.
+
+The paper measures query time on one million uniformly random vertex pairs
+per dataset, and Figure 4 additionally stratifies sampled pairs by their true
+distance.  This module generates both workloads (scaled down through the
+``num_pairs`` parameter) and packages them with ground-truth distances when a
+reference oracle is supplied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.graph.csr import Graph
+from repro.graph.traversal import UNREACHABLE, bfs_distances
+
+__all__ = [
+    "QueryWorkload",
+    "random_pairs",
+    "random_pair_workload",
+    "distance_stratified_workload",
+]
+
+
+@dataclass
+class QueryWorkload:
+    """A set of query pairs, optionally with ground-truth distances."""
+
+    pairs: List[Tuple[int, int]]
+    true_distances: Optional[np.ndarray] = None
+    #: Optional mapping distance -> list of pair indices at that distance.
+    by_distance: Dict[int, List[int]] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def finite_pairs(self) -> List[Tuple[int, int]]:
+        """Pairs whose ground-truth distance is finite (requires true distances)."""
+        if self.true_distances is None:
+            raise ExperimentError("workload has no ground-truth distances")
+        return [
+            pair
+            for pair, dist in zip(self.pairs, self.true_distances)
+            if np.isfinite(dist)
+        ]
+
+
+def random_pairs(
+    num_vertices: int, num_pairs: int, *, seed: int = 0, distinct: bool = True
+) -> List[Tuple[int, int]]:
+    """Uniformly random ``(s, t)`` pairs (s != t when ``distinct``)."""
+    if num_vertices < 2:
+        raise ExperimentError("need at least two vertices to build a workload")
+    rng = np.random.default_rng(seed)
+    pairs: List[Tuple[int, int]] = []
+    while len(pairs) < num_pairs:
+        remaining = num_pairs - len(pairs)
+        sources = rng.integers(0, num_vertices, size=remaining)
+        targets = rng.integers(0, num_vertices, size=remaining)
+        for s, t in zip(sources, targets):
+            if distinct and s == t:
+                continue
+            pairs.append((int(s), int(t)))
+    return pairs[:num_pairs]
+
+
+def _ground_truth(graph: Graph, pairs: Sequence[Tuple[int, int]]) -> np.ndarray:
+    """Exact distances for the pairs, grouping by source to share BFSs."""
+    result = np.empty(len(pairs), dtype=np.float64)
+    by_source: Dict[int, List[int]] = {}
+    for index, (s, _) in enumerate(pairs):
+        by_source.setdefault(s, []).append(index)
+    for source, indices in by_source.items():
+        dist = bfs_distances(graph, source)
+        for index in indices:
+            d = dist[pairs[index][1]]
+            result[index] = float("inf") if d == UNREACHABLE else float(d)
+    return result
+
+
+def random_pair_workload(
+    graph: Graph,
+    num_pairs: int,
+    *,
+    seed: int = 0,
+    with_ground_truth: bool = False,
+) -> QueryWorkload:
+    """Uniform random-pair workload, optionally with BFS ground truth."""
+    pairs = random_pairs(graph.num_vertices, num_pairs, seed=seed)
+    true_distances = _ground_truth(graph, pairs) if with_ground_truth else None
+    return QueryWorkload(pairs=pairs, true_distances=true_distances)
+
+
+def distance_stratified_workload(
+    graph: Graph,
+    num_pairs: int,
+    *,
+    seed: int = 0,
+    max_distance: Optional[int] = None,
+) -> QueryWorkload:
+    """Random pairs annotated with their exact distance and grouped by it.
+
+    Used by the Figure 4 experiments (coverage by distance class).  Pairs with
+    infinite distance are dropped; ``max_distance`` optionally drops very
+    distant pairs as well.
+    """
+    raw = random_pairs(graph.num_vertices, num_pairs, seed=seed)
+    distances = _ground_truth(graph, raw)
+
+    pairs: List[Tuple[int, int]] = []
+    kept_distances: List[float] = []
+    by_distance: Dict[int, List[int]] = {}
+    for pair, dist in zip(raw, distances):
+        if not np.isfinite(dist):
+            continue
+        if max_distance is not None and dist > max_distance:
+            continue
+        index = len(pairs)
+        pairs.append(pair)
+        kept_distances.append(dist)
+        by_distance.setdefault(int(dist), []).append(index)
+    return QueryWorkload(
+        pairs=pairs,
+        true_distances=np.asarray(kept_distances, dtype=np.float64),
+        by_distance=by_distance,
+    )

@@ -1,0 +1,43 @@
+"""Synthetic network generators used to simulate the paper's datasets."""
+
+from repro.generators.forestfire import forest_fire_graph
+from repro.generators.perturb import (
+    assign_random_weights,
+    orient_edges,
+    rewire_edges,
+    split_edge_stream,
+)
+from repro.generators.powerlaw import (
+    barabasi_albert_graph,
+    dense_hub_graph,
+    holme_kim_graph,
+)
+from repro.generators.random_graphs import (
+    configuration_model_graph,
+    erdos_renyi_graph,
+    gnm_random_graph,
+    power_law_degree_sequence,
+)
+from repro.generators.rmat import rmat_graph
+from repro.generators.road import grid_graph, random_geometric_graph
+from repro.generators.smallworld import ring_lattice, watts_strogatz_graph
+
+__all__ = [
+    "barabasi_albert_graph",
+    "holme_kim_graph",
+    "dense_hub_graph",
+    "erdos_renyi_graph",
+    "gnm_random_graph",
+    "configuration_model_graph",
+    "power_law_degree_sequence",
+    "rmat_graph",
+    "watts_strogatz_graph",
+    "ring_lattice",
+    "forest_fire_graph",
+    "grid_graph",
+    "random_geometric_graph",
+    "assign_random_weights",
+    "orient_edges",
+    "rewire_edges",
+    "split_edge_stream",
+]

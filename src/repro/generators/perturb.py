@@ -1,0 +1,141 @@
+"""Graph transformations: weighting, orienting, rewiring, and densifying.
+
+The paper's variants (Section 6) need weighted and directed versions of the
+same topologies, and the dynamic-update extension needs streams of edge
+insertions.  Rather than teaching every generator about every variant, this
+module provides composable transformations applied to an existing
+:class:`~repro.graph.csr.Graph`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.csr import Graph
+
+__all__ = [
+    "assign_random_weights",
+    "orient_edges",
+    "rewire_edges",
+    "split_edge_stream",
+]
+
+
+def assign_random_weights(
+    graph: Graph,
+    *,
+    low: float = 1.0,
+    high: float = 10.0,
+    integer: bool = False,
+    seed: Optional[int] = 0,
+) -> Graph:
+    """Return a weighted copy with i.i.d. uniform edge weights in ``[low, high]``."""
+    if low < 0 or high < low:
+        raise GraphError("weights must satisfy 0 <= low <= high")
+    rng = np.random.default_rng(seed)
+    edges = list(graph.edges())
+    draws = rng.uniform(low, high, size=len(edges))
+    if integer:
+        draws = np.rint(draws)
+    return Graph(
+        graph.num_vertices,
+        edges,
+        directed=graph.directed,
+        weights=draws.tolist(),
+    )
+
+
+def orient_edges(
+    graph: Graph,
+    *,
+    both_directions_probability: float = 0.3,
+    seed: Optional[int] = 0,
+) -> Graph:
+    """Turn an undirected graph into a directed one.
+
+    Each undirected edge becomes, with probability
+    ``both_directions_probability``, a pair of opposite arcs; otherwise a
+    single arc with a random direction.  This mimics how web graphs and trust
+    networks mix reciprocated and one-way links.
+    """
+    if graph.directed:
+        raise GraphError("orient_edges expects an undirected graph")
+    if not 0.0 <= both_directions_probability <= 1.0:
+        raise GraphError("both_directions_probability must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    arcs: List[Tuple[int, int]] = []
+    weights: List[float] = [] if graph.weighted else None  # type: ignore[assignment]
+    for u, v in graph.edges():
+        weight = graph.edge_weight(u, v) if graph.weighted else None
+        if rng.random() < both_directions_probability:
+            arcs.append((u, v))
+            arcs.append((v, u))
+            if weights is not None:
+                weights.extend([weight, weight])
+        elif rng.random() < 0.5:
+            arcs.append((u, v))
+            if weights is not None:
+                weights.append(weight)
+        else:
+            arcs.append((v, u))
+            if weights is not None:
+                weights.append(weight)
+    return Graph(graph.num_vertices, arcs, directed=True, weights=weights)
+
+
+def rewire_edges(
+    graph: Graph,
+    fraction: float,
+    *,
+    seed: Optional[int] = 0,
+) -> Graph:
+    """Rewire a random ``fraction`` of edges to random endpoints (degree-ignoring).
+
+    Used by robustness tests to check that index correctness is insensitive to
+    structural noise.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise GraphError("fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    n = graph.num_vertices
+    edges = list(graph.edges())
+    num_rewired = int(fraction * len(edges))
+    if num_rewired == 0 or n < 2:
+        return graph
+    indices = rng.choice(len(edges), size=num_rewired, replace=False)
+    for idx in indices:
+        u = int(rng.integers(0, n))
+        v = int(rng.integers(0, n))
+        while v == u:
+            v = int(rng.integers(0, n))
+        edges[idx] = (u, v)
+    return Graph(n, edges, directed=graph.directed)
+
+
+def split_edge_stream(
+    graph: Graph,
+    initial_fraction: float,
+    *,
+    seed: Optional[int] = 0,
+) -> Tuple[Graph, List[Tuple[int, int]]]:
+    """Split a graph into an initial subgraph plus a stream of edge insertions.
+
+    Returns
+    -------
+    (initial_graph, insertions):
+        ``initial_graph`` contains a random ``initial_fraction`` of the edges
+        (on the full vertex set); ``insertions`` lists the remaining edges in
+        random order.  Feeding the insertions to the dynamic index extension
+        must converge to the distances of the full graph.
+    """
+    if not 0.0 < initial_fraction <= 1.0:
+        raise GraphError("initial_fraction must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    edges = list(graph.edges())
+    rng.shuffle(edges)
+    cut = int(initial_fraction * len(edges))
+    initial = Graph(graph.num_vertices, edges[:cut], directed=graph.directed)
+    return initial, edges[cut:]

@@ -1,0 +1,100 @@
+"""Recursive-matrix (R-MAT / Kronecker-style) graph generator.
+
+Web graphs (NotreDame, Indo, Indochina in the paper) exhibit strongly skewed
+degree distributions *and* pronounced community / locality structure — pages
+within a site link to each other much more than across sites.  The R-MAT
+model captures both with four quadrant probabilities ``(a, b, c, d)``: each
+edge recursively descends into one quadrant of the adjacency matrix, so a
+large ``a`` concentrates edges near the diagonal (locality) while the
+asymmetry between quadrants yields heavy-tailed degrees.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.csr import Graph
+
+__all__ = ["rmat_graph"]
+
+
+def rmat_graph(
+    scale: int,
+    average_degree: float,
+    *,
+    quadrants: Tuple[float, float, float, float] = (0.57, 0.19, 0.19, 0.05),
+    directed: bool = False,
+    seed: Optional[int] = 0,
+    noise: float = 0.05,
+) -> Graph:
+    """Generate an R-MAT graph with ``2**scale`` vertices.
+
+    Parameters
+    ----------
+    scale:
+        Log2 of the number of vertices.
+    average_degree:
+        Target average degree; the number of sampled edges is
+        ``average_degree * 2**scale / 2`` for undirected graphs.
+    quadrants:
+        The classic ``(a, b, c, d)`` probabilities (must sum to 1).  The
+        default is the Graph500 parameterisation, which produces web-graph
+        like networks.
+    directed:
+        Whether to keep edge direction.
+    seed:
+        Random seed.
+    noise:
+        Multiplicative jitter applied to the quadrant probabilities at each
+        recursion level, the standard trick to avoid exactly repeated degrees.
+
+    Notes
+    -----
+    Duplicate edges and self loops produced by the sampling are dropped by the
+    :class:`~repro.graph.csr.Graph` constructor, so the realised edge count is
+    slightly below the requested one, as with standard R-MAT implementations.
+    """
+    if scale < 1 or scale > 28:
+        raise GraphError("scale must be between 1 and 28")
+    a, b, c, d = quadrants
+    if abs(a + b + c + d - 1.0) > 1e-9:
+        raise GraphError("quadrant probabilities must sum to 1")
+    if average_degree <= 0:
+        raise GraphError("average_degree must be positive")
+
+    rng = np.random.default_rng(seed)
+    n = 1 << scale
+    if directed:
+        num_edges = int(average_degree * n)
+    else:
+        num_edges = int(average_degree * n / 2)
+    num_edges = max(num_edges, 1)
+
+    sources = np.zeros(num_edges, dtype=np.int64)
+    targets = np.zeros(num_edges, dtype=np.int64)
+    for level in range(scale):
+        # Jittered quadrant probabilities for this recursion level.
+        jitter = 1.0 + noise * (rng.random(4) * 2.0 - 1.0)
+        pa, pb, pc, pd = np.array([a, b, c, d]) * jitter
+        total = pa + pb + pc + pd
+        pa, pb, pc = pa / total, pb / total, pc / total
+
+        draws = rng.random(num_edges)
+        go_right = np.zeros(num_edges, dtype=bool)
+        go_down = np.zeros(num_edges, dtype=bool)
+        # Quadrant a: (0, 0); b: (0, 1); c: (1, 0); d: (1, 1).
+        in_b = (draws >= pa) & (draws < pa + pb)
+        in_c = (draws >= pa + pb) & (draws < pa + pb + pc)
+        in_d = draws >= pa + pb + pc
+        go_right |= in_b | in_d
+        go_down |= in_c | in_d
+
+        bit = 1 << (scale - 1 - level)
+        sources += go_down * bit
+        targets += go_right * bit
+
+    edges = np.stack([sources, targets], axis=1)
+    return Graph(n, edges, directed=directed)

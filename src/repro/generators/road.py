@@ -1,0 +1,129 @@
+"""Road-network-like generators: grids and random geometric graphs.
+
+The paper contrasts complex networks with road networks (for which other
+techniques excel).  To let users and benchmarks explore that contrast — and to
+exercise the *weighted* pruned-Dijkstra variant of Section 6 on a realistic
+workload — this module generates planar-ish graphs with large diameter:
+
+* :func:`grid_graph` — a 2-D grid with optional random diagonal shortcuts and
+  Euclidean-style edge weights.
+* :func:`random_geometric_graph` — vertices scattered in the unit square and
+  connected when closer than a radius, weighted by Euclidean distance.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.csr import Graph
+
+__all__ = ["grid_graph", "random_geometric_graph"]
+
+
+def grid_graph(
+    rows: int,
+    cols: int,
+    *,
+    diagonal_probability: float = 0.0,
+    weighted: bool = False,
+    weight_jitter: float = 0.2,
+    seed: Optional[int] = 0,
+) -> Graph:
+    """A ``rows x cols`` grid, optionally with random diagonals and edge weights.
+
+    Vertex ``(r, c)`` has id ``r * cols + c``.  With ``weighted`` the edge
+    weights are ``1 ± weight_jitter`` (uniform), mimicking road segments of
+    slightly varying length.
+    """
+    if rows < 1 or cols < 1:
+        raise GraphError("rows and cols must be positive")
+    if not 0.0 <= diagonal_probability <= 1.0:
+        raise GraphError("diagonal_probability must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+
+    def vertex(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges: List[Tuple[int, int]] = []
+    weights: List[float] = []
+
+    def add(u: int, v: int, length: float) -> None:
+        edges.append((u, v))
+        if weighted:
+            jitter = 1.0 + weight_jitter * (rng.random() * 2.0 - 1.0)
+            weights.append(length * jitter)
+
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                add(vertex(r, c), vertex(r, c + 1), 1.0)
+            if r + 1 < rows:
+                add(vertex(r, c), vertex(r + 1, c), 1.0)
+            if (
+                diagonal_probability > 0.0
+                and r + 1 < rows
+                and c + 1 < cols
+                and rng.random() < diagonal_probability
+            ):
+                add(vertex(r, c), vertex(r + 1, c + 1), float(np.sqrt(2.0)))
+    return Graph(
+        rows * cols,
+        edges,
+        weights=weights if weighted else None,
+    )
+
+
+def random_geometric_graph(
+    num_vertices: int,
+    radius: float,
+    *,
+    weighted: bool = True,
+    seed: Optional[int] = 0,
+) -> Graph:
+    """Random geometric graph in the unit square.
+
+    Vertices are uniform points in ``[0, 1]^2``; two vertices are adjacent when
+    their Euclidean distance is below ``radius``.  With ``weighted`` the edge
+    weight is that distance, giving a natural workload for pruned Dijkstra.
+    """
+    if num_vertices < 1:
+        raise GraphError("num_vertices must be positive")
+    if radius <= 0:
+        raise GraphError("radius must be positive")
+    rng = np.random.default_rng(seed)
+    points = rng.random((num_vertices, 2))
+
+    # Simple uniform-grid bucketing keeps the pair search near-linear.
+    cell = max(radius, 1e-9)
+    grid_size = int(np.ceil(1.0 / cell))
+    buckets: dict = {}
+    for idx, (x, y) in enumerate(points):
+        key = (int(x / cell), int(y / cell))
+        buckets.setdefault(key, []).append(idx)
+
+    edges: List[Tuple[int, int]] = []
+    weights: List[float] = []
+    for (bx, by), members in buckets.items():
+        neighbours_cells = [
+            (bx + dx, by + dy)
+            for dx in (-1, 0, 1)
+            for dy in (-1, 0, 1)
+            if (bx + dx, by + dy) in buckets
+        ]
+        for u in members:
+            for cell_key in neighbours_cells:
+                for v in buckets[cell_key]:
+                    if v <= u:
+                        continue
+                    distance = float(np.linalg.norm(points[u] - points[v]))
+                    if distance < radius:
+                        edges.append((u, v))
+                        weights.append(distance)
+    return Graph(
+        num_vertices,
+        edges,
+        weights=weights if weighted else None,
+    )

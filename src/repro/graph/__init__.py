@@ -1,0 +1,73 @@
+"""Graph substrate: CSR graphs, construction, IO, traversal, statistics, ordering."""
+
+from repro.graph.builder import GraphBuilder, VertexLabeling
+from repro.graph.components import (
+    component_sizes,
+    connected_components,
+    is_connected,
+    largest_connected_component,
+)
+from repro.graph.csr import Graph
+from repro.graph.io import read_edge_list, read_graph, write_edge_list, write_graph
+from repro.graph.ordering import (
+    ORDERING_STRATEGIES,
+    closeness_order,
+    compute_order,
+    degree_order,
+    random_order,
+    rank_from_order,
+)
+from repro.graph.statistics import (
+    GraphSummary,
+    degree_ccdf,
+    degree_histogram,
+    distance_distribution,
+    sample_pair_distances,
+    summarize_graph,
+)
+from repro.graph.traversal import (
+    UNREACHABLE,
+    bfs_distance,
+    bfs_distances,
+    bfs_tree,
+    bidirectional_bfs_distance,
+    dijkstra_distances,
+    dijkstra_tree,
+    eccentricity,
+    multi_source_bfs,
+)
+
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "VertexLabeling",
+    "read_edge_list",
+    "read_graph",
+    "write_edge_list",
+    "write_graph",
+    "connected_components",
+    "component_sizes",
+    "is_connected",
+    "largest_connected_component",
+    "ORDERING_STRATEGIES",
+    "compute_order",
+    "degree_order",
+    "closeness_order",
+    "random_order",
+    "rank_from_order",
+    "UNREACHABLE",
+    "bfs_distance",
+    "bfs_distances",
+    "bfs_tree",
+    "bidirectional_bfs_distance",
+    "dijkstra_distances",
+    "dijkstra_tree",
+    "multi_source_bfs",
+    "eccentricity",
+    "GraphSummary",
+    "degree_histogram",
+    "degree_ccdf",
+    "distance_distribution",
+    "sample_pair_distances",
+    "summarize_graph",
+]

@@ -1,0 +1,468 @@
+"""Compressed sparse row (CSR) graph representation.
+
+The whole library works on top of :class:`Graph`, an immutable adjacency
+structure stored in flat numpy arrays.  This mirrors the memory layout used by
+the original C++ implementation of pruned landmark labeling: the neighbours of
+vertex ``v`` occupy the contiguous slice ``adj[indptr[v]:indptr[v + 1]]``,
+which keeps breadth-first searches cache friendly and lets the indexing code
+use vectorised numpy operations on neighbour slices.
+
+Vertices are integers ``0 .. n - 1``.  External identifiers (user names, URLs,
+compound ids, ...) are handled by :class:`repro.graph.builder.GraphBuilder`,
+which maps arbitrary hashable labels onto this dense id space.
+
+Directed graphs keep two CSR structures, one for out-neighbours and one for
+in-neighbours, because the directed variant of pruned landmark labeling
+(Section 6 of the paper) performs BFSs in both directions.  Weighted graphs
+store a parallel ``float64`` weight array per direction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import EdgeError, GraphError, VertexError
+
+__all__ = ["Graph"]
+
+
+def _as_edge_array(edges: Iterable[Tuple[int, int]]) -> np.ndarray:
+    """Convert an iterable of ``(u, v)`` pairs to an ``(m, 2)`` int64 array."""
+    array = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges)
+    if array.size == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    if array.ndim != 2 or array.shape[1] != 2:
+        raise EdgeError(
+            "edges must be an iterable of (u, v) pairs; got an array of shape "
+            f"{array.shape}"
+        )
+    return array.astype(np.int64, copy=False)
+
+
+def _build_csr(
+    n: int,
+    sources: np.ndarray,
+    targets: np.ndarray,
+    weights: Optional[np.ndarray],
+) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+    """Build (indptr, adj, weights) with neighbour lists sorted by target id."""
+    order = np.lexsort((targets, sources))
+    sources = sources[order]
+    targets = targets[order]
+    if weights is not None:
+        weights = weights[order]
+
+    counts = np.bincount(sources, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, targets.astype(np.int32, copy=False), weights
+
+
+class Graph:
+    """An immutable graph in compressed sparse row form.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices.  Vertices are ``0 .. n - 1``.
+    edges:
+        Iterable of ``(u, v)`` pairs.  Parallel edges and self loops are
+        removed.  For undirected graphs each edge may be listed in either or
+        both directions; it is stored once per direction internally.
+    directed:
+        Whether the graph is directed.  Undirected graphs symmetrise the edge
+        set.
+    weights:
+        Optional sequence of edge weights aligned with ``edges``.  When
+        omitted the graph is unweighted and all traversals count hops.
+
+    Notes
+    -----
+    The constructor normalises the edge set (dedup, drop self loops, sort
+    neighbour lists), so two graphs built from permutations of the same edge
+    list compare equal structurally.
+    """
+
+    __slots__ = (
+        "_n",
+        "_m",
+        "_directed",
+        "_indptr",
+        "_adj",
+        "_weights",
+        "_rev_indptr",
+        "_rev_adj",
+        "_rev_weights",
+    )
+
+    def __init__(
+        self,
+        n: int,
+        edges: Iterable[Tuple[int, int]],
+        *,
+        directed: bool = False,
+        weights: Optional[Sequence[float]] = None,
+    ) -> None:
+        if n < 0:
+            raise GraphError(f"number of vertices must be non-negative, got {n}")
+        edge_array = _as_edge_array(edges)
+        weight_array: Optional[np.ndarray] = None
+        if weights is not None:
+            weight_array = np.asarray(weights, dtype=np.float64)
+            if weight_array.shape[0] != edge_array.shape[0]:
+                raise EdgeError(
+                    f"{edge_array.shape[0]} edges but {weight_array.shape[0]} weights"
+                )
+            if edge_array.shape[0] and np.any(weight_array < 0):
+                raise EdgeError("edge weights must be non-negative")
+
+        if edge_array.shape[0]:
+            low = edge_array.min()
+            high = edge_array.max()
+            if low < 0 or high >= n:
+                bad = int(low if low < 0 else high)
+                raise VertexError(bad, n)
+
+        self._n = int(n)
+        self._directed = bool(directed)
+
+        sources = edge_array[:, 0]
+        targets = edge_array[:, 1]
+
+        # Drop self loops: they never affect shortest-path distances.
+        keep = sources != targets
+        sources, targets = sources[keep], targets[keep]
+        if weight_array is not None:
+            weight_array = weight_array[keep]
+
+        if not directed:
+            # Symmetrise, then dedup on (min, max) pairs keeping the smallest weight.
+            all_sources = np.concatenate([sources, targets])
+            all_targets = np.concatenate([targets, sources])
+            if weight_array is not None:
+                all_weights = np.concatenate([weight_array, weight_array])
+            else:
+                all_weights = None
+            sources, targets, weight_array = self._dedup(
+                all_sources, all_targets, all_weights
+            )
+            self._m = int(sources.shape[0]) // 2
+        else:
+            sources, targets, weight_array = self._dedup(sources, targets, weight_array)
+            self._m = int(sources.shape[0])
+
+        self._indptr, self._adj, self._weights = _build_csr(
+            self._n, sources, targets, weight_array
+        )
+
+        if directed:
+            rev_weights = weight_array
+            self._rev_indptr, self._rev_adj, self._rev_weights = _build_csr(
+                self._n, targets, sources, rev_weights
+            )
+        else:
+            self._rev_indptr = self._indptr
+            self._rev_adj = self._adj
+            self._rev_weights = self._weights
+
+    @staticmethod
+    def _dedup(
+        sources: np.ndarray,
+        targets: np.ndarray,
+        weights: Optional[np.ndarray],
+    ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+        """Remove parallel edges; for weighted graphs keep the minimum weight."""
+        if sources.shape[0] == 0:
+            return sources, targets, weights
+        if weights is None:
+            keys = sources.astype(np.int64) * (targets.max() + 1 if targets.size else 1)
+            keys = keys + targets
+            _, unique_idx = np.unique(keys, return_index=True)
+            unique_idx.sort()
+            return sources[unique_idx], targets[unique_idx], None
+        # Weighted: sort by (u, v, w) and keep the first (smallest weight) per pair.
+        order = np.lexsort((weights, targets, sources))
+        sources, targets, weights = sources[order], targets[order], weights[order]
+        pair_change = np.ones(sources.shape[0], dtype=bool)
+        pair_change[1:] = (sources[1:] != sources[:-1]) | (targets[1:] != targets[:-1])
+        return sources[pair_change], targets[pair_change], weights[pair_change]
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges ``m`` (each undirected edge counted once)."""
+        return self._m
+
+    @property
+    def directed(self) -> bool:
+        """Whether the graph is directed."""
+        return self._directed
+
+    @property
+    def weighted(self) -> bool:
+        """Whether edges carry explicit weights."""
+        return self._weights is not None
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """CSR row-pointer array of length ``n + 1`` (out-neighbours)."""
+        return self._indptr
+
+    @property
+    def adjacency(self) -> np.ndarray:
+        """Flat out-neighbour array of length ``indptr[-1]``."""
+        return self._adj
+
+    @property
+    def weights(self) -> Optional[np.ndarray]:
+        """Flat weight array aligned with :attr:`adjacency`, or ``None``."""
+        return self._weights
+
+    @property
+    def rev_indptr(self) -> np.ndarray:
+        """CSR row-pointer array for in-neighbours (same as out for undirected)."""
+        return self._rev_indptr
+
+    @property
+    def rev_adjacency(self) -> np.ndarray:
+        """Flat in-neighbour array (same as :attr:`adjacency` for undirected)."""
+        return self._rev_adj
+
+    @property
+    def rev_weights(self) -> Optional[np.ndarray]:
+        """Flat weight array aligned with :attr:`rev_adjacency`, or ``None``."""
+        return self._rev_weights
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "directed" if self._directed else "undirected"
+        weighted = "weighted" if self.weighted else "unweighted"
+        return (
+            f"Graph(n={self._n}, m={self._m}, {kind}, {weighted})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Vertex / edge access
+    # ------------------------------------------------------------------ #
+
+    def _check_vertex(self, v: int) -> int:
+        v = int(v)
+        if v < 0 or v >= self._n:
+            raise VertexError(v, self._n)
+        return v
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Out-neighbours of ``v`` as a read-only numpy view, sorted by id."""
+        v = self._check_vertex(v)
+        return self._adj[self._indptr[v]: self._indptr[v + 1]]
+
+    def in_neighbors(self, v: int) -> np.ndarray:
+        """In-neighbours of ``v`` (identical to :meth:`neighbors` if undirected)."""
+        v = self._check_vertex(v)
+        return self._rev_adj[self._rev_indptr[v]: self._rev_indptr[v + 1]]
+
+    def neighbor_weights(self, v: int) -> np.ndarray:
+        """Weights parallel to :meth:`neighbors`; all ones for unweighted graphs."""
+        v = self._check_vertex(v)
+        if self._weights is None:
+            return np.ones(self.out_degree(v), dtype=np.float64)
+        return self._weights[self._indptr[v]: self._indptr[v + 1]]
+
+    def in_neighbor_weights(self, v: int) -> np.ndarray:
+        """Weights parallel to :meth:`in_neighbors`."""
+        v = self._check_vertex(v)
+        if self._rev_weights is None:
+            return np.ones(self.in_degree(v), dtype=np.float64)
+        return self._rev_weights[self._rev_indptr[v]: self._rev_indptr[v + 1]]
+
+    def degree(self, v: int) -> int:
+        """Degree of ``v``; for directed graphs this is the out-degree."""
+        return self.out_degree(v)
+
+    def out_degree(self, v: int) -> int:
+        """Number of out-neighbours of ``v``."""
+        v = self._check_vertex(v)
+        return int(self._indptr[v + 1] - self._indptr[v])
+
+    def in_degree(self, v: int) -> int:
+        """Number of in-neighbours of ``v``."""
+        v = self._check_vertex(v)
+        return int(self._rev_indptr[v + 1] - self._rev_indptr[v])
+
+    def degrees(self) -> np.ndarray:
+        """Out-degree of every vertex as an int64 array."""
+        return np.diff(self._indptr)
+
+    def in_degrees(self) -> np.ndarray:
+        """In-degree of every vertex as an int64 array."""
+        return np.diff(self._rev_indptr)
+
+    def total_degrees(self) -> np.ndarray:
+        """In-degree plus out-degree (equals ``2 * degree`` for undirected)."""
+        if not self._directed:
+            return self.degrees()
+        return self.degrees() + self.in_degrees()
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the edge ``u -> v`` exists (symmetric for undirected graphs)."""
+        u = self._check_vertex(u)
+        v = self._check_vertex(v)
+        row = self.neighbors(u)
+        pos = np.searchsorted(row, v)
+        return bool(pos < row.shape[0] and row[pos] == v)
+
+    def edge_weight(self, u: int, v: int) -> float:
+        """Weight of edge ``u -> v``; ``1.0`` for unweighted graphs.
+
+        Raises
+        ------
+        EdgeError
+            If the edge does not exist.
+        """
+        u = self._check_vertex(u)
+        v = self._check_vertex(v)
+        row = self.neighbors(u)
+        pos = np.searchsorted(row, v)
+        if pos >= row.shape[0] or row[pos] != v:
+            raise EdgeError(f"edge ({u}, {v}) does not exist")
+        if self._weights is None:
+            return 1.0
+        return float(self._weights[self._indptr[u] + pos])
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over edges.
+
+        For undirected graphs each edge is yielded once with ``u <= v``; for
+        directed graphs every arc ``(u, v)`` is yielded.
+        """
+        for u in range(self._n):
+            for v in self.neighbors(u):
+                v = int(v)
+                if self._directed or u <= v:
+                    yield (u, v)
+
+    def edge_array(self) -> np.ndarray:
+        """All edges as an ``(m, 2)`` array (one row per undirected edge)."""
+        result = np.empty((self._m, 2), dtype=np.int64)
+        i = 0
+        for u, v in self.edges():
+            result[i, 0] = u
+            result[i, 1] = v
+            i += 1
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Derived graphs
+    # ------------------------------------------------------------------ #
+
+    def to_undirected(self) -> "Graph":
+        """Return an undirected copy (no-op copy of an undirected graph)."""
+        edges = [(u, v) for u, v in self.edges()]
+        weights = (
+            [self.edge_weight(u, v) for u, v in edges] if self.weighted else None
+        )
+        return Graph(self._n, edges, directed=False, weights=weights)
+
+    def reverse(self) -> "Graph":
+        """Return the graph with every arc reversed (self for undirected)."""
+        if not self._directed:
+            return self
+        edges = [(v, u) for u, v in self.edges()]
+        weights = (
+            [self.edge_weight(u, v) for u, v in self.edges()]
+            if self.weighted
+            else None
+        )
+        return Graph(self._n, edges, directed=True, weights=weights)
+
+    def subgraph(self, vertices: Sequence[int]) -> Tuple["Graph", np.ndarray]:
+        """Induced subgraph on ``vertices``.
+
+        Returns
+        -------
+        (graph, mapping):
+            ``graph`` has vertices relabelled ``0 .. len(vertices) - 1`` in the
+            order given; ``mapping[i]`` is the original id of new vertex ``i``.
+        """
+        mapping = np.asarray(vertices, dtype=np.int64)
+        if mapping.size and (mapping.min() < 0 or mapping.max() >= self._n):
+            bad = int(mapping.min() if mapping.min() < 0 else mapping.max())
+            raise VertexError(bad, self._n)
+        if np.unique(mapping).shape[0] != mapping.shape[0]:
+            raise GraphError("subgraph vertex list contains duplicates")
+        inverse = np.full(self._n, -1, dtype=np.int64)
+        inverse[mapping] = np.arange(mapping.shape[0])
+
+        edges = []
+        weights = [] if self.weighted else None
+        for new_u, old_u in enumerate(mapping):
+            for idx, old_v in enumerate(self.neighbors(int(old_u))):
+                new_v = inverse[old_v]
+                if new_v < 0:
+                    continue
+                if not self._directed and new_u > new_v:
+                    continue
+                edges.append((new_u, int(new_v)))
+                if weights is not None:
+                    weights.append(
+                        float(self._weights[self._indptr[old_u] + idx])
+                    )
+        return (
+            Graph(
+                mapping.shape[0],
+                edges,
+                directed=self._directed,
+                weights=weights,
+            ),
+            mapping,
+        )
+
+    def relabel(self, new_ids: Sequence[int]) -> "Graph":
+        """Return a copy where old vertex ``v`` becomes ``new_ids[v]``.
+
+        ``new_ids`` must be a permutation of ``0 .. n - 1``.
+        """
+        perm = np.asarray(new_ids, dtype=np.int64)
+        if perm.shape[0] != self._n or np.any(np.sort(perm) != np.arange(self._n)):
+            raise GraphError("relabel requires a permutation of all vertex ids")
+        edges = []
+        weights = [] if self.weighted else None
+        for u, v in self.edges():
+            edges.append((int(perm[u]), int(perm[v])))
+            if weights is not None:
+                weights.append(self.edge_weight(u, v))
+        return Graph(self._n, edges, directed=self._directed, weights=weights)
+
+    # ------------------------------------------------------------------ #
+    # Structural equality
+    # ------------------------------------------------------------------ #
+
+    def structurally_equal(self, other: "Graph") -> bool:
+        """Whether two graphs have identical vertex count, edges, and weights."""
+        if not isinstance(other, Graph):
+            return False
+        if (
+            self._n != other._n
+            or self._directed != other._directed
+            or self.weighted != other.weighted
+        ):
+            return False
+        if not np.array_equal(self._indptr, other._indptr):
+            return False
+        if not np.array_equal(self._adj, other._adj):
+            return False
+        if self.weighted and not np.allclose(self._weights, other._weights):
+            return False
+        return True

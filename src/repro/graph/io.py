@@ -1,0 +1,178 @@
+"""Reading and writing graphs as edge lists.
+
+The paper's datasets (SNAP / LAW collections) ship as whitespace- or
+tab-separated edge lists with optional comment lines.  This module provides a
+tolerant reader for that format, a writer, and helpers for gzip-compressed
+files, so that users can plug their own networks into the library and the
+experiment harness.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import os
+from pathlib import Path
+from typing import Hashable, Optional, Tuple, Union
+
+from repro.errors import GraphError
+from repro.graph.builder import GraphBuilder, VertexLabeling
+from repro.graph.csr import Graph
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "read_graph",
+    "write_graph",
+]
+
+PathLike = Union[str, os.PathLike]
+
+_COMMENT_PREFIXES = ("#", "%", "//")
+
+
+def _open_text(path: PathLike, mode: str) -> io.TextIOBase:
+    """Open a possibly gzip-compressed text file."""
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")  # type: ignore[return-value]
+    return open(path, mode, encoding="utf-8")
+
+
+def _parse_vertex(token: str, as_int: bool) -> Hashable:
+    if not as_int:
+        return token
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def read_edge_list(
+    path: PathLike,
+    *,
+    directed: bool = False,
+    weighted: bool = False,
+    integer_ids: bool = True,
+) -> Tuple[Graph, VertexLabeling]:
+    """Read a graph from a whitespace-separated edge list.
+
+    Lines starting with ``#``, ``%`` or ``//`` are ignored, as are blank
+    lines.  Each remaining line must contain two vertex tokens and, when
+    ``weighted`` is true, a third numeric weight token.
+
+    Parameters
+    ----------
+    path:
+        File to read.  Files ending in ``.gz`` are transparently decompressed.
+    directed, weighted:
+        Interpretation of the edge list.
+    integer_ids:
+        If true (default) and every vertex token is a non-negative integer,
+        the numeric ids are used verbatim as vertex ids (the usual SNAP
+        convention), so writing and re-reading a graph round-trips exactly.
+        Otherwise dense ids are assigned in order of first appearance and the
+        returned labeling maps tokens to ids.
+
+    Returns
+    -------
+    (graph, labeling):
+        The CSR graph and the mapping from file tokens to dense vertex ids.
+    """
+    expected = 3 if weighted else 2
+    raw_edges = []
+    weights = [] if weighted else None
+    with _open_text(path, "r") as handle:
+        for line_number, raw_line in enumerate(handle, start=1):
+            line = raw_line.strip()
+            if not line or line.startswith(_COMMENT_PREFIXES):
+                continue
+            parts = line.split()
+            if len(parts) < expected:
+                raise GraphError(
+                    f"{path}:{line_number}: expected at least {expected} fields, "
+                    f"got {len(parts)}: {line!r}"
+                )
+            u = _parse_vertex(parts[0], integer_ids)
+            v = _parse_vertex(parts[1], integer_ids)
+            raw_edges.append((u, v))
+            if weighted:
+                try:
+                    weights.append(float(parts[2]))
+                except ValueError as exc:
+                    raise GraphError(
+                        f"{path}:{line_number}: bad weight {parts[2]!r}"
+                    ) from exc
+
+    numeric = integer_ids and all(
+        isinstance(u, int) and isinstance(v, int) and u >= 0 and v >= 0
+        for u, v in raw_edges
+    )
+    if numeric and raw_edges:
+        # Preserve the numeric ids verbatim (SNAP convention): the labeling is
+        # the identity over 0 .. max_id.
+        num_vertices = max(max(u, v) for u, v in raw_edges) + 1
+        labeling = VertexLabeling()
+        for vertex in range(num_vertices):
+            labeling.add(vertex)
+        graph = Graph(
+            num_vertices, raw_edges, directed=directed, weights=weights
+        )
+        return graph, labeling
+
+    builder = GraphBuilder(directed=directed, weighted=weighted)
+    if weighted:
+        builder.add_edges(raw_edges, weights)
+    else:
+        builder.add_edges(raw_edges)
+    return builder.build()
+
+
+def write_edge_list(
+    graph: Graph,
+    path: PathLike,
+    *,
+    labeling: Optional[VertexLabeling] = None,
+    header: Optional[str] = None,
+) -> None:
+    """Write a graph as an edge list (one ``u v [w]`` line per edge).
+
+    Parameters
+    ----------
+    graph:
+        The graph to serialise.
+    path:
+        Output file; ``.gz`` suffixes enable compression.
+    labeling:
+        Optional mapping used to emit the original external labels instead of
+        dense integer ids.
+    header:
+        Optional comment emitted as the first line (prefixed with ``#``).
+    """
+    with _open_text(path, "w") as handle:
+        if header:
+            handle.write(f"# {header}\n")
+        handle.write(
+            f"# vertices={graph.num_vertices} edges={graph.num_edges} "
+            f"directed={graph.directed} weighted={graph.weighted}\n"
+        )
+        for u, v in graph.edges():
+            if labeling is not None:
+                u_out, v_out = labeling.label_of(u), labeling.label_of(v)
+            else:
+                u_out, v_out = u, v
+            if graph.weighted:
+                handle.write(f"{u_out}\t{v_out}\t{graph.edge_weight(u, v):g}\n")
+            else:
+                handle.write(f"{u_out}\t{v_out}\n")
+
+
+def read_graph(path: PathLike, **kwargs) -> Graph:
+    """Convenience wrapper around :func:`read_edge_list` that drops the labeling."""
+    graph, _ = read_edge_list(path, **kwargs)
+    return graph
+
+
+def write_graph(graph: Graph, path: PathLike, **kwargs) -> None:
+    """Alias of :func:`write_edge_list` for symmetry with :func:`read_graph`."""
+    write_edge_list(graph, path, **kwargs)

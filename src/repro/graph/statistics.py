@@ -1,0 +1,222 @@
+"""Descriptive network statistics used throughout the paper's evaluation.
+
+Figure 2 of the paper plots, for every dataset, (a/b) the complementary
+cumulative degree distribution on log-log axes and (c/d) the distribution of
+distances over one million random vertex pairs.  This module computes both,
+plus a handful of summary statistics (average degree, effective diameter,
+average distance) used by the dataset registry and the reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.csr import Graph
+from repro.graph.traversal import UNREACHABLE, bfs_distances
+
+__all__ = [
+    "degree_histogram",
+    "degree_ccdf",
+    "sample_pair_distances",
+    "distance_distribution",
+    "GraphSummary",
+    "summarize_graph",
+]
+
+
+def degree_histogram(graph: Graph) -> np.ndarray:
+    """Histogram ``h`` with ``h[d]`` = number of vertices of degree ``d``."""
+    degrees = graph.total_degrees() if graph.directed else graph.degrees()
+    if degrees.size == 0:
+        return np.zeros(1, dtype=np.int64)
+    return np.bincount(degrees)
+
+
+def degree_ccdf(graph: Graph) -> Tuple[np.ndarray, np.ndarray]:
+    """Complementary cumulative degree distribution (Figure 2a/2b).
+
+    Returns
+    -------
+    (degrees, counts):
+        ``counts[i]`` is the number of vertices whose degree is at least
+        ``degrees[i]``.  Plotted on log-log axes this is the curve the paper
+        shows for each dataset.
+    """
+    histogram = degree_histogram(graph)
+    degrees = np.flatnonzero(histogram)
+    if degrees.size == 0:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    # Cumulative count of vertices with degree >= d, restricted to observed degrees.
+    suffix_sums = np.cumsum(histogram[::-1])[::-1]
+    return degrees.astype(np.int64), suffix_sums[degrees].astype(np.int64)
+
+
+def sample_pair_distances(
+    graph: Graph,
+    num_pairs: int,
+    *,
+    seed: int = 0,
+    connected_only: bool = False,
+    max_attempts_factor: int = 20,
+) -> np.ndarray:
+    """Distances between random vertex pairs (the workload behind Figure 2c/2d).
+
+    Parameters
+    ----------
+    graph:
+        Input graph.
+    num_pairs:
+        Number of pairs to sample.
+    seed:
+        Seed for reproducible sampling.
+    connected_only:
+        If true, resample until a finite-distance pair is found (up to
+        ``max_attempts_factor * num_pairs`` attempts overall).
+    max_attempts_factor:
+        Bound on resampling effort when ``connected_only`` is requested.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``float64`` distances; disconnected pairs are ``inf`` (only possible
+        when ``connected_only`` is false).
+
+    Notes
+    -----
+    To avoid ``num_pairs`` full BFSs the sampler groups pairs by source
+    vertex: it samples sources (with multiplicity), performs one BFS per
+    distinct source and reads off the distances of that source's targets.
+    """
+    n = graph.num_vertices
+    if n < 2:
+        raise GraphError("need at least two vertices to sample pairs")
+    if num_pairs <= 0:
+        raise GraphError("num_pairs must be positive")
+    rng = np.random.default_rng(seed)
+
+    results: List[float] = []
+    attempts = 0
+    max_attempts = max_attempts_factor * num_pairs
+    while len(results) < num_pairs and attempts < max_attempts:
+        remaining = num_pairs - len(results)
+        sources = rng.integers(0, n, size=remaining)
+        targets = rng.integers(0, n, size=remaining)
+        attempts += remaining
+        # One BFS per distinct source covers all its sampled targets.
+        order = np.argsort(sources, kind="stable")
+        sources, targets = sources[order], targets[order]
+        boundaries = np.flatnonzero(np.diff(sources)) + 1
+        for chunk_sources, chunk_targets in zip(
+            np.split(sources, boundaries), np.split(targets, boundaries)
+        ):
+            source = int(chunk_sources[0])
+            dist = bfs_distances(graph, source)
+            for target in chunk_targets:
+                target = int(target)
+                if target == source:
+                    if not connected_only:
+                        results.append(0.0)
+                    continue
+                d = dist[target]
+                if d == UNREACHABLE:
+                    if not connected_only:
+                        results.append(float("inf"))
+                else:
+                    results.append(float(d))
+    return np.asarray(results[:num_pairs], dtype=np.float64)
+
+
+def distance_distribution(
+    graph: Graph, num_pairs: int = 10_000, *, seed: int = 0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Fraction of sampled pairs at each distance (Figure 2c/2d).
+
+    Returns
+    -------
+    (distances, fractions):
+        ``fractions[i]`` is the share of *finite-distance* sampled pairs whose
+        distance equals ``distances[i]``.
+    """
+    samples = sample_pair_distances(graph, num_pairs, seed=seed)
+    finite = samples[np.isfinite(samples)].astype(np.int64)
+    if finite.size == 0:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.float64)
+    histogram = np.bincount(finite)
+    distances = np.flatnonzero(histogram)
+    fractions = histogram[distances] / finite.size
+    return distances.astype(np.int64), fractions
+
+
+@dataclass
+class GraphSummary:
+    """Summary statistics of one network, as reported in Table 4 and Figure 2."""
+
+    num_vertices: int
+    num_edges: int
+    directed: bool
+    weighted: bool
+    average_degree: float
+    max_degree: int
+    average_distance: float
+    effective_diameter: float
+    sampled_diameter: int
+    fraction_reachable: float
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary view, convenient for CSV reporting."""
+        base = {
+            "num_vertices": self.num_vertices,
+            "num_edges": self.num_edges,
+            "directed": int(self.directed),
+            "weighted": int(self.weighted),
+            "average_degree": self.average_degree,
+            "max_degree": self.max_degree,
+            "average_distance": self.average_distance,
+            "effective_diameter": self.effective_diameter,
+            "sampled_diameter": self.sampled_diameter,
+            "fraction_reachable": self.fraction_reachable,
+        }
+        base.update(self.extra)
+        return base
+
+
+def summarize_graph(
+    graph: Graph,
+    *,
+    num_pairs: int = 2_000,
+    seed: int = 0,
+    percentile_for_effective_diameter: float = 90.0,
+) -> GraphSummary:
+    """Compute the summary statistics reported for every dataset.
+
+    The effective diameter is the ``percentile_for_effective_diameter``-th
+    percentile of the sampled distance distribution, the conventional
+    small-world statistic (defaults to the 90th percentile).
+    """
+    degrees = graph.degrees()
+    samples = sample_pair_distances(graph, num_pairs, seed=seed)
+    finite = samples[np.isfinite(samples)]
+    average_distance = float(finite.mean()) if finite.size else float("inf")
+    effective_diameter = (
+        float(np.percentile(finite, percentile_for_effective_diameter))
+        if finite.size
+        else float("inf")
+    )
+    sampled_diameter = int(finite.max()) if finite.size else 0
+    return GraphSummary(
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        directed=graph.directed,
+        weighted=graph.weighted,
+        average_degree=float(degrees.mean()) if degrees.size else 0.0,
+        max_degree=int(degrees.max()) if degrees.size else 0,
+        average_distance=average_distance,
+        effective_diameter=effective_diameter,
+        sampled_diameter=sampled_diameter,
+        fraction_reachable=float(finite.size) / samples.size if samples.size else 0.0,
+    )

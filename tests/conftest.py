@@ -1,0 +1,107 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+import pytest
+
+from repro.baselines.apsp import APSPOracle
+from repro.generators import (
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    holme_kim_graph,
+    watts_strogatz_graph,
+)
+from repro.graph.csr import Graph
+
+
+@pytest.fixture
+def path_graph() -> Graph:
+    """A simple path 0 - 1 - 2 - 3 - 4."""
+    return Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+
+
+@pytest.fixture
+def star_graph() -> Graph:
+    """A star with centre 0 and leaves 1..5."""
+    return Graph(6, [(0, i) for i in range(1, 6)])
+
+
+@pytest.fixture
+def cycle_graph() -> Graph:
+    """A 6-cycle."""
+    return Graph(6, [(i, (i + 1) % 6) for i in range(6)])
+
+
+@pytest.fixture
+def disconnected_graph() -> Graph:
+    """Two components: a triangle {0,1,2} and an edge {3,4}; vertex 5 isolated."""
+    return Graph(6, [(0, 1), (1, 2), (0, 2), (3, 4)])
+
+
+@pytest.fixture
+def paper_example_graph() -> Graph:
+    """A 12-vertex graph shaped like the paper's Figure 1 example.
+
+    Not an exact copy of the figure (edge lists are not given in the text),
+    but the same flavour: two dense clusters joined through central vertices.
+    """
+    edges = [
+        (0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (1, 5), (2, 6), (3, 4),
+        (4, 5), (5, 6), (6, 7), (7, 8), (7, 9), (8, 9), (8, 10), (9, 11),
+        (10, 11), (0, 7),
+    ]
+    return Graph(12, edges)
+
+
+@pytest.fixture
+def small_social_graph() -> Graph:
+    """A 200-vertex scale-free graph used across integration tests."""
+    return barabasi_albert_graph(200, 3, seed=42)
+
+
+@pytest.fixture
+def medium_social_graph() -> Graph:
+    """A 400-vertex clustered scale-free graph."""
+    return holme_kim_graph(400, 3, triad_probability=0.3, seed=7)
+
+
+@pytest.fixture
+def small_weighted_graph() -> Graph:
+    """A small weighted grid (road-like) graph."""
+    return grid_graph(7, 7, weighted=True, diagonal_probability=0.2, seed=11)
+
+
+def random_test_graphs(count: int = 5, *, seed: int = 0) -> List[Graph]:
+    """A deterministic batch of structurally diverse small graphs."""
+    graphs = []
+    for i in range(count):
+        kind = i % 4
+        if kind == 0:
+            graphs.append(barabasi_albert_graph(120 + 20 * i, 2, seed=seed + i))
+        elif kind == 1:
+            graphs.append(erdos_renyi_graph(80 + 10 * i, 0.05, seed=seed + i))
+        elif kind == 2:
+            graphs.append(watts_strogatz_graph(100 + 10 * i, 4, 0.2, seed=seed + i))
+        else:
+            graphs.append(holme_kim_graph(110 + 10 * i, 3, seed=seed + i))
+    return graphs
+
+
+def exact_distances(graph: Graph) -> np.ndarray:
+    """Full distance matrix computed by the APSP oracle (test ground truth)."""
+    return APSPOracle().build(graph).matrix
+
+
+def sample_pairs(
+    graph: Graph, count: int, *, seed: int = 0
+) -> List[Tuple[int, int]]:
+    """Deterministic random vertex pairs for correctness spot checks."""
+    rng = np.random.default_rng(seed)
+    n = graph.num_vertices
+    return [
+        (int(rng.integers(0, n)), int(rng.integers(0, n))) for _ in range(count)
+    ]

@@ -1,0 +1,222 @@
+"""Tests for the baseline distance-query methods."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    APSPOracle,
+    BidirectionalBFSOracle,
+    HierarchicalHubLabeling,
+    LandmarkOracle,
+    OnlineBFSOracle,
+    OnlineDijkstraOracle,
+    TreeDecompositionOracle,
+)
+from repro.errors import IndexBuildError, IndexStateError
+from repro.generators import barabasi_albert_graph, grid_graph, watts_strogatz_graph
+from repro.graph.csr import Graph
+from repro.graph.traversal import dijkstra_distances
+from tests.conftest import exact_distances, random_test_graphs, sample_pairs
+
+
+class TestAPSPOracle:
+    def test_matches_bfs(self, small_social_graph):
+        oracle = APSPOracle().build(small_social_graph)
+        truth = exact_distances(small_social_graph)
+        assert np.array_equal(oracle.matrix, truth)
+        assert oracle.distance(0, 5) == truth[0, 5]
+
+    def test_weighted_mode(self, small_weighted_graph):
+        oracle = APSPOracle(weighted=True).build(small_weighted_graph)
+        truth = dijkstra_distances(small_weighted_graph, 3)
+        assert np.allclose(oracle.matrix[3], truth)
+
+    def test_unbuilt_raises(self):
+        with pytest.raises(IndexStateError):
+            APSPOracle().distance(0, 1)
+
+    def test_index_size(self, small_social_graph):
+        oracle = APSPOracle().build(small_social_graph)
+        assert oracle.index_size_bytes() == oracle.matrix.nbytes
+        assert oracle.build_seconds > 0
+
+
+class TestOnlineOracles:
+    def test_bfs_oracle_exact(self, medium_social_graph):
+        oracle = OnlineBFSOracle().build(medium_social_graph)
+        truth = exact_distances(medium_social_graph)
+        for s, t in sample_pairs(medium_social_graph, 40, seed=0):
+            assert oracle.distance(s, t) == truth[s, t]
+
+    def test_bidirectional_oracle_exact(self, medium_social_graph):
+        oracle = BidirectionalBFSOracle().build(medium_social_graph)
+        truth = exact_distances(medium_social_graph)
+        for s, t in sample_pairs(medium_social_graph, 40, seed=1):
+            assert oracle.distance(s, t) == truth[s, t]
+
+    def test_dijkstra_oracle_exact(self, small_weighted_graph):
+        oracle = OnlineDijkstraOracle().build(small_weighted_graph)
+        for s, t in sample_pairs(small_weighted_graph, 30, seed=2):
+            assert np.isclose(
+                oracle.distance(s, t), dijkstra_distances(small_weighted_graph, s)[t]
+            )
+
+    def test_no_index_cost(self, small_social_graph):
+        oracle = OnlineBFSOracle().build(small_social_graph)
+        assert oracle.index_size_bytes() == 0
+        assert oracle.build_seconds == 0.0
+
+    def test_unbuilt_raises(self):
+        with pytest.raises(IndexStateError):
+            OnlineBFSOracle().distance(0, 1)
+
+    def test_batch(self, small_social_graph):
+        oracle = BidirectionalBFSOracle().build(small_social_graph)
+        pairs = sample_pairs(small_social_graph, 10, seed=3)
+        assert oracle.distances(pairs).shape[0] == 10
+
+
+class TestLandmarkOracle:
+    def test_estimate_is_upper_bound(self, medium_social_graph):
+        oracle = LandmarkOracle(8, strategy="degree").build(medium_social_graph)
+        truth = exact_distances(medium_social_graph)
+        for s, t in sample_pairs(medium_social_graph, 100, seed=4):
+            estimate = oracle.estimate(s, t)
+            lower = oracle.lower_bound(s, t)
+            if np.isfinite(truth[s, t]):
+                assert estimate >= truth[s, t]
+                assert lower <= truth[s, t]
+
+    def test_degree_landmarks_beat_random(self, medium_social_graph):
+        """Central landmarks give better exact fractions (paper Section 2.2 / 7.3.4)."""
+        truth = exact_distances(medium_social_graph)
+        pairs = sample_pairs(medium_social_graph, 300, seed=5)
+        true_list = [truth[s, t] for s, t in pairs]
+        degree = LandmarkOracle(16, strategy="degree").build(medium_social_graph)
+        random = LandmarkOracle(16, strategy="random", seed=3).build(medium_social_graph)
+        assert degree.exact_fraction(pairs, true_list) >= random.exact_fraction(
+            pairs, true_list
+        )
+
+    def test_self_distance(self, small_social_graph):
+        oracle = LandmarkOracle(4).build(small_social_graph)
+        assert oracle.estimate(3, 3) == 0.0
+
+    def test_exact_fraction_validation(self, small_social_graph):
+        oracle = LandmarkOracle(4).build(small_social_graph)
+        with pytest.raises(IndexBuildError):
+            oracle.exact_fraction([(0, 1)], [1.0, 2.0])
+
+    def test_mean_relative_error_nonnegative(self, medium_social_graph):
+        oracle = LandmarkOracle(8).build(medium_social_graph)
+        truth = exact_distances(medium_social_graph)
+        pairs = sample_pairs(medium_social_graph, 100, seed=6)
+        error = oracle.mean_relative_error(pairs, [truth[s, t] for s, t in pairs])
+        assert error >= 0.0
+
+    def test_invalid_landmark_count(self):
+        with pytest.raises(IndexBuildError):
+            LandmarkOracle(0)
+
+    def test_landmarks_exposed(self, small_social_graph):
+        oracle = LandmarkOracle(4).build(small_social_graph)
+        assert oracle.landmarks.shape[0] == 4
+        assert oracle.index_size_bytes() > 0
+
+
+class TestHierarchicalHubLabeling:
+    def test_exactness(self):
+        for graph in random_test_graphs(3, seed=31):
+            oracle = HierarchicalHubLabeling(num_sample_pairs=300).build(graph)
+            truth = exact_distances(graph)
+            for s, t in sample_pairs(graph, 80, seed=32):
+                assert oracle.distance(s, t) == truth[s, t]
+
+    def test_dnf_above_cap(self):
+        graph = barabasi_albert_graph(120, 2, seed=0)
+        with pytest.raises(IndexBuildError):
+            HierarchicalHubLabeling(max_vertices=100).build(graph)
+
+    def test_rejects_directed(self):
+        graph = Graph(3, [(0, 1)], directed=True)
+        with pytest.raises(IndexBuildError):
+            HierarchicalHubLabeling().build(graph)
+
+    def test_slower_than_pll(self, medium_social_graph):
+        """The HHL baseline pays for its global preprocessing (Θ(nm) BFS phase)."""
+        import time
+
+        from repro.core.index import PrunedLandmarkLabeling
+
+        start = time.perf_counter()
+        PrunedLandmarkLabeling().build(medium_social_graph)
+        pll_seconds = time.perf_counter() - start
+
+        oracle = HierarchicalHubLabeling().build(medium_social_graph)
+        assert oracle.build_seconds > pll_seconds
+
+    def test_introspection(self, small_social_graph):
+        oracle = HierarchicalHubLabeling().build(small_social_graph)
+        assert oracle.average_label_size() >= 1.0
+        assert oracle.index_size_bytes() > 0
+        assert oracle.hierarchy.shape[0] == small_social_graph.num_vertices
+        assert oracle.distances([(0, 1)]).shape[0] == 1
+
+
+class TestTreeDecompositionOracle:
+    def test_exactness_on_random_graphs(self):
+        for graph in random_test_graphs(4, seed=41):
+            oracle = TreeDecompositionOracle(max_width=6).build(graph)
+            truth = exact_distances(graph)
+            for s, t in sample_pairs(graph, 80, seed=42):
+                assert oracle.distance(s, t) == truth[s, t]
+
+    def test_exactness_on_fringe_heavy_graph(self):
+        """Small-world ring graphs eliminate almost entirely into the fringe."""
+        graph = watts_strogatz_graph(150, 4, 0.1, seed=2)
+        oracle = TreeDecompositionOracle(max_width=6).build(graph)
+        truth = exact_distances(graph)
+        for s, t in sample_pairs(graph, 120, seed=43):
+            assert oracle.distance(s, t) == truth[s, t]
+
+    def test_exactness_on_weighted_graph(self):
+        graph = grid_graph(6, 6, weighted=True, seed=3)
+        oracle = TreeDecompositionOracle(max_width=5).build(graph)
+        for s, t in sample_pairs(graph, 60, seed=44):
+            truth = dijkstra_distances(graph, s)[t]
+            got = oracle.distance(s, t)
+            assert np.isclose(got, truth) or (np.isinf(got) and np.isinf(truth))
+
+    def test_core_plus_eliminated_covers_graph(self, medium_social_graph):
+        oracle = TreeDecompositionOracle().build(medium_social_graph)
+        assert (
+            oracle.core_size + oracle.num_eliminated
+            == medium_social_graph.num_vertices
+        )
+
+    def test_dnf_above_core_cap(self, medium_social_graph):
+        with pytest.raises(IndexBuildError):
+            TreeDecompositionOracle(max_width=1, max_core_vertices=10).build(
+                medium_social_graph
+            )
+
+    def test_rejects_directed(self):
+        graph = Graph(3, [(0, 1)], directed=True)
+        with pytest.raises(IndexBuildError):
+            TreeDecompositionOracle().build(graph)
+
+    def test_invalid_width(self):
+        with pytest.raises(IndexBuildError):
+            TreeDecompositionOracle(max_width=0)
+
+    def test_self_and_disconnected(self, disconnected_graph):
+        oracle = TreeDecompositionOracle().build(disconnected_graph)
+        assert oracle.distance(2, 2) == 0.0
+        assert oracle.distance(0, 4) == float("inf")
+
+    def test_index_size_positive(self, small_social_graph):
+        oracle = TreeDecompositionOracle().build(small_social_graph)
+        assert oracle.index_size_bytes() > 0
+        assert oracle.build_seconds > 0

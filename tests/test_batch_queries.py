@@ -1,0 +1,108 @@
+"""Tests for the vectorised one-to-many queries and top-k ranking helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.index import PrunedLandmarkLabeling
+from repro.graph.csr import Graph
+from repro.graph.traversal import UNREACHABLE, bfs_distances
+from tests.conftest import random_test_graphs
+
+
+def bfs_reference(graph, source):
+    truth = bfs_distances(graph, source).astype(np.float64)
+    truth[truth == UNREACHABLE] = np.inf
+    return truth
+
+
+class TestDistancesFrom:
+    @pytest.mark.parametrize("num_bp", [0, 4])
+    def test_all_targets_match_bfs(self, medium_social_graph, num_bp):
+        index = PrunedLandmarkLabeling(num_bit_parallel_roots=num_bp).build(
+            medium_social_graph
+        )
+        for source in (0, 17, 200):
+            expected = bfs_reference(medium_social_graph, source)
+            got = index.distances_from(source)
+            assert np.array_equal(got, expected)
+
+    def test_subset_of_targets(self, medium_social_graph):
+        index = PrunedLandmarkLabeling(num_bit_parallel_roots=2).build(
+            medium_social_graph
+        )
+        rng = np.random.default_rng(0)
+        targets = rng.integers(0, medium_social_graph.num_vertices, size=50)
+        source = 3
+        expected = bfs_reference(medium_social_graph, source)[targets]
+        got = index.distances_from(source, targets)
+        assert np.array_equal(got, expected)
+
+    def test_source_included_in_targets(self, small_social_graph):
+        index = PrunedLandmarkLabeling().build(small_social_graph)
+        got = index.distances_from(5, [5, 6, 7])
+        assert got[0] == 0.0
+
+    def test_disconnected_targets_are_inf(self, disconnected_graph):
+        index = PrunedLandmarkLabeling().build(disconnected_graph)
+        got = index.distances_from(0)
+        assert np.isinf(got[3]) and np.isinf(got[5])
+        assert got[0] == 0.0 and got[1] == 1.0
+
+    def test_matches_scalar_queries_on_random_graphs(self):
+        for graph in random_test_graphs(3, seed=51):
+            index = PrunedLandmarkLabeling(num_bit_parallel_roots=3).build(graph)
+            source = graph.num_vertices // 2
+            batch = index.distances_from(source)
+            for target in range(0, graph.num_vertices, 7):
+                assert batch[target] == index.distance(source, target)
+
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=500), num_bp=st.integers(0, 3))
+    def test_property_random_graphs(self, seed, num_bp):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(3, 35))
+        edges = [
+            (int(rng.integers(0, n)), int(rng.integers(0, n)))
+            for _ in range(int(rng.integers(0, 3 * n)))
+        ]
+        graph = Graph(n, edges)
+        index = PrunedLandmarkLabeling(num_bit_parallel_roots=num_bp).build(graph)
+        source = int(rng.integers(0, n))
+        assert np.array_equal(index.distances_from(source), bfs_reference(graph, source))
+
+
+class TestTopKClosest:
+    def test_ranking_matches_distances(self, medium_social_graph):
+        index = PrunedLandmarkLabeling(num_bit_parallel_roots=4).build(
+            medium_social_graph
+        )
+        rng = np.random.default_rng(1)
+        candidates = [int(v) for v in rng.integers(0, medium_social_graph.num_vertices, 60)]
+        top = index.top_k_closest(9, candidates, 10)
+        assert len(top) == 10
+        distances = [d for _, d in top]
+        assert distances == sorted(distances)
+        # Every returned distance is no larger than any excluded candidate's.
+        excluded = set(candidates) - {v for v, _ in top}
+        worst_included = max(distances)
+        for vertex in excluded:
+            assert index.distance(9, vertex) >= worst_included
+
+    def test_k_larger_than_candidates(self, small_social_graph):
+        index = PrunedLandmarkLabeling().build(small_social_graph)
+        top = index.top_k_closest(0, [1, 2, 3], 10)
+        assert len(top) == 3
+
+    def test_k_zero(self, small_social_graph):
+        index = PrunedLandmarkLabeling().build(small_social_graph)
+        assert index.top_k_closest(0, [1, 2, 3], 0) == []
+
+    def test_unreachable_candidates_sort_last(self, disconnected_graph):
+        index = PrunedLandmarkLabeling().build(disconnected_graph)
+        top = index.top_k_closest(0, [1, 2, 3, 4], 4)
+        assert top[0][0] in (1, 2)
+        assert np.isinf(top[-1][1])

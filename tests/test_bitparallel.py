@@ -1,0 +1,175 @@
+"""Unit and property tests for bit-parallel BFS labels (paper Section 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bitparallel import (
+    BP_INF,
+    WORD_BITS,
+    BitParallelLabels,
+    bit_parallel_bfs,
+    build_bit_parallel_labels,
+    query_upper_bounds_for_root,
+    select_bit_parallel_roots,
+)
+from repro.errors import IndexBuildError
+from repro.graph.csr import Graph
+from repro.graph.ordering import degree_order
+from repro.graph.traversal import UNREACHABLE, bfs_distances
+from tests.conftest import random_test_graphs
+
+
+class TestBitParallelBFS:
+    def test_distances_match_plain_bfs(self, medium_social_graph):
+        graph = medium_social_graph
+        root = int(np.argmax(graph.degrees()))
+        sub_roots = [int(v) for v in graph.neighbors(root)[:8]]
+        dist, _, _ = bit_parallel_bfs(graph, root, sub_roots)
+        expected = bfs_distances(graph, root)
+        expected_inf = expected == UNREACHABLE
+        assert np.array_equal(dist == BP_INF, expected_inf)
+        assert np.array_equal(dist[~expected_inf], expected[~expected_inf].astype(np.uint16))
+
+    def test_mask_semantics(self, medium_social_graph):
+        """S^{-1} / S^0 masks encode d(u, v) - d(r, v) exactly (paper Section 5.1)."""
+        graph = medium_social_graph
+        root = int(np.argmax(graph.degrees()))
+        sub_roots = [int(v) for v in graph.neighbors(root)[:10]]
+        dist_root, s_minus, s_zero = bit_parallel_bfs(graph, root, sub_roots)
+        sub_dists = [bfs_distances(graph, v) for v in sub_roots]
+
+        rng = np.random.default_rng(0)
+        for v in rng.integers(0, graph.num_vertices, size=80):
+            v = int(v)
+            if dist_root[v] == BP_INF:
+                continue
+            for bit, sub in enumerate(sub_roots):
+                diff = int(sub_dists[bit][v]) - int(dist_root[v])
+                in_minus = bool(s_minus[v] & np.uint64(1 << bit))
+                in_zero = bool(s_zero[v] & np.uint64(1 << bit))
+                assert in_minus == (diff == -1)
+                assert in_zero == (diff == 0)
+
+    def test_rejects_non_neighbors(self, path_graph):
+        with pytest.raises(IndexBuildError):
+            bit_parallel_bfs(path_graph, 0, [3])
+
+    def test_rejects_duplicates(self, star_graph):
+        with pytest.raises(IndexBuildError):
+            bit_parallel_bfs(star_graph, 0, [1, 1])
+
+    def test_rejects_too_many_sub_roots(self, star_graph):
+        too_many = list(range(1, WORD_BITS + 2))
+        with pytest.raises(IndexBuildError):
+            bit_parallel_bfs(star_graph, 0, too_many)
+
+    def test_empty_sub_roots_is_plain_bfs(self, cycle_graph):
+        dist, s_minus, s_zero = bit_parallel_bfs(cycle_graph, 0, [])
+        assert np.array_equal(dist, bfs_distances(cycle_graph, 0).astype(np.uint16))
+        assert not s_minus.any()
+        assert not s_zero.any()
+
+
+class TestRootSelection:
+    def test_greedy_selection_respects_order(self, medium_social_graph):
+        order = degree_order(medium_social_graph)
+        selections = select_bit_parallel_roots(medium_social_graph, order, 4)
+        assert len(selections) == 4
+        # The first root is the highest-degree vertex.
+        assert selections[0][0] == order[0]
+        # Roots and set members never repeat.
+        used = []
+        for root, members in selections:
+            used.append(root)
+            used.extend(members)
+        assert len(used) == len(set(used))
+
+    def test_runs_out_of_vertices(self, path_graph):
+        order = degree_order(path_graph)
+        selections = select_bit_parallel_roots(path_graph, order, 100)
+        assert len(selections) < 100
+
+    def test_max_bits_cap(self, star_graph):
+        order = degree_order(star_graph)
+        selections = select_bit_parallel_roots(star_graph, order, 1, max_bits=2)
+        assert len(selections[0][1]) == 2
+
+    def test_max_bits_over_word_rejected(self, star_graph):
+        order = degree_order(star_graph)
+        with pytest.raises(IndexBuildError):
+            select_bit_parallel_roots(star_graph, order, 1, max_bits=WORD_BITS + 1)
+
+
+class TestBitParallelQuery:
+    def build(self, graph, num_roots=4):
+        order = degree_order(graph)
+        return build_bit_parallel_labels(graph, order, num_roots)
+
+    def test_query_is_exact_through_covered_hubs(self):
+        """BP query equals the true distance whenever a shortest path passes
+        through one of the covered hubs, and is never an underestimate."""
+        for graph in random_test_graphs(3, seed=5):
+            bp = self.build(graph, num_roots=3)
+            covered = set(int(v) for v in bp.covered_vertices())
+            rng = np.random.default_rng(1)
+            for s in rng.integers(0, graph.num_vertices, size=15):
+                s = int(s)
+                true = bfs_distances(graph, s)
+                for t in rng.integers(0, graph.num_vertices, size=10):
+                    t = int(t)
+                    expected = (
+                        float("inf") if true[t] == UNREACHABLE else float(true[t])
+                    )
+                    got = bp.query(s, t)
+                    assert got >= expected or np.isclose(got, expected)
+                    # Exactness through covered hubs.
+                    hub_best = float("inf")
+                    dist_t = None
+                    for hub in covered:
+                        d_sh = true[hub]
+                        if d_sh == UNREACHABLE:
+                            continue
+                        if dist_t is None:
+                            dist_t = bfs_distances(graph, t)
+                        d_ht = dist_t[hub]
+                        if d_ht == UNREACHABLE:
+                            continue
+                        hub_best = min(hub_best, float(d_sh) + float(d_ht))
+                    if np.isfinite(hub_best):
+                        assert got == hub_best
+
+    def test_empty_labels_query_inf(self):
+        empty = BitParallelLabels.make_empty(5)
+        assert empty.empty()
+        assert empty.query(0, 1) == float("inf")
+
+    def test_covered_vertices(self, medium_social_graph):
+        bp = self.build(medium_social_graph, num_roots=2)
+        covered = bp.covered_vertices()
+        assert bp.roots[0] in covered
+        assert covered.shape[0] >= bp.num_roots
+
+    def test_nbytes(self, medium_social_graph):
+        bp = self.build(medium_social_graph, num_roots=2)
+        assert bp.nbytes() > 0
+
+    def test_frontier_bounds_match_scalar_query(self, medium_social_graph):
+        bp = self.build(medium_social_graph, num_roots=4)
+        rng = np.random.default_rng(2)
+        root = int(rng.integers(0, medium_social_graph.num_vertices))
+        vertices = rng.integers(0, medium_social_graph.num_vertices, size=30)
+        bounds = query_upper_bounds_for_root(bp, root, vertices)
+        for bound, vertex in zip(bounds, vertices):
+            expected = bp.query(root, int(vertex))
+            if np.isinf(expected):
+                assert bound >= BP_INF
+            else:
+                assert float(bound) == expected
+
+    def test_build_zero_roots(self, medium_social_graph):
+        bp = build_bit_parallel_labels(
+            medium_social_graph, degree_order(medium_social_graph), 0
+        )
+        assert bp.empty()

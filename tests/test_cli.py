@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph.io import write_edge_list
+
+
+class TestParser:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table99"])
+
+
+class TestBuildAndQuery:
+    def test_build_then_query(self, tmp_path, small_social_graph, capsys):
+        edge_path = tmp_path / "graph.txt"
+        write_edge_list(small_social_graph, edge_path)
+        index_path = tmp_path / "index.npz"
+
+        assert main(
+            ["build", str(edge_path), "-o", str(index_path), "--bit-parallel", "2"]
+        ) == 0
+        assert index_path.exists()
+        out = capsys.readouterr().out
+        assert "indexed" in out
+
+        assert main(["query", str(index_path), "0,5", "3,7"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        source, target, distance = lines[0].split("\t")
+        assert (source, target) == ("0", "5")
+        assert distance not in ("", "inf")
+
+    def test_query_bad_pair_format(self, tmp_path, small_social_graph):
+        edge_path = tmp_path / "graph.txt"
+        write_edge_list(small_social_graph, edge_path)
+        index_path = tmp_path / "index.npz"
+        main(["build", str(edge_path), "-o", str(index_path)])
+        with pytest.raises(ValueError):
+            main(["query", str(index_path), "0-5-7"])
+
+
+class TestDatasetsCommand:
+    def test_lists_builtin_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "gnutella" in out and "hollywood" in out
+
+    def test_size_class_filter(self, capsys):
+        assert main(["datasets", "--size-class", "large"]) == 0
+        out = capsys.readouterr().out
+        assert "hollywood" in out
+        assert "gnutella" not in out
+
+
+class TestExperimentCommand:
+    def test_table4_with_csv(self, tmp_path, capsys):
+        csv_path = tmp_path / "table4.csv"
+        code = main(
+            [
+                "experiment",
+                "table4",
+                "--datasets",
+                "gnutella",
+                "--csv",
+                str(csv_path),
+            ]
+        )
+        assert code == 0
+        assert csv_path.exists()
+        out = capsys.readouterr().out
+        assert "Table 4" in out
+
+    def test_table5_command(self, capsys):
+        code = main(["experiment", "table5", "--datasets", "notredame"])
+        assert code == 0
+        assert "Table 5" in capsys.readouterr().out
+
+    def test_ablation_pruning_command(self, capsys):
+        code = main(["experiment", "ablation-pruning", "--datasets", "notredame"])
+        assert code == 0
+        assert "pruning" in capsys.readouterr().out

@@ -1,0 +1,99 @@
+"""Tests for the dataset registry and custom dataset loaders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    DATASETS,
+    LARGE_DATASETS,
+    SMALL_DATASETS,
+    get_dataset,
+    list_datasets,
+    load_dataset,
+    load_edge_list_dataset,
+    register_custom_dataset,
+)
+from repro.errors import DatasetError
+from repro.graph.components import is_connected
+from repro.graph.io import write_edge_list
+
+
+class TestRegistry:
+    def test_eleven_builtin_datasets(self):
+        builtin = [name for name in DATASETS if DATASETS[name].paper_vertices > 0]
+        assert len(builtin) == 11
+
+    def test_small_and_large_partition(self):
+        assert len(SMALL_DATASETS) == 5
+        assert len(LARGE_DATASETS) == 6
+        assert set(SMALL_DATASETS).isdisjoint(LARGE_DATASETS)
+
+    def test_list_filtering(self):
+        assert set(list_datasets("small")) >= set(SMALL_DATASETS)
+        assert set(list_datasets()) >= set(SMALL_DATASETS) | set(LARGE_DATASETS)
+        with pytest.raises(DatasetError):
+            list_datasets("medium")
+
+    def test_get_dataset_case_insensitive(self):
+        assert get_dataset("GNUTELLA").name == "gnutella"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            get_dataset("facebook")
+
+    def test_spec_metadata(self):
+        spec = get_dataset("hollywood")
+        assert spec.network_type == "Social"
+        assert spec.size_class == "large"
+        assert spec.default_bit_parallel == 64
+        assert spec.paper_edges == 114_000_000
+
+    @pytest.mark.parametrize("name", ["gnutella", "epinions", "notredame"])
+    def test_load_small_datasets(self, name):
+        graph = load_dataset(name)
+        assert graph.num_vertices > 500
+        assert graph.num_edges > graph.num_vertices / 2
+        assert is_connected(graph)
+        assert not graph.directed
+
+    def test_load_is_cached_and_deterministic(self):
+        a = load_dataset("gnutella")
+        b = load_dataset("gnutella")
+        assert a is b  # lru_cache returns the same object
+        fresh = get_dataset("gnutella").load()
+        assert fresh.structurally_equal(a)
+
+    def test_power_law_degree_shape(self):
+        graph = load_dataset("epinions")
+        degrees = graph.degrees()
+        assert degrees.max() > 8 * degrees.mean()
+
+
+class TestCustomDatasets:
+    def test_load_edge_list_dataset(self, tmp_path, small_social_graph):
+        path = tmp_path / "custom.txt"
+        write_edge_list(small_social_graph, path)
+        graph = load_edge_list_dataset(path)
+        assert graph.num_vertices == small_social_graph.num_vertices
+
+    def test_register_custom_dataset(self, tmp_path, small_social_graph):
+        path = tmp_path / "mini.txt"
+        write_edge_list(small_social_graph, path)
+        spec = register_custom_dataset("test-mini", path, network_type="Social")
+        try:
+            assert spec.name == "test-mini"
+            assert "test-mini" in list_datasets()
+            loaded = load_dataset("test-mini")
+            assert loaded.num_vertices == small_social_graph.num_vertices
+        finally:
+            DATASETS.pop("test-mini", None)
+            load_dataset.cache_clear()
+
+    def test_register_duplicate_rejected(self, tmp_path):
+        with pytest.raises(DatasetError):
+            register_custom_dataset("gnutella", tmp_path / "x.txt")
+
+    def test_register_bad_size_class(self, tmp_path):
+        with pytest.raises(DatasetError):
+            register_custom_dataset("newone", tmp_path / "x.txt", size_class="huge")

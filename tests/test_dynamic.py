@@ -1,0 +1,115 @@
+"""Tests for the incremental (insert-only) dynamic index extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.apsp import APSPOracle
+from repro.core.dynamic import DynamicPrunedLandmarkLabeling
+from repro.errors import IndexBuildError, IndexStateError
+from repro.generators import barabasi_albert_graph, split_edge_stream
+from repro.graph.csr import Graph
+from tests.conftest import sample_pairs
+
+
+class TestDynamicBasics:
+    def test_unbuilt_raises(self):
+        with pytest.raises(IndexStateError):
+            DynamicPrunedLandmarkLabeling().distance(0, 1)
+
+    def test_rejects_directed(self):
+        graph = Graph(3, [(0, 1)], directed=True)
+        with pytest.raises(IndexBuildError):
+            DynamicPrunedLandmarkLabeling().build(graph)
+
+    def test_initial_build_matches_static(self, small_social_graph):
+        oracle = DynamicPrunedLandmarkLabeling().build(small_social_graph)
+        truth = APSPOracle().build(small_social_graph)
+        for s, t in sample_pairs(small_social_graph, 150, seed=0):
+            assert oracle.distance(s, t) == truth.distance(s, t)
+
+    def test_insert_connects_components(self):
+        graph = Graph(4, [(0, 1), (2, 3)])
+        oracle = DynamicPrunedLandmarkLabeling().build(graph)
+        assert oracle.distance(0, 3) == float("inf")
+        oracle.insert_edge(1, 2)
+        assert oracle.distance(0, 3) == 3.0
+        assert oracle.distance(0, 2) == 2.0
+
+    def test_insert_shortcut_reduces_distance(self, path_graph):
+        oracle = DynamicPrunedLandmarkLabeling().build(path_graph)
+        assert oracle.distance(0, 4) == 4.0
+        oracle.insert_edge(0, 4)
+        assert oracle.distance(0, 4) == 1.0
+        assert oracle.distance(1, 4) == 2.0
+
+    def test_duplicate_and_self_loop_inserts_are_noops(self, path_graph):
+        oracle = DynamicPrunedLandmarkLabeling().build(path_graph)
+        before = oracle.average_label_size()
+        oracle.insert_edge(0, 1)   # already present
+        oracle.insert_edge(2, 2)   # self loop
+        assert oracle.average_label_size() == before
+        assert oracle.distance(0, 4) == 4.0
+
+    def test_out_of_range_insert_rejected(self, path_graph):
+        oracle = DynamicPrunedLandmarkLabeling().build(path_graph)
+        with pytest.raises(IndexBuildError):
+            oracle.insert_edge(0, 99)
+
+    def test_label_of(self, path_graph):
+        oracle = DynamicPrunedLandmarkLabeling().build(path_graph)
+        entries = oracle.label_of(0)
+        assert (0, 0) in entries
+
+
+class TestDynamicConvergence:
+    def test_stream_converges_to_full_graph(self):
+        full = barabasi_albert_graph(150, 2, seed=13)
+        initial, stream = split_edge_stream(full, 0.6, seed=13)
+        oracle = DynamicPrunedLandmarkLabeling().build(initial)
+        oracle.insert_edges(stream)
+        truth = APSPOracle().build(full)
+        for s, t in sample_pairs(full, 250, seed=14):
+            assert oracle.distance(s, t) == truth.distance(s, t)
+
+    def test_incremental_queries_along_the_way(self):
+        full = barabasi_albert_graph(80, 2, seed=21)
+        initial, stream = split_edge_stream(full, 0.5, seed=21)
+        oracle = DynamicPrunedLandmarkLabeling().build(initial)
+
+        current_edges = list(initial.edges())
+        rng = np.random.default_rng(5)
+        for edge in stream:
+            oracle.insert_edge(*edge)
+            current_edges.append(edge)
+            current = Graph(full.num_vertices, current_edges)
+            truth = APSPOracle().build(current)
+            for _ in range(5):
+                s = int(rng.integers(0, full.num_vertices))
+                t = int(rng.integers(0, full.num_vertices))
+                assert oracle.distance(s, t) == truth.distance(s, t)
+
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=500), n=st.integers(min_value=4, max_value=25))
+    def test_random_insertion_streams(self, seed, n):
+        rng = np.random.default_rng(seed)
+        num_edges = int(rng.integers(n, 3 * n))
+        edges = [
+            (int(rng.integers(0, n)), int(rng.integers(0, n))) for _ in range(num_edges)
+        ]
+        full = Graph(n, edges)
+        all_edges = list(full.edges())
+        if len(all_edges) < 2:
+            return
+        rng.shuffle(all_edges)
+        cut = max(1, len(all_edges) // 2)
+        initial = Graph(n, all_edges[:cut])
+        oracle = DynamicPrunedLandmarkLabeling().build(initial)
+        oracle.insert_edges(all_edges[cut:])
+        truth = APSPOracle().build(full)
+        for s in range(n):
+            for t in range(n):
+                assert oracle.distance(s, t) == truth.distance(s, t)

@@ -1,0 +1,51 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    DatasetError,
+    EdgeError,
+    ExperimentError,
+    GraphError,
+    IndexBuildError,
+    IndexStateError,
+    ReproError,
+    SerializationError,
+    VertexError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exception_type",
+        [
+            GraphError,
+            EdgeError,
+            IndexBuildError,
+            IndexStateError,
+            SerializationError,
+            DatasetError,
+            ExperimentError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exception_type):
+        assert issubclass(exception_type, ReproError)
+
+    def test_vertex_error_is_index_error(self):
+        assert issubclass(VertexError, IndexError)
+        assert issubclass(VertexError, GraphError)
+
+    def test_vertex_error_message_and_fields(self):
+        error = VertexError(7, 5)
+        assert error.vertex == 7
+        assert error.num_vertices == 5
+        assert "7" in str(error) and "5" in str(error)
+
+    def test_edge_error_is_graph_error(self):
+        assert issubclass(EdgeError, GraphError)
+
+    def test_catching_base_class(self):
+        with pytest.raises(ReproError):
+            raise DatasetError("nope")

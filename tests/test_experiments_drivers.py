@@ -1,0 +1,182 @@
+"""Integration tests for the table/figure experiment drivers.
+
+Each driver is run on a reduced configuration (one or two of the smaller
+datasets, few query pairs) so the whole module stays within a few tens of
+seconds while still exercising the complete code path that the benchmark
+suite uses at full scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    format_ablation,
+    format_scaling,
+    run_scaling,
+    format_figure2,
+    format_figure3,
+    format_figure4,
+    format_figure5,
+    format_table1,
+    format_table3,
+    format_table4,
+    format_table5,
+    ordering_ablation,
+    pruning_ablation,
+    run_figure2_degrees,
+    run_figure2_distances,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+    run_table1,
+    run_table3,
+    run_table4,
+    run_table5,
+    theorem43_check,
+)
+from repro.datasets import load_dataset
+
+
+class TestTableDrivers:
+    def test_table1(self):
+        rows = run_table1(["notredame"], num_queries=100)
+        text = format_table1(rows)
+        assert any(row["source"] == "measured" for row in rows)
+        assert any(row["source"] == "published" for row in rows)
+        assert "PLL" in text
+
+    def test_table3_with_baselines(self):
+        measurements = run_table3(
+            ["notredame"], num_queries=200, include_baselines=True, online_query_cap=10
+        )
+        methods = {m.method for m in measurements}
+        assert {"PLL", "HHL", "TreeDec", "BFS", "BiBFS"} <= methods
+        pll = next(m for m in measurements if m.method == "PLL")
+        assert pll.finished and pll.indexing_seconds > 0
+        text = format_table3(measurements)
+        assert "notredame" in text
+
+    def test_table3_pll_only(self):
+        measurements = run_table3(
+            ["gnutella"], num_queries=100, include_baselines=False
+        )
+        assert len(measurements) == 1
+        assert measurements[0].method == "PLL"
+
+    def test_table3_pll_beats_online_bfs_queries(self):
+        measurements = run_table3(
+            ["gnutella"], num_queries=200, include_baselines=True, online_query_cap=10
+        )
+        pll = next(m for m in measurements if m.method == "PLL")
+        bfs = next(m for m in measurements if m.method == "BFS")
+        assert pll.query_seconds < bfs.query_seconds
+
+    def test_table4(self):
+        rows = run_table4(["gnutella", "epinions"], with_statistics=True, num_pairs=200)
+        assert len(rows) == 2
+        assert rows[0]["type"] == "Computer"
+        assert "Table 4" in format_table4(rows)
+
+    def test_table5(self):
+        rows = run_table5(["notredame"], strategies=["degree", "random"])
+        assert len(rows) == 1
+        row = rows[0]
+        # Random ordering produces (much) larger labels than Degree.
+        assert row["random"] > row["degree"]
+        assert "Table 5" in format_table5(rows)
+
+
+class TestFigureDrivers:
+    def test_figure2(self):
+        degrees = run_figure2_degrees(["gnutella", "notredame"])
+        distances = run_figure2_distances(["gnutella", "notredame"], num_pairs=500)
+        assert len(degrees) == 2 and len(distances) == 2
+        # Power-law CCDF slope is negative; distances are small-world.
+        assert degrees[0].power_law_slope() < 0
+        assert distances[0].average_distance() < 10
+        text = format_figure2(degrees, distances)
+        assert "Figure 2" in text
+
+    def test_figure3(self):
+        profiles = run_figure3(["notredame"])
+        profile = profiles[0]
+        n = load_dataset("notredame").num_vertices
+        assert profile.labels_per_bfs.shape[0] == n
+        # The first BFS labels the most vertices; late BFSs label almost nothing.
+        assert profile.labels_per_bfs[0] == profile.labels_per_bfs.max()
+        assert profile.labels_per_bfs[-100:].mean() < 0.1 * profile.labels_per_bfs[0]
+        assert np.isclose(profile.cumulative_fraction[-1], 1.0)
+        assert profile.label_size_percentile(99) >= profile.label_size_percentile(50)
+        assert "Figure 3" in format_figure3(profiles)
+
+    def test_figure4(self):
+        curves = run_figure4(["notredame"], num_pairs=400)
+        curve = curves[0]
+        assert np.all(np.diff(curve.overall) >= 0)
+        assert np.isclose(curve.overall[-1], 1.0)
+        # Coverage grows with x and the early checkpoints already cover a lot
+        # (the paper's "most pairs are covered in the beginning").
+        assert curve.coverage_at(64) > 0.3
+        assert "Figure 4" in format_figure4(curves)
+
+    def test_figure4_distant_pairs_covered_earlier(self):
+        curves = run_figure4(["epinions"], num_pairs=600)
+        curve = curves[0]
+        distances = sorted(curve.by_distance)
+        if len(distances) >= 3:
+            early_checkpoint = 8
+            index = int(np.flatnonzero(curve.checkpoints <= early_checkpoint)[-1])
+            close = curve.by_distance[distances[0]][index]
+            far = curve.by_distance[distances[-1]][index]
+            assert far >= close
+
+    def test_figure5(self):
+        points = run_figure5(["notredame"], sweep=[0, 4, 16], num_queries=200)
+        assert len(points) == 3
+        by_t = {p.num_bit_parallel: p for p in points}
+        # Bit-parallel labels shrink the normal labels (paper Figure 5c).
+        assert (
+            by_t[16].average_normal_label_size < by_t[0].average_normal_label_size
+        )
+        assert "Figure 5" in format_figure5(points)
+
+
+class TestScaling:
+    def test_scaling_driver(self):
+        points = run_scaling(
+            [300, 600], num_queries=100, num_bit_parallel_roots=4
+        )
+        assert len(points) == 2
+        assert points[0].num_vertices < points[1].num_vertices
+        assert points[1].indexing_seconds > 0
+        assert points[1].index_bytes > points[0].index_bytes
+        text = format_scaling(points)
+        assert "Scalability" in text
+        record = points[0].as_dict()
+        assert record["num_vertices"] == points[0].num_vertices
+
+
+class TestAblations:
+    def test_pruning_ablation(self):
+        graph = load_dataset("notredame")
+        rows = pruning_ablation(graph)
+        pruned = next(r for r in rows if "pruned" in r["method"])
+        naive = next(r for r in rows if "naive" in r["method"])
+        assert pruned["total label entries"] < 0.2 * naive["total label entries"]
+        assert "Ablation" in format_ablation(rows, "Ablation: pruning")
+
+    def test_ordering_ablation(self):
+        rows = ordering_ablation(["notredame"], strategies=["degree", "random"])
+        degree = next(r for r in rows if r["strategy"] == "degree")
+        random = next(r for r in rows if r["strategy"] == "random")
+        assert degree["avg label size"] < random["avg label size"]
+        assert degree["total visited"] < random["total visited"]
+
+    def test_theorem43_check(self):
+        rows = theorem43_check("notredame", landmark_counts=(4, 32), num_pairs=300)
+        assert len(rows) == 2
+        for row in rows:
+            assert 0.0 <= row["landmark exact fraction"] <= 1.0
+            assert row["within bound"]

@@ -1,0 +1,111 @@
+"""Tests for the measurement harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.hub_labeling import HierarchicalHubLabeling
+from repro.baselines.online import OnlineBFSOracle
+from repro.core.index import PrunedLandmarkLabeling
+from repro.experiments.harness import MethodSpec, measure_method, run_comparison
+from repro.experiments.workloads import random_pairs
+
+
+class TestMeasureMethod:
+    def test_basic_measurement(self, small_social_graph):
+        pairs = random_pairs(small_social_graph.num_vertices, 50, seed=0)
+        measurement = measure_method(
+            "PLL",
+            lambda: PrunedLandmarkLabeling(num_bit_parallel_roots=2),
+            small_social_graph,
+            pairs,
+            dataset="unit-test",
+        )
+        assert measurement.finished
+        assert measurement.method == "PLL"
+        assert measurement.dataset == "unit-test"
+        assert measurement.indexing_seconds > 0
+        assert measurement.query_seconds > 0
+        assert measurement.index_bytes > 0
+        assert measurement.average_label_size >= 1.0
+        assert measurement.bit_parallel_roots == 2
+
+    def test_dnf_reported_not_raised(self, small_social_graph):
+        measurement = measure_method(
+            "HHL",
+            lambda: HierarchicalHubLabeling(max_vertices=10),
+            small_social_graph,
+            random_pairs(small_social_graph.num_vertices, 10, seed=0),
+        )
+        assert not measurement.finished
+        assert "DNF" in measurement.note
+        assert measurement.indexing_seconds == 0.0
+
+    def test_query_cap(self, small_social_graph):
+        pairs = random_pairs(small_social_graph.num_vertices, 100, seed=1)
+        measurement = measure_method(
+            "BFS",
+            OnlineBFSOracle,
+            small_social_graph,
+            pairs,
+            max_query_pairs=5,
+            collect_results=True,
+        )
+        assert measurement.query_results.shape[0] == 5
+
+    def test_as_dict(self, small_social_graph):
+        pairs = random_pairs(small_social_graph.num_vertices, 10, seed=2)
+        record = measure_method(
+            "PLL", PrunedLandmarkLabeling, small_social_graph, pairs
+        ).as_dict()
+        assert record["method"] == "PLL"
+        assert record["finished"] is True
+
+
+class TestRunComparison:
+    def test_methods_agree(self, small_social_graph):
+        pairs = random_pairs(small_social_graph.num_vertices, 40, seed=3)
+        methods = [
+            MethodSpec("PLL", PrunedLandmarkLabeling),
+            MethodSpec("BFS", OnlineBFSOracle, max_query_pairs=20),
+        ]
+        measurements = run_comparison(
+            small_social_graph, methods, pairs, dataset="agree", validate=True
+        )
+        assert len(measurements) == 2
+        assert all(m.finished for m in measurements)
+
+    def test_validation_catches_disagreement(self, small_social_graph):
+        class BrokenOracle:
+            def build(self, graph):
+                return self
+
+            def distance(self, s, t):
+                return 1.0
+
+        pairs = random_pairs(small_social_graph.num_vertices, 30, seed=4)
+        methods = [
+            MethodSpec("PLL", PrunedLandmarkLabeling),
+            MethodSpec("Broken", BrokenOracle),
+        ]
+        with pytest.raises(AssertionError):
+            run_comparison(small_social_graph, methods, pairs, validate=True)
+
+    def test_validation_can_be_disabled(self, small_social_graph):
+        class BrokenOracle:
+            def build(self, graph):
+                return self
+
+            def distance(self, s, t):
+                return 1.0
+
+        pairs = random_pairs(small_social_graph.num_vertices, 10, seed=5)
+        methods = [
+            MethodSpec("PLL", PrunedLandmarkLabeling),
+            MethodSpec("Broken", BrokenOracle),
+        ]
+        measurements = run_comparison(
+            small_social_graph, methods, pairs, validate=False
+        )
+        assert len(measurements) == 2

@@ -1,0 +1,89 @@
+"""Tests for reporting/formatting helpers."""
+
+from __future__ import annotations
+
+import csv
+
+from repro.experiments.harness import MethodMeasurement
+from repro.experiments.reporting import (
+    format_bytes,
+    format_measurements,
+    format_query_time,
+    format_seconds,
+    format_table,
+    write_csv,
+)
+
+
+class TestUnits:
+    def test_format_seconds(self):
+        assert format_seconds(0.0000025) == "2.5 us"
+        assert format_seconds(0.0042) == "4.2 ms"
+        assert format_seconds(2.5) == "2.5 s"
+        assert format_seconds(1234) == "1,234 s"
+        assert format_seconds(float("inf")) == "inf"
+
+    def test_format_query_time(self):
+        assert format_query_time(3e-6) == "3.0 us"
+        assert format_query_time(0.004) == "4.00 ms"
+        assert format_query_time(2.0) == "2.00 s"
+
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(2_048) == "2.0 KB"
+        assert format_bytes(3_500_000) == "3.5 MB"
+        assert format_bytes(12_000_000_000) == "12.0 GB"
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        rows = [{"a": 1, "b": "xx"}, {"a": 22, "b": "y"}]
+        text = format_table(rows, title="My Table")
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_missing_values_dash(self):
+        text = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert "-" in text
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([], title="Empty")
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        rows = [{"x": 1, "y": "a"}, {"x": 2, "y": "b"}]
+        path = tmp_path / "out.csv"
+        write_csv(rows, path)
+        with open(path, newline="") as handle:
+            loaded = list(csv.DictReader(handle))
+        assert loaded == [{"x": "1", "y": "a"}, {"x": "2", "y": "b"}]
+
+    def test_empty(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        write_csv([], path)
+        assert path.read_text() == ""
+
+
+class TestFormatMeasurements:
+    def test_finished_and_dnf_rows(self):
+        finished = MethodMeasurement(
+            method="PLL",
+            dataset="toy",
+            num_vertices=10,
+            num_edges=20,
+            indexing_seconds=1.5,
+            index_bytes=1_000,
+            query_seconds=2e-6,
+            average_label_size=12.3,
+            bit_parallel_roots=16,
+        )
+        dnf = MethodMeasurement(
+            method="HHL", dataset="toy", num_vertices=10, num_edges=20, finished=False
+        )
+        text = format_measurements([finished, dnf])
+        assert "12.3+16" in text
+        assert "DNF" in text
+        assert "1.5 s" in text

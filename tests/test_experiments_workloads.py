@@ -1,0 +1,82 @@
+"""Tests for query workload generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.workloads import (
+    distance_stratified_workload,
+    random_pair_workload,
+    random_pairs,
+)
+from repro.graph.csr import Graph
+from repro.graph.traversal import bfs_distance
+
+
+class TestRandomPairs:
+    def test_count_and_range(self, small_social_graph):
+        pairs = random_pairs(small_social_graph.num_vertices, 100, seed=0)
+        assert len(pairs) == 100
+        for s, t in pairs:
+            assert 0 <= s < small_social_graph.num_vertices
+            assert 0 <= t < small_social_graph.num_vertices
+            assert s != t
+
+    def test_determinism(self):
+        assert random_pairs(50, 20, seed=3) == random_pairs(50, 20, seed=3)
+        assert random_pairs(50, 20, seed=3) != random_pairs(50, 20, seed=4)
+
+    def test_requires_two_vertices(self):
+        with pytest.raises(ExperimentError):
+            random_pairs(1, 5)
+
+    def test_allow_identical(self):
+        pairs = random_pairs(2, 50, seed=0, distinct=False)
+        assert len(pairs) == 50
+
+
+class TestRandomPairWorkload:
+    def test_without_ground_truth(self, small_social_graph):
+        workload = random_pair_workload(small_social_graph, 30, seed=1)
+        assert len(workload) == 30
+        assert workload.true_distances is None
+        with pytest.raises(ExperimentError):
+            workload.finite_pairs()
+
+    def test_with_ground_truth(self, small_social_graph):
+        workload = random_pair_workload(
+            small_social_graph, 30, seed=1, with_ground_truth=True
+        )
+        assert workload.true_distances.shape[0] == 30
+        for (s, t), dist in zip(workload.pairs, workload.true_distances):
+            assert dist == bfs_distance(small_social_graph, s, t)
+        assert len(workload.finite_pairs()) <= 30
+
+    def test_disconnected_graph_ground_truth(self, disconnected_graph):
+        workload = random_pair_workload(
+            disconnected_graph, 40, seed=2, with_ground_truth=True
+        )
+        assert np.isinf(workload.true_distances).any()
+
+
+class TestStratifiedWorkload:
+    def test_grouping_by_distance(self, medium_social_graph):
+        workload = distance_stratified_workload(medium_social_graph, 200, seed=3)
+        assert len(workload) > 0
+        assert np.isfinite(workload.true_distances).all()
+        for distance, indices in workload.by_distance.items():
+            for index in indices:
+                assert workload.true_distances[index] == distance
+
+    def test_max_distance_filter(self, medium_social_graph):
+        workload = distance_stratified_workload(
+            medium_social_graph, 200, seed=3, max_distance=3
+        )
+        assert all(d <= 3 for d in workload.by_distance)
+
+    def test_drops_disconnected(self):
+        graph = Graph(4, [(0, 1), (2, 3)])
+        workload = distance_stratified_workload(graph, 100, seed=0)
+        assert np.isfinite(workload.true_distances).all()

@@ -1,0 +1,279 @@
+"""Unit tests for the synthetic network generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.generators import (
+    assign_random_weights,
+    barabasi_albert_graph,
+    configuration_model_graph,
+    dense_hub_graph,
+    erdos_renyi_graph,
+    forest_fire_graph,
+    gnm_random_graph,
+    grid_graph,
+    holme_kim_graph,
+    orient_edges,
+    power_law_degree_sequence,
+    random_geometric_graph,
+    rewire_edges,
+    ring_lattice,
+    rmat_graph,
+    split_edge_stream,
+    watts_strogatz_graph,
+)
+from repro.graph.components import is_connected
+from repro.graph.traversal import bfs_distances
+
+
+class TestBarabasiAlbert:
+    def test_size_and_connectivity(self):
+        graph = barabasi_albert_graph(300, 3, seed=0)
+        assert graph.num_vertices == 300
+        assert is_connected(graph)
+        # Each arriving vertex adds m edges (minus the seed star adjustment).
+        assert graph.num_edges >= 3 * (300 - 4)
+
+    def test_hub_emerges(self):
+        graph = barabasi_albert_graph(500, 2, seed=1)
+        degrees = graph.degrees()
+        assert degrees.max() > 10 * degrees.mean() / 2
+
+    def test_determinism(self):
+        a = barabasi_albert_graph(100, 2, seed=5)
+        b = barabasi_albert_graph(100, 2, seed=5)
+        assert a.structurally_equal(b)
+
+    def test_invalid_m(self):
+        with pytest.raises(GraphError):
+            barabasi_albert_graph(10, 0)
+        with pytest.raises(GraphError):
+            barabasi_albert_graph(10, 10)
+
+
+class TestHolmeKim:
+    def test_size(self):
+        graph = holme_kim_graph(200, 3, triad_probability=0.5, seed=0)
+        assert graph.num_vertices == 200
+        assert graph.num_edges > 0
+
+    def test_invalid_probability(self):
+        with pytest.raises(GraphError):
+            holme_kim_graph(50, 2, triad_probability=1.5)
+
+    def test_triangles_present(self):
+        graph = holme_kim_graph(300, 3, triad_probability=0.8, seed=2)
+        # Count triangles incident to the highest-degree vertex.
+        hub = int(np.argmax(graph.degrees()))
+        neighbors = set(int(v) for v in graph.neighbors(hub))
+        triangle_found = any(
+            any(int(w) in neighbors for w in graph.neighbors(v)) for v in neighbors
+        )
+        assert triangle_found
+
+
+class TestDenseHub:
+    def test_hubs_are_densified(self):
+        base = barabasi_albert_graph(300, 2, seed=3)
+        dense = dense_hub_graph(300, 2, num_hubs=3, hub_extra_fraction=0.2, seed=3)
+        assert dense.num_edges > base.num_edges
+        assert dense.degrees()[:3].min() >= 0.15 * 300
+
+    def test_invalid_fraction(self):
+        with pytest.raises(GraphError):
+            dense_hub_graph(50, 2, hub_extra_fraction=2.0)
+
+
+class TestErdosRenyi:
+    def test_edge_count_close_to_expectation(self):
+        n, p = 200, 0.05
+        graph = erdos_renyi_graph(n, p, seed=0)
+        expected = p * n * (n - 1) / 2
+        assert abs(graph.num_edges - expected) < 0.3 * expected
+
+    def test_zero_probability(self):
+        graph = erdos_renyi_graph(50, 0.0, seed=0)
+        assert graph.num_edges == 0
+
+    def test_full_probability(self):
+        graph = erdos_renyi_graph(10, 1.0, seed=0)
+        assert graph.num_edges == 45
+
+    def test_directed_variant(self):
+        graph = erdos_renyi_graph(30, 0.1, seed=1, directed=True)
+        assert graph.directed
+
+    def test_invalid_probability(self):
+        with pytest.raises(GraphError):
+            erdos_renyi_graph(10, 1.5)
+
+
+class TestGnm:
+    def test_exact_edge_count(self):
+        graph = gnm_random_graph(50, 120, seed=0)
+        assert graph.num_edges == 120
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(GraphError):
+            gnm_random_graph(5, 100)
+
+
+class TestConfigurationModel:
+    def test_power_law_sequence_properties(self):
+        sequence = power_law_degree_sequence(500, exponent=2.5, seed=0)
+        assert sequence.shape[0] == 500
+        assert sequence.min() >= 1
+        assert sequence.sum() % 2 == 0
+
+    def test_graph_respects_sequence_upper_bound(self):
+        sequence = power_law_degree_sequence(300, exponent=2.2, seed=1)
+        graph = configuration_model_graph(sequence, seed=1)
+        assert graph.num_vertices == 300
+        assert np.all(graph.degrees() <= sequence)
+
+    def test_odd_sum_rejected(self):
+        with pytest.raises(GraphError):
+            configuration_model_graph([1, 1, 1])
+
+    def test_invalid_exponent(self):
+        with pytest.raises(GraphError):
+            power_law_degree_sequence(10, exponent=0.5)
+
+
+class TestRMAT:
+    def test_size(self):
+        graph = rmat_graph(8, 4.0, seed=0)
+        assert graph.num_vertices == 256
+        assert graph.num_edges > 0
+
+    def test_skewed_degrees(self):
+        graph = rmat_graph(10, 8.0, seed=1)
+        degrees = graph.degrees()
+        assert degrees.max() > 5 * max(degrees.mean(), 1)
+
+    def test_invalid_quadrants(self):
+        with pytest.raises(GraphError):
+            rmat_graph(5, 2.0, quadrants=(0.5, 0.5, 0.5, 0.5))
+
+    def test_invalid_scale(self):
+        with pytest.raises(GraphError):
+            rmat_graph(0, 2.0)
+
+
+class TestSmallWorld:
+    def test_ring_lattice_degrees(self):
+        graph = ring_lattice(20, 4)
+        assert np.all(graph.degrees() == 4)
+
+    def test_ring_lattice_invalid(self):
+        with pytest.raises(GraphError):
+            ring_lattice(10, 3)
+
+    def test_watts_strogatz_no_rewiring_is_lattice(self):
+        ws = watts_strogatz_graph(30, 4, 0.0, seed=0)
+        lattice = ring_lattice(30, 4)
+        assert ws.structurally_equal(lattice)
+
+    def test_watts_strogatz_rewiring_shrinks_diameter(self):
+        lattice = watts_strogatz_graph(120, 4, 0.0, seed=0)
+        rewired = watts_strogatz_graph(120, 4, 0.3, seed=0)
+        lattice_far = bfs_distances(lattice, 0).max()
+        rewired_far = bfs_distances(rewired, 0)
+        assert rewired_far[rewired_far >= 0].max() < lattice_far
+
+    def test_watts_strogatz_invalid(self):
+        with pytest.raises(GraphError):
+            watts_strogatz_graph(10, 4, 2.0)
+
+
+class TestForestFire:
+    def test_size_and_connectivity(self):
+        graph = forest_fire_graph(200, 0.3, seed=0)
+        assert graph.num_vertices == 200
+        assert is_connected(graph)
+
+    def test_density_grows_with_probability(self):
+        sparse = forest_fire_graph(200, 0.1, seed=1)
+        dense = forest_fire_graph(200, 0.45, seed=1)
+        assert dense.num_edges > sparse.num_edges
+
+    def test_invalid_probability(self):
+        with pytest.raises(GraphError):
+            forest_fire_graph(50, 1.0)
+
+
+class TestRoadLike:
+    def test_grid_structure(self):
+        graph = grid_graph(4, 5)
+        assert graph.num_vertices == 20
+        assert graph.num_edges == 4 * 4 + 5 * 3
+        assert is_connected(graph)
+
+    def test_grid_weighted(self):
+        graph = grid_graph(4, 4, weighted=True, seed=0)
+        assert graph.weighted
+        assert graph.edge_weight(0, 1) > 0
+
+    def test_grid_invalid(self):
+        with pytest.raises(GraphError):
+            grid_graph(0, 5)
+
+    def test_geometric_graph(self):
+        graph = random_geometric_graph(150, 0.18, seed=0)
+        assert graph.num_vertices == 150
+        assert graph.weighted
+        # Every edge weight is below the connection radius.
+        for u, v in list(graph.edges())[:50]:
+            assert graph.edge_weight(u, v) < 0.18
+
+    def test_geometric_invalid(self):
+        with pytest.raises(GraphError):
+            random_geometric_graph(10, 0.0)
+
+
+class TestPerturbations:
+    def test_assign_random_weights(self, small_social_graph):
+        weighted = assign_random_weights(small_social_graph, low=1, high=5, seed=0)
+        assert weighted.weighted
+        assert weighted.num_edges == small_social_graph.num_edges
+        weights = [weighted.edge_weight(u, v) for u, v in list(weighted.edges())[:30]]
+        assert all(1 <= w <= 5 for w in weights)
+
+    def test_assign_integer_weights(self, small_social_graph):
+        weighted = assign_random_weights(
+            small_social_graph, low=1, high=9, integer=True, seed=1
+        )
+        weights = [weighted.edge_weight(u, v) for u, v in list(weighted.edges())[:30]]
+        assert all(float(w).is_integer() for w in weights)
+
+    def test_orient_edges(self, small_social_graph):
+        directed = orient_edges(small_social_graph, seed=2)
+        assert directed.directed
+        assert directed.num_edges >= small_social_graph.num_edges
+
+    def test_orient_requires_undirected(self):
+        from repro.graph.csr import Graph
+
+        directed = Graph(3, [(0, 1)], directed=True)
+        with pytest.raises(GraphError):
+            orient_edges(directed)
+
+    def test_rewire_preserves_edge_count_roughly(self, small_social_graph):
+        rewired = rewire_edges(small_social_graph, 0.3, seed=3)
+        assert rewired.num_vertices == small_social_graph.num_vertices
+        assert rewired.num_edges <= small_social_graph.num_edges
+
+    def test_rewire_zero_fraction_is_identity(self, small_social_graph):
+        assert rewire_edges(small_social_graph, 0.0) is small_social_graph
+
+    def test_split_edge_stream_partition(self, small_social_graph):
+        initial, stream = split_edge_stream(small_social_graph, 0.6, seed=4)
+        assert initial.num_vertices == small_social_graph.num_vertices
+        assert initial.num_edges + len(stream) == small_social_graph.num_edges
+
+    def test_split_invalid_fraction(self, small_social_graph):
+        with pytest.raises(GraphError):
+            split_edge_stream(small_social_graph, 0.0)

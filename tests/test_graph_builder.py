@@ -1,0 +1,124 @@
+"""Unit tests for GraphBuilder and VertexLabeling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EdgeError
+from repro.graph.builder import GraphBuilder, VertexLabeling
+
+
+class TestVertexLabeling:
+    def test_add_assigns_sequential_ids(self):
+        labeling = VertexLabeling()
+        assert labeling.add("a") == 0
+        assert labeling.add("b") == 1
+        assert labeling.add("a") == 0
+        assert len(labeling) == 2
+
+    def test_lookup_both_directions(self):
+        labeling = VertexLabeling()
+        labeling.add("x")
+        labeling.add("y")
+        assert labeling.id_of("y") == 1
+        assert labeling.label_of(0) == "x"
+        assert labeling.labels() == ["x", "y"]
+
+    def test_contains(self):
+        labeling = VertexLabeling()
+        labeling.add(42)
+        assert 42 in labeling
+        assert 43 not in labeling
+
+    def test_unknown_label_raises(self):
+        labeling = VertexLabeling()
+        with pytest.raises(KeyError):
+            labeling.id_of("missing")
+
+
+class TestGraphBuilder:
+    def test_basic_build(self):
+        builder = GraphBuilder()
+        builder.add_edge("alice", "bob")
+        builder.add_edge("bob", "carol")
+        graph, labeling = builder.build()
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 2
+        assert labeling.label_of(0) == "alice"
+        assert graph.has_edge(labeling.id_of("alice"), labeling.id_of("bob"))
+
+    def test_isolated_vertex(self):
+        builder = GraphBuilder()
+        builder.add_vertex("lonely")
+        builder.add_edge("a", "b")
+        graph, labeling = builder.build()
+        assert graph.num_vertices == 3
+        assert graph.degree(labeling.id_of("lonely")) == 0
+
+    def test_integer_labels(self):
+        builder = GraphBuilder()
+        builder.add_edge(10, 20)
+        builder.add_edge(20, 30)
+        graph, labeling = builder.build()
+        assert graph.num_vertices == 3
+        assert labeling.id_of(30) == 2
+
+    def test_add_edges_bulk(self):
+        builder = GraphBuilder()
+        builder.add_edges([("a", "b"), ("b", "c"), ("c", "a")])
+        graph, _ = builder.build()
+        assert graph.num_edges == 3
+
+    def test_duplicate_edges_collapse(self):
+        builder = GraphBuilder()
+        builder.add_edge("a", "b")
+        builder.add_edge("b", "a")
+        graph, _ = builder.build()
+        assert builder.num_edge_records == 2
+        assert graph.num_edges == 1
+
+    def test_directed_builder(self):
+        builder = GraphBuilder(directed=True)
+        builder.add_edge("a", "b")
+        graph, labeling = builder.build()
+        assert graph.directed
+        assert graph.has_edge(labeling.id_of("a"), labeling.id_of("b"))
+        assert not graph.has_edge(labeling.id_of("b"), labeling.id_of("a"))
+
+    def test_weighted_builder(self):
+        builder = GraphBuilder(weighted=True)
+        builder.add_edge("a", "b", 2.5)
+        graph, labeling = builder.build()
+        assert graph.weighted
+        assert graph.edge_weight(labeling.id_of("a"), labeling.id_of("b")) == 2.5
+
+    def test_weighted_builder_requires_weight(self):
+        builder = GraphBuilder(weighted=True)
+        with pytest.raises(EdgeError):
+            builder.add_edge("a", "b")
+
+    def test_unweighted_builder_rejects_weight(self):
+        builder = GraphBuilder()
+        with pytest.raises(EdgeError):
+            builder.add_edge("a", "b", 1.0)
+
+    def test_negative_weight_rejected(self):
+        builder = GraphBuilder(weighted=True)
+        with pytest.raises(EdgeError):
+            builder.add_edge("a", "b", -3.0)
+
+    def test_bulk_weights_alignment_checked(self):
+        builder = GraphBuilder(weighted=True)
+        with pytest.raises(EdgeError):
+            builder.add_edges([("a", "b"), ("b", "c")], weights=[1.0])
+
+    def test_bulk_weights(self):
+        builder = GraphBuilder(weighted=True)
+        builder.add_edges([("a", "b"), ("b", "c")], weights=[1.0, 4.0])
+        graph, labeling = builder.build()
+        assert graph.edge_weight(labeling.id_of("b"), labeling.id_of("c")) == 4.0
+
+    def test_builder_properties(self):
+        builder = GraphBuilder(directed=True, weighted=True)
+        assert builder.directed and builder.weighted
+        assert builder.num_vertices == 0

@@ -1,0 +1,75 @@
+"""Unit tests for connectivity helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.components import (
+    component_sizes,
+    connected_components,
+    is_connected,
+    largest_connected_component,
+)
+from repro.graph.csr import Graph
+
+
+class TestConnectedComponents:
+    def test_single_component(self, path_graph):
+        labels = connected_components(path_graph)
+        assert set(labels) == {0}
+
+    def test_multiple_components(self, disconnected_graph):
+        labels = connected_components(disconnected_graph)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4]
+        assert labels[0] != labels[3]
+        assert labels[5] not in (labels[0], labels[3])
+
+    def test_component_sizes_sorted(self, disconnected_graph):
+        sizes = component_sizes(disconnected_graph)
+        assert sizes == [3, 2, 1]
+
+    def test_directed_weak_connectivity(self):
+        graph = Graph(4, [(0, 1), (2, 1), (3, 2)], directed=True)
+        labels = connected_components(graph)
+        assert len(set(labels)) == 1
+
+    def test_empty_graph(self):
+        graph = Graph(0, [])
+        assert connected_components(graph).shape[0] == 0
+        assert is_connected(graph)
+
+
+class TestIsConnected:
+    def test_connected(self, cycle_graph):
+        assert is_connected(cycle_graph)
+
+    def test_disconnected(self, disconnected_graph):
+        assert not is_connected(disconnected_graph)
+
+    def test_single_vertex(self):
+        assert is_connected(Graph(1, []))
+
+
+class TestLargestConnectedComponent:
+    def test_extracts_biggest(self, disconnected_graph):
+        sub, mapping = largest_connected_component(disconnected_graph)
+        assert sub.num_vertices == 3
+        assert sorted(mapping) == [0, 1, 2]
+        assert is_connected(sub)
+
+    def test_connected_graph_unchanged_size(self, small_social_graph):
+        sub, mapping = largest_connected_component(small_social_graph)
+        assert sub.num_vertices == small_social_graph.num_vertices
+        assert sub.num_edges == small_social_graph.num_edges
+
+    def test_mapping_preserves_adjacency(self, disconnected_graph):
+        sub, mapping = largest_connected_component(disconnected_graph)
+        for u, v in sub.edges():
+            assert disconnected_graph.has_edge(int(mapping[u]), int(mapping[v]))
+
+    def test_empty_graph(self):
+        graph = Graph(0, [])
+        sub, mapping = largest_connected_component(graph)
+        assert sub.num_vertices == 0
+        assert mapping.shape[0] == 0

@@ -1,0 +1,226 @@
+"""Unit tests for the CSR graph representation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import EdgeError, GraphError, VertexError
+from repro.graph.csr import Graph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = Graph(0, [])
+        assert graph.num_vertices == 0
+        assert graph.num_edges == 0
+        assert len(graph) == 0
+
+    def test_vertices_without_edges(self):
+        graph = Graph(5, [])
+        assert graph.num_vertices == 5
+        assert graph.num_edges == 0
+        assert graph.degree(3) == 0
+
+    def test_basic_undirected(self, path_graph):
+        assert path_graph.num_vertices == 5
+        assert path_graph.num_edges == 4
+        assert not path_graph.directed
+        assert not path_graph.weighted
+
+    def test_neighbors_sorted(self):
+        graph = Graph(4, [(0, 3), (0, 1), (0, 2)])
+        assert list(graph.neighbors(0)) == [1, 2, 3]
+
+    def test_self_loops_dropped(self):
+        graph = Graph(3, [(0, 0), (0, 1), (1, 1), (1, 2)])
+        assert graph.num_edges == 2
+        assert not graph.has_edge(0, 0)
+
+    def test_parallel_edges_deduplicated(self):
+        graph = Graph(3, [(0, 1), (1, 0), (0, 1), (1, 2)])
+        assert graph.num_edges == 2
+        assert graph.degree(0) == 1
+
+    def test_undirected_symmetry(self):
+        graph = Graph(3, [(0, 1), (1, 2)])
+        assert graph.has_edge(0, 1) and graph.has_edge(1, 0)
+        assert list(graph.neighbors(1)) == [0, 2]
+
+    def test_out_of_range_vertex_rejected(self):
+        with pytest.raises(VertexError):
+            Graph(3, [(0, 3)])
+        with pytest.raises(VertexError):
+            Graph(3, [(-1, 0)])
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(-1, [])
+
+    def test_bad_edge_shape_rejected(self):
+        with pytest.raises(EdgeError):
+            Graph(3, [(0, 1, 2)])
+
+    def test_directed_graph(self):
+        graph = Graph(3, [(0, 1), (1, 2)], directed=True)
+        assert graph.directed
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(1, 0)
+        assert graph.out_degree(0) == 1
+        assert graph.in_degree(0) == 0
+        assert graph.in_degree(1) == 1
+
+    def test_directed_in_neighbors(self):
+        graph = Graph(4, [(0, 2), (1, 2), (2, 3)], directed=True)
+        assert list(graph.in_neighbors(2)) == [0, 1]
+        assert list(graph.neighbors(2)) == [3]
+
+    def test_edge_count_directed(self):
+        graph = Graph(3, [(0, 1), (1, 0), (1, 2)], directed=True)
+        assert graph.num_edges == 3
+
+
+class TestWeights:
+    def test_weighted_construction(self):
+        graph = Graph(3, [(0, 1), (1, 2)], weights=[2.0, 3.5])
+        assert graph.weighted
+        assert graph.edge_weight(0, 1) == 2.0
+        assert graph.edge_weight(1, 0) == 2.0
+        assert graph.edge_weight(2, 1) == 3.5
+
+    def test_weight_count_mismatch_rejected(self):
+        with pytest.raises(EdgeError):
+            Graph(3, [(0, 1), (1, 2)], weights=[1.0])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(EdgeError):
+            Graph(3, [(0, 1)], weights=[-1.0])
+
+    def test_duplicate_weighted_edge_keeps_minimum(self):
+        graph = Graph(2, [(0, 1), (0, 1)], weights=[5.0, 2.0])
+        assert graph.num_edges == 1
+        assert graph.edge_weight(0, 1) == 2.0
+
+    def test_missing_edge_weight_raises(self):
+        graph = Graph(3, [(0, 1)], weights=[1.0])
+        with pytest.raises(EdgeError):
+            graph.edge_weight(0, 2)
+
+    def test_neighbor_weights_alignment(self):
+        graph = Graph(3, [(0, 2), (0, 1)], weights=[7.0, 3.0])
+        neighbors = list(graph.neighbors(0))
+        weights = list(graph.neighbor_weights(0))
+        assert neighbors == [1, 2]
+        assert weights == [3.0, 7.0]
+
+    def test_unweighted_neighbor_weights_are_ones(self, path_graph):
+        assert list(path_graph.neighbor_weights(1)) == [1.0, 1.0]
+
+
+class TestAccessors:
+    def test_degrees_array(self, star_graph):
+        degrees = star_graph.degrees()
+        assert degrees[0] == 5
+        assert all(degrees[i] == 1 for i in range(1, 6))
+
+    def test_total_degrees_directed(self):
+        graph = Graph(3, [(0, 1), (2, 1)], directed=True)
+        assert list(graph.total_degrees()) == [1, 2, 1]
+
+    def test_degree_out_of_range(self, path_graph):
+        with pytest.raises(VertexError):
+            path_graph.degree(99)
+        with pytest.raises(IndexError):
+            path_graph.neighbors(-1)
+
+    def test_edges_iteration_undirected(self, path_graph):
+        edges = sorted(path_graph.edges())
+        assert edges == [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+    def test_edges_iteration_directed(self):
+        graph = Graph(3, [(1, 0), (1, 2)], directed=True)
+        assert sorted(graph.edges()) == [(1, 0), (1, 2)]
+
+    def test_edge_array_shape(self, cycle_graph):
+        array = cycle_graph.edge_array()
+        assert array.shape == (6, 2)
+
+    def test_repr_contains_counts(self, path_graph):
+        text = repr(path_graph)
+        assert "n=5" in text and "m=4" in text
+
+
+class TestDerivedGraphs:
+    def test_to_undirected(self):
+        directed = Graph(3, [(0, 1), (1, 2)], directed=True)
+        undirected = directed.to_undirected()
+        assert not undirected.directed
+        assert undirected.has_edge(1, 0)
+
+    def test_reverse_directed(self):
+        graph = Graph(3, [(0, 1), (1, 2)], directed=True)
+        reverse = graph.reverse()
+        assert reverse.has_edge(1, 0)
+        assert reverse.has_edge(2, 1)
+        assert not reverse.has_edge(0, 1)
+
+    def test_reverse_undirected_is_self(self, path_graph):
+        assert path_graph.reverse() is path_graph
+
+    def test_subgraph(self, path_graph):
+        sub, mapping = path_graph.subgraph([1, 2, 3])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 2
+        assert list(mapping) == [1, 2, 3]
+        assert sub.has_edge(0, 1) and sub.has_edge(1, 2)
+
+    def test_subgraph_preserves_weights(self):
+        graph = Graph(4, [(0, 1), (1, 2), (2, 3)], weights=[1.0, 2.0, 3.0])
+        sub, _ = graph.subgraph([1, 2, 3])
+        assert sub.weighted
+        assert sub.edge_weight(0, 1) == 2.0
+
+    def test_subgraph_duplicate_vertices_rejected(self, path_graph):
+        with pytest.raises(GraphError):
+            path_graph.subgraph([1, 1, 2])
+
+    def test_subgraph_out_of_range_rejected(self, path_graph):
+        with pytest.raises(VertexError):
+            path_graph.subgraph([0, 99])
+
+    def test_relabel_permutation(self, path_graph):
+        relabelled = path_graph.relabel([4, 3, 2, 1, 0])
+        assert relabelled.has_edge(4, 3)
+        assert relabelled.has_edge(1, 0)
+        assert relabelled.num_edges == path_graph.num_edges
+
+    def test_relabel_requires_permutation(self, path_graph):
+        with pytest.raises(GraphError):
+            path_graph.relabel([0, 0, 1, 2, 3])
+
+    def test_structural_equality(self):
+        a = Graph(3, [(0, 1), (1, 2)])
+        b = Graph(3, [(1, 2), (1, 0)])
+        c = Graph(3, [(0, 1)])
+        assert a.structurally_equal(b)
+        assert not a.structurally_equal(c)
+        assert not a.structurally_equal("not a graph")
+
+    def test_structural_equality_edge_order_independent(self):
+        edges = [(0, 1), (0, 2), (1, 2), (2, 3)]
+        a = Graph(4, edges)
+        b = Graph(4, list(reversed(edges)))
+        assert a.structurally_equal(b)
+
+
+class TestNumpyInterop:
+    def test_accepts_numpy_edge_array(self):
+        edges = np.array([[0, 1], [1, 2]], dtype=np.int64)
+        graph = Graph(3, edges)
+        assert graph.num_edges == 2
+
+    def test_indptr_consistency(self, cycle_graph):
+        indptr = cycle_graph.indptr
+        assert indptr[0] == 0
+        assert indptr[-1] == cycle_graph.adjacency.shape[0]
+        assert np.all(np.diff(indptr) == 2)

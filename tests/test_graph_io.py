@@ -1,0 +1,116 @@
+"""Unit tests for edge-list reading and writing."""
+
+from __future__ import annotations
+
+import gzip
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.csr import Graph
+from repro.graph.io import read_edge_list, read_graph, write_edge_list, write_graph
+
+
+class TestReadEdgeList:
+    def test_basic_read(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# comment\n0 1\n1 2\n\n2 3\n")
+        graph, labeling = read_edge_list(path)
+        assert graph.num_vertices == 4
+        assert graph.num_edges == 3
+        assert labeling.id_of(0) == 0
+
+    def test_comment_styles_ignored(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# hash\n% percent\n// slashes\n0 1\n")
+        graph, _ = read_edge_list(path)
+        assert graph.num_edges == 1
+
+    def test_tab_separated(self, tmp_path):
+        path = tmp_path / "graph.tsv"
+        path.write_text("0\t1\n1\t2\n")
+        graph, _ = read_edge_list(path)
+        assert graph.num_edges == 2
+
+    def test_string_vertex_names(self, tmp_path):
+        path = tmp_path / "named.txt"
+        path.write_text("alice bob\nbob carol\n")
+        graph, labeling = read_edge_list(path, integer_ids=False)
+        assert graph.num_vertices == 3
+        assert "carol" in labeling
+
+    def test_weighted_read(self, tmp_path):
+        path = tmp_path / "weighted.txt"
+        path.write_text("0 1 2.5\n1 2 1.0\n")
+        graph, _ = read_edge_list(path, weighted=True)
+        assert graph.weighted
+        assert graph.edge_weight(0, 1) == 2.5
+
+    def test_directed_read(self, tmp_path):
+        path = tmp_path / "directed.txt"
+        path.write_text("0 1\n1 2\n")
+        graph, _ = read_edge_list(path, directed=True)
+        assert graph.directed
+        assert not graph.has_edge(1, 0)
+
+    def test_missing_field_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+    def test_bad_weight_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1 heavy\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path, weighted=True)
+
+    def test_gzip_read(self, tmp_path):
+        path = tmp_path / "graph.txt.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write("0 1\n1 2\n")
+        graph, _ = read_edge_list(path)
+        assert graph.num_edges == 2
+
+    def test_read_graph_wrapper(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0 1\n")
+        graph = read_graph(path)
+        assert isinstance(graph, Graph)
+
+
+class TestWriteEdgeList:
+    def test_roundtrip_unweighted(self, tmp_path, small_social_graph):
+        path = tmp_path / "out.txt"
+        write_edge_list(small_social_graph, path, header="test graph")
+        loaded, _ = read_edge_list(path)
+        assert loaded.structurally_equal(small_social_graph)
+
+    def test_roundtrip_weighted(self, tmp_path, small_weighted_graph):
+        path = tmp_path / "out.txt"
+        write_edge_list(small_weighted_graph, path)
+        loaded, _ = read_edge_list(path, weighted=True)
+        assert loaded.structurally_equal(small_weighted_graph)
+
+    def test_roundtrip_gzip(self, tmp_path, path_graph):
+        path = tmp_path / "out.txt.gz"
+        write_graph(path_graph, path)
+        loaded = read_graph(path)
+        assert loaded.structurally_equal(path_graph)
+
+    def test_labeled_output(self, tmp_path):
+        from repro.graph.builder import GraphBuilder
+
+        builder = GraphBuilder()
+        builder.add_edge("alice", "bob")
+        graph, labeling = builder.build()
+        path = tmp_path / "named.txt"
+        write_edge_list(graph, path, labeling=labeling)
+        content = path.read_text()
+        assert "alice" in content and "bob" in content
+
+    def test_header_written(self, tmp_path, path_graph):
+        path = tmp_path / "out.txt"
+        write_edge_list(path_graph, path, header="my header")
+        first_line = path.read_text().splitlines()[0]
+        assert first_line == "# my header"

@@ -1,0 +1,115 @@
+"""Unit tests for vertex ordering strategies (paper Section 4.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.csr import Graph
+from repro.graph.ordering import (
+    ORDERING_STRATEGIES,
+    closeness_order,
+    compute_order,
+    degree_order,
+    degree_tiebreak_random_order,
+    random_order,
+    rank_from_order,
+)
+
+
+def assert_is_permutation(order: np.ndarray, n: int) -> None:
+    assert order.shape[0] == n
+    assert np.array_equal(np.sort(order), np.arange(n))
+
+
+class TestDegreeOrder:
+    def test_highest_degree_first(self, star_graph):
+        order = degree_order(star_graph)
+        assert order[0] == 0
+
+    def test_is_permutation(self, small_social_graph):
+        order = degree_order(small_social_graph)
+        assert_is_permutation(order, small_social_graph.num_vertices)
+
+    def test_ties_broken_by_vertex_id(self, cycle_graph):
+        order = degree_order(cycle_graph)
+        assert list(order) == list(range(6))
+
+    def test_degrees_non_increasing(self, medium_social_graph):
+        order = degree_order(medium_social_graph)
+        degrees = medium_social_graph.degrees()[order]
+        assert np.all(np.diff(degrees) <= 0)
+
+    def test_directed_uses_total_degree(self):
+        # Vertex 1 has total degree 2 (two out-edges); vertices 0 and 2 have 1.
+        graph = Graph(3, [(1, 0), (1, 2)], directed=True)
+        order = degree_order(graph)
+        assert order[0] == 1
+
+
+class TestClosenessOrder:
+    def test_central_vertex_first_on_star(self, star_graph):
+        order = closeness_order(star_graph, seed=0, num_samples=6)
+        assert order[0] == 0
+
+    def test_is_permutation(self, small_social_graph):
+        order = closeness_order(small_social_graph, seed=1)
+        assert_is_permutation(order, small_social_graph.num_vertices)
+
+    def test_path_graph_centre_first(self, path_graph):
+        order = closeness_order(path_graph, seed=0, num_samples=5)
+        assert order[0] == 2
+
+    def test_empty_graph(self):
+        order = closeness_order(Graph(0, []))
+        assert order.shape[0] == 0
+
+
+class TestRandomOrder:
+    def test_is_permutation(self, small_social_graph):
+        order = random_order(small_social_graph, seed=3)
+        assert_is_permutation(order, small_social_graph.num_vertices)
+
+    def test_seed_determinism(self, small_social_graph):
+        a = random_order(small_social_graph, seed=9)
+        b = random_order(small_social_graph, seed=9)
+        c = random_order(small_social_graph, seed=10)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+
+class TestDegreeTiebreakRandom:
+    def test_is_permutation(self, small_social_graph):
+        order = degree_tiebreak_random_order(small_social_graph, seed=0)
+        assert_is_permutation(order, small_social_graph.num_vertices)
+
+    def test_never_reorders_distinct_degrees(self, star_graph):
+        order = degree_tiebreak_random_order(star_graph, seed=4)
+        assert order[0] == 0
+
+
+class TestComputeOrder:
+    def test_known_strategies_registered(self):
+        assert {"degree", "closeness", "random"} <= set(ORDERING_STRATEGIES)
+
+    @pytest.mark.parametrize("strategy", ["degree", "closeness", "random"])
+    def test_dispatch(self, small_social_graph, strategy):
+        order = compute_order(small_social_graph, strategy, seed=0)
+        assert_is_permutation(order, small_social_graph.num_vertices)
+
+    def test_unknown_strategy_raises(self, small_social_graph):
+        with pytest.raises(GraphError):
+            compute_order(small_social_graph, "pagerank")
+
+
+class TestRankFromOrder:
+    def test_inverse_permutation(self):
+        order = np.array([2, 0, 1], dtype=np.int64)
+        rank = rank_from_order(order)
+        assert list(rank) == [1, 2, 0]
+
+    def test_round_trip(self, small_social_graph):
+        order = degree_order(small_social_graph)
+        rank = rank_from_order(order)
+        assert np.array_equal(order[rank], np.arange(order.shape[0]))

@@ -1,0 +1,113 @@
+"""Unit tests for network statistics (the Figure 2 machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.csr import Graph
+from repro.graph.statistics import (
+    degree_ccdf,
+    degree_histogram,
+    distance_distribution,
+    sample_pair_distances,
+    summarize_graph,
+)
+
+
+class TestDegreeHistogram:
+    def test_star_graph(self, star_graph):
+        histogram = degree_histogram(star_graph)
+        assert histogram[1] == 5
+        assert histogram[5] == 1
+
+    def test_empty_graph(self):
+        histogram = degree_histogram(Graph(0, []))
+        assert histogram.shape[0] == 1
+
+    def test_histogram_sums_to_n(self, small_social_graph):
+        histogram = degree_histogram(small_social_graph)
+        assert histogram.sum() == small_social_graph.num_vertices
+
+
+class TestDegreeCCDF:
+    def test_monotone_decreasing(self, small_social_graph):
+        degrees, counts = degree_ccdf(small_social_graph)
+        assert np.all(np.diff(degrees) > 0)
+        assert np.all(np.diff(counts) <= 0)
+
+    def test_first_count_is_num_vertices_with_positive_degree(self, star_graph):
+        degrees, counts = degree_ccdf(star_graph)
+        assert degrees[0] == 1
+        assert counts[0] == 6
+
+    def test_empty_graph(self):
+        degrees, counts = degree_ccdf(Graph(3, []))
+        # All vertices have degree zero, which the CCDF reports at degree 0.
+        assert counts[0] == 3
+
+    def test_powerlaw_graph_is_heavy_tailed(self, medium_social_graph):
+        degrees, counts = degree_ccdf(medium_social_graph)
+        # A scale-free graph has a maximum degree far above the average.
+        average = medium_social_graph.degrees().mean()
+        assert degrees[-1] > 4 * average
+
+
+class TestSamplePairDistances:
+    def test_sample_count(self, small_social_graph):
+        samples = sample_pair_distances(small_social_graph, 200, seed=1)
+        assert samples.shape[0] == 200
+
+    def test_deterministic_given_seed(self, small_social_graph):
+        a = sample_pair_distances(small_social_graph, 100, seed=5)
+        b = sample_pair_distances(small_social_graph, 100, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_connected_only_filters_inf(self, disconnected_graph):
+        samples = sample_pair_distances(
+            disconnected_graph, 50, seed=0, connected_only=True
+        )
+        assert np.isfinite(samples).all()
+
+    def test_includes_inf_for_disconnected(self, disconnected_graph):
+        samples = sample_pair_distances(disconnected_graph, 300, seed=0)
+        assert np.isinf(samples).any()
+
+    def test_requires_two_vertices(self):
+        with pytest.raises(GraphError):
+            sample_pair_distances(Graph(1, []), 10)
+
+    def test_requires_positive_pairs(self, path_graph):
+        with pytest.raises(GraphError):
+            sample_pair_distances(path_graph, 0)
+
+
+class TestDistanceDistribution:
+    def test_fractions_sum_to_one(self, small_social_graph):
+        _, fractions = distance_distribution(small_social_graph, 500, seed=2)
+        assert np.isclose(fractions.sum(), 1.0)
+
+    def test_small_world_average(self, medium_social_graph):
+        distances, fractions = distance_distribution(medium_social_graph, 500, seed=2)
+        average = float((distances * fractions).sum())
+        # Scale-free graphs of this size have tiny average distance.
+        assert average < 8
+
+
+class TestSummarizeGraph:
+    def test_summary_fields(self, small_social_graph):
+        summary = summarize_graph(small_social_graph, num_pairs=300, seed=3)
+        assert summary.num_vertices == small_social_graph.num_vertices
+        assert summary.num_edges == small_social_graph.num_edges
+        assert summary.average_degree > 0
+        assert summary.max_degree >= summary.average_degree
+        assert summary.average_distance > 0
+        assert summary.effective_diameter >= summary.average_distance - 1
+        assert 0 < summary.fraction_reachable <= 1.0
+
+    def test_as_dict_round_trip(self, small_social_graph):
+        summary = summarize_graph(small_social_graph, num_pairs=100)
+        record = summary.as_dict()
+        assert record["num_vertices"] == summary.num_vertices
+        assert "average_distance" in record

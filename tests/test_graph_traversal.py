@@ -1,0 +1,192 @@
+"""Unit and property tests for graph traversals (BFS, bidirectional BFS, Dijkstra)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph.csr import Graph
+from repro.graph.traversal import (
+    UNREACHABLE,
+    bfs_distance,
+    bfs_distances,
+    bfs_tree,
+    bidirectional_bfs_distance,
+    dijkstra_distances,
+    dijkstra_tree,
+    eccentricity,
+    multi_source_bfs,
+)
+from tests.conftest import random_test_graphs
+
+
+class TestBFS:
+    def test_path_graph_distances(self, path_graph):
+        dist = bfs_distances(path_graph, 0)
+        assert list(dist) == [0, 1, 2, 3, 4]
+
+    def test_star_graph_distances(self, star_graph):
+        dist = bfs_distances(star_graph, 1)
+        assert dist[1] == 0
+        assert dist[0] == 1
+        assert all(dist[i] == 2 for i in range(2, 6))
+
+    def test_unreachable_marked(self, disconnected_graph):
+        dist = bfs_distances(disconnected_graph, 0)
+        assert dist[3] == UNREACHABLE
+        assert dist[5] == UNREACHABLE
+        assert dist[2] == 1
+
+    def test_source_out_of_range(self, path_graph):
+        with pytest.raises(GraphError):
+            bfs_distances(path_graph, 10)
+
+    def test_directed_forward_and_reverse(self):
+        graph = Graph(3, [(0, 1), (1, 2)], directed=True)
+        forward = bfs_distances(graph, 0)
+        assert list(forward) == [0, 1, 2]
+        backward = bfs_distances(graph, 2, reverse=True)
+        assert list(backward) == [2, 1, 0]
+
+    def test_bfs_distance_single_pair(self, cycle_graph):
+        assert bfs_distance(cycle_graph, 0, 3) == 3.0
+        assert bfs_distance(cycle_graph, 0, 5) == 1.0
+
+    def test_bfs_distance_disconnected(self, disconnected_graph):
+        assert bfs_distance(disconnected_graph, 0, 4) == float("inf")
+
+
+class TestBFSTree:
+    def test_parents_form_shortest_paths(self, small_social_graph):
+        dist, parent = bfs_tree(small_social_graph, 0)
+        for v in range(small_social_graph.num_vertices):
+            if dist[v] <= 0:
+                continue
+            p = parent[v]
+            assert p >= 0
+            assert dist[p] == dist[v] - 1
+            assert small_social_graph.has_edge(int(p), v)
+
+    def test_root_has_no_parent(self, path_graph):
+        dist, parent = bfs_tree(path_graph, 2)
+        assert parent[2] == -1
+        assert dist[2] == 0
+
+    def test_unreachable_have_no_parent(self, disconnected_graph):
+        dist, parent = bfs_tree(disconnected_graph, 0)
+        assert parent[4] == -1
+        assert dist[4] == UNREACHABLE
+
+
+class TestMultiSourceBFS:
+    def test_nearest_source_wins(self, path_graph):
+        dist = multi_source_bfs(path_graph, [0, 4])
+        assert list(dist) == [0, 1, 2, 1, 0]
+
+    def test_empty_sources(self, path_graph):
+        dist = multi_source_bfs(path_graph, [])
+        assert all(d == UNREACHABLE for d in dist)
+
+    def test_source_out_of_range(self, path_graph):
+        with pytest.raises(GraphError):
+            multi_source_bfs(path_graph, [0, 99])
+
+
+class TestBidirectionalBFS:
+    def test_matches_bfs_on_random_graphs(self):
+        rng = np.random.default_rng(3)
+        for graph in random_test_graphs(4, seed=11):
+            n = graph.num_vertices
+            for _ in range(25):
+                s, t = int(rng.integers(0, n)), int(rng.integers(0, n))
+                expected = bfs_distance(graph, s, t)
+                assert bidirectional_bfs_distance(graph, s, t) == expected
+
+    def test_same_vertex(self, path_graph):
+        assert bidirectional_bfs_distance(path_graph, 2, 2) == 0.0
+
+    def test_disconnected(self, disconnected_graph):
+        assert bidirectional_bfs_distance(disconnected_graph, 0, 3) == float("inf")
+
+    def test_out_of_range(self, path_graph):
+        with pytest.raises(GraphError):
+            bidirectional_bfs_distance(path_graph, 0, 50)
+
+
+class TestDijkstra:
+    def test_unweighted_matches_bfs(self, small_social_graph):
+        bfs = bfs_distances(small_social_graph, 0).astype(np.float64)
+        bfs[bfs == UNREACHABLE] = np.inf
+        dijkstra = dijkstra_distances(small_social_graph, 0)
+        assert np.allclose(bfs, dijkstra)
+
+    def test_weighted_shortest_path(self):
+        # 0 -5- 1 -5- 2 and a direct 0 -2- 2 shortcut.
+        graph = Graph(3, [(0, 1), (1, 2), (0, 2)], weights=[5.0, 5.0, 2.0])
+        dist = dijkstra_distances(graph, 0)
+        assert dist[2] == 2.0
+        assert dist[1] == 5.0
+
+    def test_weighted_goes_around(self):
+        # Direct edge is more expensive than the two-hop route.
+        graph = Graph(3, [(0, 1), (1, 2), (0, 2)], weights=[1.0, 1.0, 10.0])
+        dist = dijkstra_distances(graph, 0)
+        assert dist[2] == 2.0
+
+    def test_unreachable_is_inf(self, disconnected_graph):
+        dist = dijkstra_distances(disconnected_graph, 0)
+        assert np.isinf(dist[3])
+
+    def test_source_out_of_range(self, path_graph):
+        with pytest.raises(GraphError):
+            dijkstra_distances(path_graph, -1)
+
+    def test_dijkstra_tree_parents(self, small_weighted_graph):
+        dist, parent = dijkstra_tree(small_weighted_graph, 0)
+        for v in range(small_weighted_graph.num_vertices):
+            if v == 0 or np.isinf(dist[v]):
+                continue
+            p = int(parent[v])
+            assert p >= 0
+            weight = small_weighted_graph.edge_weight(p, v)
+            assert np.isclose(dist[p] + weight, dist[v])
+
+    def test_directed_dijkstra_reverse(self):
+        graph = Graph(3, [(0, 1), (1, 2)], directed=True, weights=[2.0, 3.0])
+        forward = dijkstra_distances(graph, 0)
+        assert forward[2] == 5.0
+        backward = dijkstra_distances(graph, 2, reverse=True)
+        assert backward[0] == 5.0
+
+
+class TestEccentricity:
+    def test_path_graph(self, path_graph):
+        ecc = eccentricity(path_graph)
+        assert ecc[0] == 4
+        assert ecc[2] == 2
+
+    def test_selected_vertices(self, cycle_graph):
+        ecc = eccentricity(cycle_graph, [0, 3])
+        assert list(ecc) == [3, 3]
+
+
+class TestTriangleInequalityProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_triangle_inequality_on_random_graphs(self, seed):
+        """Distances from BFS satisfy the triangle inequality (paper Eq. 1-2)."""
+        from repro.generators import gnm_random_graph
+
+        rng = np.random.default_rng(seed)
+        graph = gnm_random_graph(30, 60, seed=seed)
+        s, t, v = (int(rng.integers(0, 30)) for _ in range(3))
+        d_st = bfs_distance(graph, s, t)
+        d_sv = bfs_distance(graph, s, v)
+        d_vt = bfs_distance(graph, v, t)
+        if np.isfinite(d_sv) and np.isfinite(d_vt):
+            assert d_st <= d_sv + d_vt
+        if np.isfinite(d_st) and np.isfinite(d_sv) and np.isfinite(d_vt):
+            assert d_st >= abs(d_sv - d_vt)

@@ -1,0 +1,134 @@
+"""End-to-end integration tests across the whole library.
+
+These tests stitch together the pieces a downstream user would combine: load
+or generate a network, build indexes with different variants, cross-validate
+them against each other and against online baselines, persist and reload, and
+push the result through the experiment harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    DynamicPrunedLandmarkLabeling,
+    PathPrunedLandmarkLabeling,
+    PrunedLandmarkLabeling,
+    WeightedPrunedLandmarkLabeling,
+    load_index,
+    save_index,
+)
+from repro.baselines import (
+    BidirectionalBFSOracle,
+    HierarchicalHubLabeling,
+    LandmarkOracle,
+    TreeDecompositionOracle,
+)
+from repro.datasets import load_dataset
+from repro.experiments import measure_method, random_pairs
+from repro.generators import assign_random_weights, split_edge_stream
+from repro.graph import GraphBuilder, read_edge_list, write_edge_list
+from tests.conftest import sample_pairs
+
+
+class TestAllOraclesAgree:
+    """Every exact method must return identical distances on the same graph."""
+
+    def test_cross_validation_on_dataset(self):
+        graph = load_dataset("notredame")
+        pairs = sample_pairs(graph, 150, seed=0)
+
+        pll = PrunedLandmarkLabeling(num_bit_parallel_roots=8).build(graph)
+        pll_plain = PrunedLandmarkLabeling(num_bit_parallel_roots=0).build(graph)
+        path_oracle = PathPrunedLandmarkLabeling().build(graph)
+        hhl = HierarchicalHubLabeling().build(graph)
+        tree = TreeDecompositionOracle().build(graph)
+        online = BidirectionalBFSOracle().build(graph)
+
+        reference = pll.distances(pairs)
+        for oracle in (pll_plain, path_oracle, hhl, tree):
+            assert np.array_equal(oracle.distances(pairs), reference)
+        assert np.array_equal(online.distances(pairs[:30]), reference[:30])
+
+    def test_landmark_estimates_bracket_truth(self):
+        graph = load_dataset("gnutella")
+        pll = PrunedLandmarkLabeling(num_bit_parallel_roots=8).build(graph)
+        landmark = LandmarkOracle(16).build(graph)
+        for s, t in sample_pairs(graph, 100, seed=1):
+            truth = pll.distance(s, t)
+            if np.isfinite(truth):
+                assert landmark.lower_bound(s, t) <= truth <= landmark.estimate(s, t)
+
+
+class TestUserWorkflow:
+    def test_build_save_load_query_workflow(self, tmp_path):
+        # A user builds a graph from named entities, indexes it, saves it,
+        # reloads it in a different process and answers queries.
+        builder = GraphBuilder()
+        friendships = [
+            ("ann", "bob"), ("bob", "cat"), ("cat", "dan"), ("dan", "eve"),
+            ("eve", "fay"), ("ann", "cat"), ("bob", "dan"), ("fay", "gus"),
+        ]
+        builder.add_edges(friendships)
+        graph, labeling = builder.build()
+
+        index = PrunedLandmarkLabeling(num_bit_parallel_roots=2).build(graph)
+        # ann - cat - dan - eve - fay - gus is the shortest chain (5 hops).
+        assert index.distance(labeling.id_of("ann"), labeling.id_of("gus")) == 5.0
+
+        index_path = tmp_path / "social.npz"
+        save_index(index, index_path)
+        reloaded = load_index(index_path)
+        assert reloaded.distance(
+            labeling.id_of("ann"), labeling.id_of("gus")
+        ) == 5.0
+
+    def test_edge_list_roundtrip_then_index(self, tmp_path):
+        graph = load_dataset("gnutella")
+        path = tmp_path / "gnutella.txt.gz"
+        write_edge_list(graph, path)
+        loaded, _ = read_edge_list(path)
+        assert loaded.structurally_equal(graph)
+        index = PrunedLandmarkLabeling(num_bit_parallel_roots=4).build(loaded)
+        baseline = BidirectionalBFSOracle().build(graph)
+        for s, t in sample_pairs(graph, 25, seed=2):
+            assert index.distance(s, t) == baseline.distance(s, t)
+
+    def test_weighted_and_unweighted_consistency(self):
+        graph = load_dataset("notredame")
+        uniform = assign_random_weights(graph, low=1.0, high=1.0, seed=0)
+        hop_index = PrunedLandmarkLabeling().build(graph)
+        weighted_index = WeightedPrunedLandmarkLabeling().build(uniform)
+        for s, t in sample_pairs(graph, 60, seed=3):
+            assert weighted_index.distance(s, t) == hop_index.distance(s, t)
+
+    def test_dynamic_index_tracks_growing_network(self):
+        graph = load_dataset("gnutella")
+        initial, stream = split_edge_stream(graph, 0.85, seed=4)
+        dynamic = DynamicPrunedLandmarkLabeling().build(initial)
+        dynamic.insert_edges(stream[:200])
+
+        # Rebuild a static index on exactly the same edge set and compare.
+        from repro.graph.csr import Graph
+
+        current = Graph(
+            graph.num_vertices, list(initial.edges()) + list(stream[:200])
+        )
+        static = PrunedLandmarkLabeling().build(current)
+        for s, t in sample_pairs(graph, 120, seed=5):
+            assert dynamic.distance(s, t) == static.distance(s, t)
+
+    def test_harness_measures_real_dataset(self):
+        graph = load_dataset("notredame")
+        pairs = random_pairs(graph.num_vertices, 200, seed=6)
+        measurement = measure_method(
+            "PLL",
+            lambda: PrunedLandmarkLabeling(num_bit_parallel_roots=16),
+            graph,
+            pairs,
+            dataset="notredame",
+        )
+        assert measurement.finished
+        # Index-backed queries answer in far under a millisecond on average.
+        assert measurement.query_seconds < 1e-3

@@ -1,0 +1,121 @@
+"""Unit tests for label storage (LabelAccumulator / LabelSet)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.labels import INF_DISTANCE, LabelAccumulator, LabelSet
+from repro.errors import IndexBuildError
+
+
+def build_tiny_labelset() -> LabelSet:
+    """Labels for a path 0-1-2 processed in order [1, 0, 2] (1 is most central)."""
+    accumulator = LabelAccumulator(3)
+    # BFS from vertex 1 (rank 0) reaches everything.
+    accumulator.append(1, 0, 0)
+    accumulator.append(0, 0, 1)
+    accumulator.append(2, 0, 1)
+    # BFS from vertex 0 (rank 1): only itself survives pruning.
+    accumulator.append(0, 1, 0)
+    # BFS from vertex 2 (rank 2): only itself survives pruning.
+    accumulator.append(2, 2, 0)
+    return accumulator.freeze(np.array([1, 0, 2]))
+
+
+class TestLabelAccumulator:
+    def test_append_and_sizes(self):
+        accumulator = LabelAccumulator(3)
+        accumulator.append(0, 0, 0)
+        accumulator.append(0, 1, 2)
+        assert accumulator.label_size(0) == 2
+        assert accumulator.label_size(1) == 0
+        assert accumulator.total_entries() == 2
+
+    def test_entries_iteration(self):
+        accumulator = LabelAccumulator(2)
+        accumulator.append(1, 0, 3)
+        accumulator.append(1, 4, 1)
+        assert list(accumulator.entries(1)) == [(0, 3), (4, 1)]
+
+    def test_rank_order_enforced(self):
+        accumulator = LabelAccumulator(2)
+        accumulator.append(0, 5, 1)
+        with pytest.raises(IndexBuildError):
+            accumulator.append(0, 3, 1)
+
+    def test_distance_overflow_rejected(self):
+        accumulator = LabelAccumulator(1)
+        with pytest.raises(IndexBuildError):
+            accumulator.append(0, 0, int(INF_DISTANCE))
+
+    def test_freeze_produces_labelset(self):
+        labels = build_tiny_labelset()
+        assert isinstance(labels, LabelSet)
+        assert labels.num_vertices == 3
+
+
+class TestLabelSet:
+    def test_label_sizes(self):
+        labels = build_tiny_labelset()
+        assert labels.label_size(1) == 1
+        assert labels.label_size(0) == 2
+        assert labels.total_entries() == 5
+        assert labels.average_label_size() == pytest.approx(5 / 3)
+
+    def test_vertex_label_views(self):
+        labels = build_tiny_labelset()
+        hubs, dists = labels.vertex_label(0)
+        assert list(hubs) == [0, 1]
+        assert list(dists) == [1, 0]
+
+    def test_vertex_label_as_vertices(self):
+        labels = build_tiny_labelset()
+        entries = labels.vertex_label_as_vertices(2)
+        assert entries == [(1, 1), (2, 0)]
+
+    def test_query_exact_distances(self):
+        labels = build_tiny_labelset()
+        assert labels.query(0, 2) == 2.0
+        assert labels.query(0, 1) == 1.0
+        assert labels.query(1, 2) == 1.0
+        assert labels.query(0, 0) == 0.0
+
+    def test_query_via_returns_hub(self):
+        labels = build_tiny_labelset()
+        distance, hub = labels.query_via(0, 2)
+        assert distance == 2.0
+        assert hub == 1
+
+    def test_query_disjoint_labels_is_inf(self):
+        accumulator = LabelAccumulator(2)
+        accumulator.append(0, 0, 0)
+        accumulator.append(1, 1, 0)
+        labels = accumulator.freeze(np.array([0, 1]))
+        assert labels.query(0, 1) == float("inf")
+        assert labels.query_via(0, 1) == (float("inf"), None)
+
+    def test_query_many(self):
+        labels = build_tiny_labelset()
+        results = labels.query_many([(0, 2), (1, 2), (0, 0)])
+        assert list(results) == [2.0, 1.0, 0.0]
+
+    def test_rank_and_order_are_inverse(self):
+        labels = build_tiny_labelset()
+        assert np.array_equal(labels.order[labels.rank], np.arange(3))
+
+    def test_nbytes_positive(self):
+        labels = build_tiny_labelset()
+        assert labels.nbytes() > 0
+
+    def test_hub_ranks_sorted_per_vertex(self):
+        labels = build_tiny_labelset()
+        for v in range(labels.num_vertices):
+            hubs, _ = labels.vertex_label(v)
+            assert np.all(np.diff(hubs) > 0)
+
+    def test_empty_labelset(self):
+        accumulator = LabelAccumulator(0)
+        labels = accumulator.freeze(np.zeros(0, dtype=np.int64))
+        assert labels.num_vertices == 0
+        assert labels.average_label_size() == 0.0

@@ -1,0 +1,84 @@
+"""Tests for shortest-path reconstruction (PathPrunedLandmarkLabeling)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.paths import PathPrunedLandmarkLabeling
+from repro.errors import IndexBuildError, IndexStateError
+from repro.graph.csr import Graph
+from repro.graph.traversal import bfs_distance
+from tests.conftest import random_test_graphs, sample_pairs
+
+
+def assert_valid_path(graph: Graph, path, s: int, t: int, expected_length: float):
+    """A returned path must start at s, end at t, follow edges, and be shortest."""
+    assert path[0] == s
+    assert path[-1] == t
+    assert len(path) - 1 == expected_length
+    for a, b in zip(path, path[1:]):
+        assert graph.has_edge(a, b)
+    # Shortest paths over simple graphs never repeat vertices.
+    assert len(set(path)) == len(path)
+
+
+class TestPathReconstruction:
+    def test_unbuilt_raises(self):
+        with pytest.raises(IndexStateError):
+            PathPrunedLandmarkLabeling().distance(0, 1)
+
+    def test_rejects_directed(self):
+        graph = Graph(3, [(0, 1)], directed=True)
+        with pytest.raises(IndexBuildError):
+            PathPrunedLandmarkLabeling().build(graph)
+
+    def test_path_on_chain(self, path_graph):
+        oracle = PathPrunedLandmarkLabeling().build(path_graph)
+        assert oracle.shortest_path(0, 4) == [0, 1, 2, 3, 4]
+        assert oracle.shortest_path(4, 0) == [4, 3, 2, 1, 0]
+
+    def test_trivial_path(self, path_graph):
+        oracle = PathPrunedLandmarkLabeling().build(path_graph)
+        assert oracle.shortest_path(2, 2) == [2]
+        assert oracle.shortest_path(2, 3) == [2, 3]
+
+    def test_disconnected_returns_none(self, disconnected_graph):
+        oracle = PathPrunedLandmarkLabeling().build(disconnected_graph)
+        assert oracle.shortest_path(0, 4) is None
+        assert oracle.distance(0, 4) == float("inf")
+
+    def test_distance_matches_bfs(self, medium_social_graph):
+        oracle = PathPrunedLandmarkLabeling().build(medium_social_graph)
+        for s, t in sample_pairs(medium_social_graph, 100, seed=7):
+            assert oracle.distance(s, t) == bfs_distance(medium_social_graph, s, t)
+
+    def test_paths_are_valid_shortest_paths(self):
+        for graph in random_test_graphs(3, seed=8):
+            oracle = PathPrunedLandmarkLabeling().build(graph)
+            for s, t in sample_pairs(graph, 60, seed=9):
+                expected = bfs_distance(graph, s, t)
+                path = oracle.shortest_path(s, t)
+                if not np.isfinite(expected):
+                    assert path is None
+                    continue
+                assert path is not None
+                assert_valid_path(graph, path, s, t, expected)
+
+    def test_paths_through_example_graph(self, paper_example_graph):
+        oracle = PathPrunedLandmarkLabeling().build(paper_example_graph)
+        for s in range(paper_example_graph.num_vertices):
+            for t in range(paper_example_graph.num_vertices):
+                expected = bfs_distance(paper_example_graph, s, t)
+                path = oracle.shortest_path(s, t)
+                assert path is not None
+                assert_valid_path(paper_example_graph, path, s, t, expected)
+
+    def test_average_label_size(self, small_social_graph):
+        oracle = PathPrunedLandmarkLabeling().build(small_social_graph)
+        assert oracle.average_label_size() >= 1.0
+        assert oracle.build_seconds > 0
+
+    def test_bad_order_rejected(self, path_graph):
+        with pytest.raises(IndexBuildError):
+            PathPrunedLandmarkLabeling().build(path_graph, order=[0, 1, 2, 3, 3])

@@ -1,0 +1,189 @@
+"""Unit tests for the pruned-BFS label construction (paper Section 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bitparallel import build_bit_parallel_labels
+from repro.core.pruned import build_naive_labels, build_pruned_labels
+from repro.errors import IndexBuildError
+from repro.graph.csr import Graph
+from repro.graph.ordering import compute_order, degree_order
+from tests.conftest import exact_distances, random_test_graphs
+
+
+class TestBuildPrunedLabels:
+    def test_exactness_on_path(self, path_graph):
+        order = degree_order(path_graph)
+        labels, _ = build_pruned_labels(path_graph, order)
+        truth = exact_distances(path_graph)
+        for s in range(5):
+            for t in range(5):
+                assert labels.query(s, t) == truth[s, t]
+
+    def test_exactness_on_random_graphs(self):
+        for graph in random_test_graphs(4, seed=21):
+            order = degree_order(graph)
+            labels, _ = build_pruned_labels(graph, order)
+            truth = exact_distances(graph)
+            rng = np.random.default_rng(0)
+            for _ in range(150):
+                s = int(rng.integers(0, graph.num_vertices))
+                t = int(rng.integers(0, graph.num_vertices))
+                assert labels.query(s, t) == truth[s, t]
+
+    def test_requires_permutation(self, path_graph):
+        with pytest.raises(IndexBuildError):
+            build_pruned_labels(path_graph, np.array([0, 0, 1, 2, 3]))
+
+    def test_rejects_directed(self):
+        graph = Graph(3, [(0, 1)], directed=True)
+        with pytest.raises(IndexBuildError):
+            build_pruned_labels(graph, np.arange(3))
+
+    def test_labels_sorted_by_rank(self, medium_social_graph):
+        order = degree_order(medium_social_graph)
+        labels, _ = build_pruned_labels(medium_social_graph, order)
+        for v in range(labels.num_vertices):
+            hubs, _ = labels.vertex_label(v)
+            assert np.all(np.diff(hubs) > 0)
+
+    def test_every_vertex_labels_itself(self, medium_social_graph):
+        """Without bit-parallel labels every vertex carries its own (rank, 0) entry."""
+        order = degree_order(medium_social_graph)
+        labels, _ = build_pruned_labels(medium_social_graph, order)
+        rank = labels.rank
+        for v in range(labels.num_vertices):
+            hubs, dists = labels.vertex_label(v)
+            position = np.searchsorted(hubs, rank[v])
+            assert position < hubs.shape[0] and hubs[position] == rank[v]
+            assert dists[position] == 0
+
+    def test_pruning_reduces_label_entries(self, medium_social_graph):
+        order = degree_order(medium_social_graph)
+        pruned, _ = build_pruned_labels(medium_social_graph, order)
+        naive, _ = build_naive_labels(medium_social_graph, order)
+        assert pruned.total_entries() < 0.5 * naive.total_entries()
+
+    def test_minimality(self):
+        """Theorem 4.2: removing any single label entry breaks some query."""
+        graph = Graph(
+            8,
+            [(0, 1), (0, 2), (1, 2), (1, 3), (2, 4), (3, 5), (4, 5), (5, 6), (6, 7)],
+        )
+        order = degree_order(graph)
+        labels, _ = build_pruned_labels(graph, order)
+        truth = exact_distances(graph)
+
+        for vertex in range(graph.num_vertices):
+            hubs, dists = labels.vertex_label(vertex)
+            for drop_index in range(hubs.shape[0]):
+                kept = [i for i in range(hubs.shape[0]) if i != drop_index]
+                reduced_hubs = hubs[kept]
+                reduced_dists = dists[kept]
+
+                def reduced_query(s, t):
+                    if s == vertex:
+                        s_hubs, s_dists = reduced_hubs, reduced_dists
+                    else:
+                        s_hubs, s_dists = labels.vertex_label(s)
+                    if t == vertex:
+                        t_hubs, t_dists = reduced_hubs, reduced_dists
+                    else:
+                        t_hubs, t_dists = labels.vertex_label(t)
+                    common, si, ti = np.intersect1d(
+                        s_hubs, t_hubs, assume_unique=True, return_indices=True
+                    )
+                    if common.shape[0] == 0:
+                        return float("inf")
+                    return float(
+                        (s_dists[si].astype(int) + t_dists[ti].astype(int)).min()
+                    )
+
+                broken = False
+                for other in range(graph.num_vertices):
+                    for s, t in ((vertex, other), (other, vertex)):
+                        if reduced_query(s, t) != truth[s, t]:
+                            broken = True
+                            break
+                    if broken:
+                        break
+                assert broken, (
+                    f"dropping entry {drop_index} of vertex {vertex} did not break "
+                    "any query: the index is not minimal"
+                )
+
+    def test_with_bit_parallel_still_exact(self):
+        for graph in random_test_graphs(3, seed=33):
+            order = degree_order(graph)
+            bp = build_bit_parallel_labels(graph, order, 3)
+            labels, _ = build_pruned_labels(graph, order, bit_parallel=bp)
+            truth = exact_distances(graph)
+            rng = np.random.default_rng(3)
+            for _ in range(100):
+                s = int(rng.integers(0, graph.num_vertices))
+                t = int(rng.integers(0, graph.num_vertices))
+                combined = min(labels.query(s, t), bp.query(s, t))
+                if s == t:
+                    combined = 0.0
+                assert combined == truth[s, t]
+
+    def test_bit_parallel_shrinks_normal_labels(self, medium_social_graph):
+        order = degree_order(medium_social_graph)
+        plain, _ = build_pruned_labels(medium_social_graph, order)
+        bp = build_bit_parallel_labels(medium_social_graph, order, 8)
+        with_bp, _ = build_pruned_labels(medium_social_graph, order, bit_parallel=bp)
+        assert with_bp.total_entries() < plain.total_entries()
+
+    def test_construction_stats(self, medium_social_graph):
+        order = degree_order(medium_social_graph)
+        labels, stats = build_pruned_labels(
+            medium_social_graph, order, collect_stats=True
+        )
+        n = medium_social_graph.num_vertices
+        assert stats.labeled_per_bfs.shape[0] == n
+        assert stats.visited_per_bfs.shape[0] == n
+        assert stats.labeled_per_bfs.sum() == labels.total_entries()
+        assert np.all(stats.pruned_per_bfs >= 0)
+        assert np.all(stats.visited_per_bfs >= stats.labeled_per_bfs)
+        # The first BFS (from the top-degree hub) visits the whole component
+        # and labels everything it visits.
+        assert stats.pruned_per_bfs[0] == 0
+        cumulative = stats.cumulative_labeled_fraction()
+        assert np.isclose(cumulative[-1], 1.0)
+        assert stats.elapsed_seconds > 0
+
+    def test_stats_disabled_by_default(self, small_social_graph):
+        order = degree_order(small_social_graph)
+        _, stats = build_pruned_labels(small_social_graph, order)
+        assert stats.labeled_per_bfs.shape[0] == 0
+
+
+class TestBuildNaiveLabels:
+    def test_naive_label_sizes_are_component_sizes(self, disconnected_graph):
+        order = compute_order(disconnected_graph, "degree")
+        labels, _ = build_naive_labels(disconnected_graph, order)
+        # Each vertex is labelled by every vertex of its own component.
+        assert labels.label_size(0) == 3
+        assert labels.label_size(3) == 2
+        assert labels.label_size(5) == 1
+
+    def test_naive_exactness(self, small_social_graph):
+        order = degree_order(small_social_graph)
+        labels, _ = build_naive_labels(small_social_graph, order)
+        truth = exact_distances(small_social_graph)
+        rng = np.random.default_rng(4)
+        for _ in range(100):
+            s = int(rng.integers(0, small_social_graph.num_vertices))
+            t = int(rng.integers(0, small_social_graph.num_vertices))
+            assert labels.query(s, t) == truth[s, t]
+
+    def test_rejects_directed(self):
+        graph = Graph(3, [(0, 1)], directed=True)
+        with pytest.raises(IndexBuildError):
+            build_naive_labels(graph, np.arange(3))
+
+    def test_requires_permutation(self, path_graph):
+        with pytest.raises(IndexBuildError):
+            build_naive_labels(path_graph, np.array([4, 3, 2, 1]))

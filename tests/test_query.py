@@ -1,0 +1,116 @@
+"""Unit tests for the low-level query kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.labels import INF_DISTANCE, LabelAccumulator
+from repro.core.query import RootedQueryEvaluator, intersect_query, merge_join_query
+
+
+class TestMergeJoinQuery:
+    def test_common_hub_minimum(self):
+        result = merge_join_query([0, 2, 5], [1, 2, 3], [2, 5, 7], [4, 1, 9])
+        # Common hubs: 2 (2+4=6) and 5 (3+1=4).
+        assert result == 4
+
+    def test_no_common_hub(self):
+        assert merge_join_query([0, 1], [1, 1], [2, 3], [1, 1]) == float("inf")
+
+    def test_empty_labels(self):
+        assert merge_join_query([], [], [0], [1]) == float("inf")
+
+    def test_identical_labels(self):
+        assert merge_join_query([3], [0], [3], [0]) == 0
+
+    def test_matches_intersect_query_on_random_labels(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            a = np.unique(rng.integers(0, 30, size=rng.integers(0, 10)))
+            b = np.unique(rng.integers(0, 30, size=rng.integers(0, 10)))
+            da = rng.integers(0, 10, size=a.shape[0])
+            db = rng.integers(0, 10, size=b.shape[0])
+            expected = merge_join_query(list(a), list(da), list(b), list(db))
+            got = intersect_query(
+                a.astype(np.int32),
+                da.astype(np.uint16),
+                b.astype(np.int32),
+                db.astype(np.uint16),
+            )
+            assert expected == got
+
+
+class TestIntersectQuery:
+    def test_empty_side(self):
+        empty = np.zeros(0, dtype=np.int32)
+        other = np.array([1], dtype=np.int32)
+        assert intersect_query(empty, empty.astype(np.uint16), other, np.array([2], dtype=np.uint16)) == float("inf")
+
+    def test_basic(self):
+        a = np.array([0, 4], dtype=np.int32)
+        da = np.array([3, 1], dtype=np.uint16)
+        b = np.array([4, 9], dtype=np.int32)
+        db = np.array([2, 0], dtype=np.uint16)
+        assert intersect_query(a, da, b, db) == 3.0
+
+
+class TestRootedQueryEvaluator:
+    def make_labels(self):
+        labels = LabelAccumulator(4)
+        # Vertex 0 is the root; its label knows hubs 0 (itself) and 1.
+        labels.append(0, 0, 0)
+        labels.append(0, 1, 2)
+        # Vertex 2's label has hubs 0 and 1.
+        labels.append(2, 0, 3)
+        labels.append(2, 1, 1)
+        # Vertex 3's label has hub 5, unrelated to the root.
+        labels.append(3, 5, 1)
+        return labels
+
+    def test_query_upper_bound(self):
+        labels = self.make_labels()
+        evaluator = RootedQueryEvaluator(8)
+        evaluator.attach(labels, 0)
+        # Via hub 0: 0 + 3 = 3; via hub 1: 2 + 1 = 3.
+        assert evaluator.query_upper_bound(labels, 2) == 3
+        assert evaluator.query_upper_bound(labels, 3) >= int(INF_DISTANCE)
+        evaluator.detach()
+
+    def test_cutoff_variant(self):
+        labels = self.make_labels()
+        evaluator = RootedQueryEvaluator(8)
+        evaluator.attach(labels, 0)
+        assert evaluator.query_upper_bound_with_cutoff(labels, 2, 3)
+        assert not evaluator.query_upper_bound_with_cutoff(labels, 2, 2)
+        assert not evaluator.query_upper_bound_with_cutoff(labels, 3, 100)
+        evaluator.detach()
+
+    def test_detach_resets_state(self):
+        labels = self.make_labels()
+        evaluator = RootedQueryEvaluator(8)
+        evaluator.attach(labels, 0)
+        evaluator.detach()
+        # After detaching, attaching a root with an empty label yields no hits.
+        evaluator.attach(labels, 1)
+        assert not evaluator.query_upper_bound_with_cutoff(labels, 2, 100)
+        evaluator.detach()
+
+    def test_double_attach_rejected(self):
+        labels = self.make_labels()
+        evaluator = RootedQueryEvaluator(8)
+        evaluator.attach(labels, 0)
+        with pytest.raises(RuntimeError):
+            evaluator.attach(labels, 2)
+        evaluator.detach()
+
+    def test_matches_merge_join_semantics(self):
+        labels = self.make_labels()
+        evaluator = RootedQueryEvaluator(8)
+        evaluator.attach(labels, 0)
+        expected = merge_join_query(
+            labels.hub_ranks(0), labels.distances(0),
+            labels.hub_ranks(2), labels.distances(2),
+        )
+        assert evaluator.query_upper_bound(labels, 2) == expected
+        evaluator.detach()

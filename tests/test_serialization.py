@@ -1,0 +1,85 @@
+"""Tests for index serialization (save_index / load_index)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.index import PrunedLandmarkLabeling
+from repro.core.serialization import FORMAT_VERSION, load_index, save_index
+from repro.errors import SerializationError
+from tests.conftest import sample_pairs
+
+
+class TestSaveLoad:
+    def test_roundtrip_distances(self, tmp_path, medium_social_graph):
+        index = PrunedLandmarkLabeling(num_bit_parallel_roots=4).build(
+            medium_social_graph
+        )
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+
+        pairs = sample_pairs(medium_social_graph, 200, seed=0)
+        assert np.array_equal(index.distances(pairs), loaded.distances(pairs))
+
+    def test_roundtrip_without_bit_parallel(self, tmp_path, small_social_graph):
+        index = PrunedLandmarkLabeling(num_bit_parallel_roots=0).build(
+            small_social_graph
+        )
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        pairs = sample_pairs(small_social_graph, 100, seed=1)
+        assert np.array_equal(index.distances(pairs), loaded.distances(pairs))
+
+    def test_loaded_index_has_no_graph(self, tmp_path, small_social_graph):
+        index = PrunedLandmarkLabeling().build(small_social_graph)
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert loaded.graph is None
+        assert loaded.built
+
+    def test_metadata_preserved(self, tmp_path, small_social_graph):
+        index = PrunedLandmarkLabeling(
+            ordering="closeness", num_bit_parallel_roots=2
+        ).build(small_social_graph)
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert loaded.ordering == "closeness"
+        assert loaded.num_bit_parallel_roots == 2
+        assert loaded.bit_parallel_labels.num_roots == 2
+        assert loaded.average_label_size() == index.average_label_size()
+
+    def test_root_sets_roundtrip(self, tmp_path, medium_social_graph):
+        index = PrunedLandmarkLabeling(num_bit_parallel_roots=3).build(
+            medium_social_graph
+        )
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert loaded.bit_parallel_labels.root_sets == index.bit_parallel_labels.root_sets
+        assert np.array_equal(
+            loaded.bit_parallel_labels.roots, index.bit_parallel_labels.roots
+        )
+
+
+class TestErrors:
+    def test_save_unbuilt_index(self, tmp_path):
+        with pytest.raises(SerializationError):
+            save_index(PrunedLandmarkLabeling(), tmp_path / "x.npz")
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_index(tmp_path / "does_not_exist.npz")
+
+    def test_load_corrupt_file(self, tmp_path):
+        path = tmp_path / "corrupt.npz"
+        path.write_bytes(b"this is not an npz archive")
+        with pytest.raises(SerializationError):
+            load_index(path)
+
+    def test_format_version_constant(self):
+        assert FORMAT_VERSION >= 1

@@ -1,0 +1,42 @@
+"""Tests for index statistics collection."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.index import PrunedLandmarkLabeling
+from repro.core.stats import collect_index_stats, label_size_percentiles
+
+
+class TestIndexStats:
+    def test_collect_basic_fields(self, medium_social_graph):
+        index = PrunedLandmarkLabeling(num_bit_parallel_roots=4).build(
+            medium_social_graph
+        )
+        stats = collect_index_stats(index)
+        assert stats.num_vertices == medium_social_graph.num_vertices
+        assert stats.num_edges == medium_social_graph.num_edges
+        assert stats.total_label_entries == index.label_set.total_entries()
+        assert stats.average_label_size == index.average_label_size()
+        assert stats.max_label_size >= stats.average_label_size
+        assert stats.num_bit_parallel_roots == 4
+        assert stats.index_size_bytes == index.index_size_bytes()
+
+    def test_percentiles_monotone(self, medium_social_graph):
+        index = PrunedLandmarkLabeling().build(medium_social_graph)
+        percentiles = label_size_percentiles(index)
+        keys = sorted(percentiles)
+        values = [percentiles[k] for k in keys]
+        assert values == sorted(values)
+        assert percentiles[100] == index.label_set.label_sizes().max()
+
+    def test_custom_percentiles(self, small_social_graph):
+        index = PrunedLandmarkLabeling().build(small_social_graph)
+        percentiles = label_size_percentiles(index, [50])
+        assert set(percentiles) == {50}
+
+    def test_as_dict_flattens_percentiles(self, small_social_graph):
+        index = PrunedLandmarkLabeling().build(small_social_graph)
+        record = collect_index_stats(index).as_dict()
+        assert "label_size_p50" in record
+        assert record["num_vertices"] == small_social_graph.num_vertices

@@ -1,0 +1,102 @@
+"""Tests for the index verification utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.index import PrunedLandmarkLabeling
+from repro.core.labels import LabelSet
+from repro.core.verification import (
+    verify_against_bfs,
+    verify_index,
+    verify_label_invariants,
+)
+from repro.errors import IndexStateError
+
+
+class TestVerifyHealthyIndexes:
+    @pytest.mark.parametrize("num_bp", [0, 4])
+    def test_correct_index_passes(self, medium_social_graph, num_bp):
+        index = PrunedLandmarkLabeling(num_bit_parallel_roots=num_bp).build(
+            medium_social_graph
+        )
+        report = verify_index(index, num_sources=5, num_label_vertices=50)
+        assert report.ok
+        assert report.num_sources_checked == 5
+        assert report.num_pairs_checked == 5 * medium_social_graph.num_vertices
+        assert report.num_vertices_checked == 50
+        assert "OK" in report.summary()
+
+    def test_disconnected_graph_passes(self, disconnected_graph):
+        index = PrunedLandmarkLabeling().build(disconnected_graph)
+        assert verify_index(index, num_sources=6, num_label_vertices=None).ok
+
+    def test_unbuilt_index_rejected(self):
+        with pytest.raises(IndexStateError):
+            verify_against_bfs(PrunedLandmarkLabeling())
+
+    def test_loaded_index_without_graph_rejected(self, tmp_path, small_social_graph):
+        from repro.core.serialization import load_index, save_index
+
+        index = PrunedLandmarkLabeling().build(small_social_graph)
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        with pytest.raises(IndexStateError):
+            verify_against_bfs(loaded)
+
+
+class TestVerifyCorruptedIndexes:
+    def corrupt_distance(self, index: PrunedLandmarkLabeling) -> None:
+        """Flip one stored label distance to an incorrect value."""
+        labels = index.label_set
+        dists = labels.distances.copy()
+        # Pick a non-trivial entry (distance > 0) and perturb it.
+        target = int(np.flatnonzero(dists > 0)[0])
+        dists[target] = dists[target] + 1
+        index._labels = LabelSet(
+            labels.indptr, labels.hub_ranks, dists, labels.order
+        )
+
+    def test_distance_mismatch_detected(self, small_social_graph):
+        index = PrunedLandmarkLabeling(num_bit_parallel_roots=0).build(
+            small_social_graph
+        )
+        self.corrupt_distance(index)
+        report = verify_index(index, num_sources=small_social_graph.num_vertices // 4)
+        assert not report.ok
+        kinds = {issue.kind for issue in report.issues}
+        assert "stale-distance" in kinds or "distance-mismatch" in kinds
+
+    def test_unsorted_label_detected(self, small_social_graph):
+        index = PrunedLandmarkLabeling(num_bit_parallel_roots=0).build(
+            small_social_graph
+        )
+        labels = index.label_set
+        hubs = labels.hub_ranks.copy()
+        # Find a vertex with at least two entries and swap them.
+        sizes = labels.label_sizes()
+        vertex = int(np.flatnonzero(sizes >= 2)[0])
+        start = int(labels.indptr[vertex])
+        hubs[start], hubs[start + 1] = hubs[start + 1], hubs[start]
+        index._labels = LabelSet(labels.indptr, hubs, labels.distances, labels.order)
+        report = verify_label_invariants(index, num_vertices=None)
+        assert not report.ok
+        assert any(issue.kind == "unsorted-label" for issue in report.issues)
+
+    def test_issue_string_rendering(self, small_social_graph):
+        index = PrunedLandmarkLabeling().build(small_social_graph)
+        self.corrupt_distance(index)
+        report = verify_label_invariants(index, num_vertices=None)
+        assert not report.ok
+        assert "vertex" in str(report.issues[0])
+
+    def test_report_merge(self, small_social_graph):
+        index = PrunedLandmarkLabeling().build(small_social_graph)
+        a = verify_against_bfs(index, num_sources=2)
+        b = verify_label_invariants(index, num_vertices=10)
+        merged = a.merge(b)
+        assert merged.num_sources_checked == 2
+        assert merged.num_vertices_checked == 10
+        assert merged.ok
