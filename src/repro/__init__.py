@@ -39,6 +39,12 @@ from repro.core import (
     save_index,
 )
 from repro.graph import Graph, GraphBuilder, read_edge_list, write_edge_list
+from repro.serving import (
+    BatchQueryEngine,
+    LRUCache,
+    QueryServer,
+    SnapshotManager,
+)
 
 __all__ = [
     "__version__",
@@ -54,4 +60,8 @@ __all__ = [
     "GraphBuilder",
     "read_edge_list",
     "write_edge_list",
+    "BatchQueryEngine",
+    "LRUCache",
+    "QueryServer",
+    "SnapshotManager",
 ]

@@ -1,11 +1,14 @@
 """Command-line interface: ``repro-pll``.
 
-Four sub-commands cover the common workflows:
+Five sub-commands cover the common workflows:
 
 ``repro-pll build``
     Read an edge list, build a pruned-landmark-labeling index and save it.
 ``repro-pll query``
     Load a saved index and answer distance queries from the command line.
+``repro-pll serve``
+    Run the long-lived query service (batched engine, hot-pair cache,
+    metrics) over stdio or TCP.
 ``repro-pll datasets``
     List the built-in benchmark datasets (the paper's Table 4 stand-ins).
 ``repro-pll experiment``
@@ -58,6 +61,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="query pairs as 's,t' (e.g. 12,93); omit to read pairs from stdin",
     )
 
+    serve = subparsers.add_parser(
+        "serve", help="serve distance queries as a long-lived batching service"
+    )
+    serve.add_argument("index", help="path to a saved .npz index")
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address for TCP serving"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="TCP port to listen on; omit to serve stdin/stdout instead",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=65536,
+        help="hot-pair LRU cache capacity (0 disables the cache)",
+    )
+    serve.add_argument(
+        "--batch-size",
+        type=int,
+        default=2048,
+        help="maximum query pairs coalesced into one engine call",
+    )
+    serve.add_argument(
+        "--batch-timeout-ms",
+        type=float,
+        default=2.0,
+        help="how long to wait for more requests before dispatching a batch",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=4096,
+        help="admission control: maximum queued requests before rejecting",
+    )
+
     datasets = subparsers.add_parser("datasets", help="list the built-in datasets")
     datasets.add_argument(
         "--size-class", choices=["small", "large"], default=None, help="filter by size"
@@ -88,6 +129,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument(
         "--num-queries", type=int, default=1_000, help="random query pairs per dataset"
+    )
+    experiment.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for random query workloads and randomised orderings",
     )
     experiment.add_argument(
         "--no-baselines",
@@ -124,26 +171,107 @@ def _command_build(args: argparse.Namespace) -> int:
 
 
 def _parse_pairs(tokens: Sequence[str]) -> List[tuple]:
+    from repro.serving.protocol import parse_pair
+
     pairs = []
     for token in tokens:
-        parts = token.replace(",", " ").split()
-        if len(parts) != 2:
-            raise ValueError(f"cannot parse query pair {token!r}; expected 's,t'")
-        pairs.append((int(parts[0]), int(parts[1])))
+        try:
+            pairs.append(parse_pair(token))
+        except ValueError as exc:
+            raise ValueError(f"cannot parse query pair {token!r}; {exc}") from None
     return pairs
 
 
 def _command_query(args: argparse.Namespace) -> int:
     from repro.core.serialization import load_index
+    from repro.errors import SerializationError, VertexError
 
-    index = load_index(args.index)
+    try:
+        index = load_index(args.index)
+    except SerializationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     tokens = list(args.pairs)
     if not tokens:
         tokens = [line.strip() for line in sys.stdin if line.strip()]
-    for s, t in _parse_pairs(tokens):
-        distance = index.distance(s, t)
+    try:
+        pairs = _parse_pairs(tokens)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        distances = index.distances(pairs)
+    except VertexError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for (s, t), distance in zip(pairs, distances):
         rendered = "inf" if distance == float("inf") else f"{distance:g}"
         print(f"{s}\t{t}\t{rendered}")
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.core.serialization import load_index
+    from repro.errors import SerializationError
+    from repro.serving import (
+        BatchQueryEngine,
+        LRUCache,
+        QueryServer,
+        serve_stdio,
+        serve_tcp,
+    )
+
+    try:
+        index = load_index(args.index)
+    except SerializationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"index metadata: ordering={index.ordering} "
+        f"bit_parallel_roots={index.num_bit_parallel_roots}",
+        file=sys.stderr,
+    )
+    engine = BatchQueryEngine(index)
+    cache = LRUCache(args.cache_size) if args.cache_size > 0 else None
+    server = QueryServer(
+        engine,
+        cache=cache,
+        max_batch_size=args.batch_size,
+        batch_timeout=args.batch_timeout_ms / 1000.0,
+        max_pending=args.max_pending,
+    )
+    print(
+        f"serving {engine.num_vertices} vertices from {args.index} "
+        f"(cache={args.cache_size}, batch={args.batch_size})",
+        file=sys.stderr,
+    )
+    with server:
+        if args.port is None:
+            print(
+                "reading queries from stdin ('s t' or 's,t' per line; STATS "
+                "for metrics; QUIT to exit)",
+                file=sys.stderr,
+            )
+            serve_stdio(server)
+        else:
+            tcp = serve_tcp(server, args.host, args.port)
+            host, port = tcp.server_address[:2]
+            print(f"listening on {host}:{port}", file=sys.stderr)
+            try:
+                tcp.serve_forever()
+            except KeyboardInterrupt:  # pragma: no cover - interactive only
+                pass
+            finally:
+                tcp.shutdown()
+                tcp.server_close()
+        stats = server.metrics_snapshot()
+        print(
+            f"served {stats['num_queries']:.0f} queries in "
+            f"{stats['num_batches']:.0f} batches "
+            f"(p50 {stats['latency_p50_ms']:.3f} ms, "
+            f"p99 {stats['latency_p99_ms']:.3f} ms)",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -165,7 +293,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
 
     csv_rows = None
     if args.name == "table1":
-        rows = exp.run_table1(args.datasets, num_queries=args.num_queries)
+        rows = exp.run_table1(args.datasets, num_queries=args.num_queries, seed=args.seed)
         print(exp.format_table1(rows))
         csv_rows = rows
     elif args.name == "table3":
@@ -173,45 +301,50 @@ def _command_experiment(args: argparse.Namespace) -> int:
             args.datasets,
             num_queries=args.num_queries,
             include_baselines=not args.no_baselines,
+            seed=args.seed,
         )
         print(exp.format_table3(measurements))
         csv_rows = [m.as_dict() for m in measurements]
     elif args.name == "table4":
-        rows = exp.run_table4(args.datasets)
+        rows = exp.run_table4(args.datasets, seed=args.seed)
         print(exp.format_table4(rows))
         csv_rows = rows
     elif args.name == "table5":
-        rows = exp.run_table5(args.datasets)
+        rows = exp.run_table5(args.datasets, seed=args.seed)
         print(exp.format_table5(rows))
         csv_rows = rows
     elif args.name == "figure2":
         degrees = exp.run_figure2_degrees(args.datasets)
-        distances = exp.run_figure2_distances(args.datasets)
+        distances = exp.run_figure2_distances(args.datasets, seed=args.seed)
         print(exp.format_figure2(degrees, distances))
     elif args.name == "figure3":
-        profiles = exp.run_figure3(args.datasets)
+        profiles = exp.run_figure3(args.datasets, seed=args.seed)
         print(exp.format_figure3(profiles))
     elif args.name == "figure4":
-        curves = exp.run_figure4(args.datasets, num_pairs=args.num_queries)
+        curves = exp.run_figure4(args.datasets, num_pairs=args.num_queries, seed=args.seed)
         print(exp.format_figure4(curves))
     elif args.name == "figure5":
-        points = exp.run_figure5(args.datasets, num_queries=args.num_queries)
+        points = exp.run_figure5(
+            args.datasets, num_queries=args.num_queries, seed=args.seed
+        )
         print(exp.format_figure5(points))
         csv_rows = [p.as_dict() for p in points]
     elif args.name == "ablation-ordering":
-        rows = exp.ordering_ablation(args.datasets)
+        rows = exp.ordering_ablation(args.datasets, seed=args.seed)
         print(exp.format_ablation(rows, "Ablation: vertex ordering strategies"))
         csv_rows = rows
     elif args.name == "ablation-pruning":
         from repro.datasets.registry import load_dataset
 
         dataset = (args.datasets or ["gnutella"])[0]
-        rows = exp.pruning_ablation(load_dataset(dataset))
+        rows = exp.pruning_ablation(load_dataset(dataset), seed=args.seed)
         print(exp.format_ablation(rows, f"Ablation: pruning on/off ({dataset})"))
         csv_rows = rows
     elif args.name == "ablation-theorem43":
         dataset = (args.datasets or ["epinions"])[0]
-        rows = exp.theorem43_check(dataset, num_pairs=args.num_queries)
+        rows = exp.theorem43_check(
+            dataset, num_pairs=args.num_queries, seed=args.seed
+        )
         print(exp.format_ablation(rows, "Ablation: Theorem 4.3 label-size bound"))
         csv_rows = rows
     else:  # pragma: no cover - argparse prevents this
@@ -231,6 +364,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_build(args)
     if args.command == "query":
         return _command_query(args)
+    if args.command == "serve":
+        return _command_serve(args)
     if args.command == "datasets":
         return _command_datasets(args)
     if args.command == "experiment":

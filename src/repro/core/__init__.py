@@ -18,8 +18,13 @@ from repro.core.pruned import (
     build_naive_labels,
     build_pruned_labels,
 )
-from repro.core.query import RootedQueryEvaluator, intersect_query, merge_join_query
-from repro.core.serialization import load_index, save_index
+from repro.core.query import (
+    BatchQueryKernel,
+    RootedQueryEvaluator,
+    intersect_query,
+    merge_join_query,
+)
+from repro.core.serialization import load_index, load_index_metadata, save_index
 from repro.core.stats import IndexStats, collect_index_stats, label_size_percentiles
 from repro.core.verification import (
     VerificationIssue,
@@ -53,8 +58,10 @@ __all__ = [
     "merge_join_query",
     "intersect_query",
     "RootedQueryEvaluator",
+    "BatchQueryKernel",
     "save_index",
     "load_index",
+    "load_index_metadata",
     "IndexStats",
     "collect_index_stats",
     "label_size_percentiles",

@@ -215,6 +215,47 @@ class DynamicPrunedLandmarkLabeling:
             self.insert_edge(int(a), int(b))
 
     # ------------------------------------------------------------------ #
+    # Snapshots
+    # ------------------------------------------------------------------ #
+
+    def freeze(self) -> PrunedLandmarkLabeling:
+        """Snapshot the current labels into an immutable static oracle.
+
+        The returned :class:`~repro.core.index.PrunedLandmarkLabeling` owns
+        frozen numpy copies of the labels, so later :meth:`insert_edge` calls
+        on this dynamic oracle do not affect it.  This is the bridge between
+        the writable index and the lock-free read path of the serving
+        subsystem: updates are applied here, then :meth:`freeze` publishes an
+        immutable view (see :class:`repro.serving.snapshot.SnapshotManager`).
+        """
+        self._require_built()
+        from repro.core.bitparallel import BitParallelLabels
+        from repro.core.labels import LabelSet
+
+        n = len(self._hubs)
+        labels = LabelSet.from_lists(self._hubs, self._dists, self._order.copy())
+
+        static = PrunedLandmarkLabeling(
+            ordering=self.ordering, num_bit_parallel_roots=0, seed=self.seed
+        )
+        static._labels = labels
+        static._bit_parallel = BitParallelLabels.make_empty(n)
+        static._order = labels.order
+        static._graph = None
+        return static
+
+    def graph_snapshot(self) -> Graph:
+        """The current (inserted-into) graph as an immutable CSR :class:`Graph`."""
+        self._require_built()
+        edges = [
+            (u, v)
+            for u in range(len(self._adjacency))
+            for v in self._adjacency[u]
+            if u < v
+        ]
+        return Graph(len(self._adjacency), edges)
+
+    # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
 

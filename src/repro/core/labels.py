@@ -97,17 +97,7 @@ class LabelAccumulator:
             The vertex processing order; ``order[r]`` is the vertex whose rank
             is ``r``.  Stored so that hubs can be reported as vertex ids.
         """
-        sizes = np.array([len(h) for h in self._hubs], dtype=np.int64)
-        indptr = np.zeros(self._num_vertices + 1, dtype=np.int64)
-        np.cumsum(sizes, out=indptr[1:])
-        total = int(indptr[-1])
-        hubs = np.empty(total, dtype=np.int32)
-        dists = np.empty(total, dtype=np.uint16)
-        for v in range(self._num_vertices):
-            start, end = indptr[v], indptr[v + 1]
-            hubs[start:end] = self._hubs[v]
-            dists[start:end] = self._dists[v]
-        return LabelSet(indptr, hubs, dists, np.asarray(order, dtype=np.int64))
+        return LabelSet.from_lists(self._hubs, self._dists, order)
 
 
 class LabelSet:
@@ -141,6 +131,33 @@ class LabelSet:
         rank = np.empty(self._order.shape[0], dtype=np.int64)
         rank[self._order] = np.arange(self._order.shape[0])
         self._rank = rank
+
+    @classmethod
+    def from_lists(
+        cls,
+        hubs_per_vertex: Sequence[Sequence[int]],
+        dists_per_vertex: Sequence[Sequence[int]],
+        order: Sequence[int],
+    ) -> "LabelSet":
+        """Flatten per-vertex ``(hub_rank, distance)`` lists into a frozen set.
+
+        The canonical list-of-lists -> CSR conversion, shared by
+        :meth:`LabelAccumulator.freeze` and the dynamic oracle's snapshot
+        :meth:`~repro.core.dynamic.DynamicPrunedLandmarkLabeling.freeze`.
+        Per-vertex lists must already be sorted by hub rank.
+        """
+        num_vertices = len(hubs_per_vertex)
+        sizes = np.array([len(h) for h in hubs_per_vertex], dtype=np.int64)
+        indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.cumsum(sizes, out=indptr[1:])
+        total = int(indptr[-1])
+        hubs = np.empty(total, dtype=np.int32)
+        dists = np.empty(total, dtype=np.uint16)
+        for v in range(num_vertices):
+            start, end = indptr[v], indptr[v + 1]
+            hubs[start:end] = hubs_per_vertex[v]
+            dists[start:end] = dists_per_vertex[v]
+        return cls(indptr, hubs, dists, np.asarray(order, dtype=np.int64))
 
     # ------------------------------------------------------------------ #
     # Introspection

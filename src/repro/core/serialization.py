@@ -23,7 +23,7 @@ from repro.core.index import PrunedLandmarkLabeling
 from repro.core.labels import LabelSet
 from repro.errors import SerializationError
 
-__all__ = ["save_index", "load_index", "FORMAT_VERSION"]
+__all__ = ["save_index", "load_index", "load_index_metadata", "FORMAT_VERSION"]
 
 PathLike = Union[str, os.PathLike]
 
@@ -75,6 +75,36 @@ def save_index(index: PrunedLandmarkLabeling, path: PathLike) -> None:
     )
 
 
+def _decode_metadata(archive) -> dict:
+    """Decode and format-check the metadata record of an open archive."""
+    metadata = json.loads(bytes(archive["metadata"]).decode("utf-8"))
+    if metadata.get("format_version") != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported index format version {metadata.get('format_version')}"
+        )
+    return metadata
+
+
+def load_index_metadata(path: PathLike) -> dict:
+    """Read only the metadata record of a saved index.
+
+    Cheap relative to :func:`load_index` (the label arrays are not
+    decompressed), which makes it suitable for the serving layer's snapshot
+    reload path: a server can inspect an archive — vertex count, format
+    version, bit-parallel configuration — before deciding to hot-swap it in.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise SerializationError(f"index file {path} does not exist")
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            return _decode_metadata(archive)
+    except SerializationError:
+        raise
+    except Exception as exc:
+        raise SerializationError(f"failed to read metadata from {path}: {exc}") from exc
+
+
 def load_index(path: PathLike) -> PrunedLandmarkLabeling:
     """Load an index previously written by :func:`save_index`.
 
@@ -87,11 +117,7 @@ def load_index(path: PathLike) -> PrunedLandmarkLabeling:
         raise SerializationError(f"index file {path} does not exist")
     try:
         with np.load(path, allow_pickle=False) as archive:
-            metadata = json.loads(bytes(archive["metadata"]).decode("utf-8"))
-            if metadata.get("format_version") != FORMAT_VERSION:
-                raise SerializationError(
-                    f"unsupported index format version {metadata.get('format_version')}"
-                )
+            metadata = _decode_metadata(archive)
             labels = LabelSet(
                 archive["label_indptr"],
                 archive["label_hubs"],

@@ -63,3 +63,20 @@ class DatasetError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment driver is configured inconsistently."""
+
+
+class ServingError(ReproError):
+    """Raised when the query-serving subsystem is misused or misconfigured.
+
+    Examples: publishing a snapshot from a manager with no writable shadow
+    index, or submitting requests to a server that has been stopped.
+    """
+
+
+class AdmissionError(ServingError):
+    """Raised when a request is rejected by the server's admission control.
+
+    The server bounds its pending-request queue; when the queue is full new
+    work is rejected immediately (fail fast) rather than queued into an
+    ever-growing backlog — callers should back off and retry.
+    """

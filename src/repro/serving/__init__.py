@@ -1,0 +1,42 @@
+"""Query-serving subsystem: batched engine, hot-pair cache, snapshot hot swap.
+
+Everything under :mod:`repro.serving` is aimed at *traffic*, not
+reproduction: turning a built pruned-landmark-labeling index into a
+long-lived service that answers heavy query streams fast and keeps serving
+while the index is updated underneath it.
+
+* :mod:`~repro.serving.engine` — :class:`BatchQueryEngine`, the vectorised
+  many-pairs-per-call front end with latency/throughput accounting.
+* :mod:`~repro.serving.cache` — :class:`LRUCache`, the bounded hot-pair
+  cache with hit/miss/eviction counters.
+* :mod:`~repro.serving.snapshot` — :class:`SnapshotManager`, lock-free
+  reader snapshots with atomic hot swap of updated or reloaded indexes.
+* :mod:`~repro.serving.server` — :class:`QueryServer`, the threaded request
+  loop with coalescing and admission control, plus stdio/TCP front ends.
+* :mod:`~repro.serving.metrics` — :class:`ServerMetrics`: QPS, P50/P95/P99
+  latency and cache hit rate.
+"""
+
+from repro.serving.cache import CacheStats, LRUCache
+from repro.serving.engine import BatchQueryEngine, EngineStats
+from repro.serving.metrics import LatencyWindow, ServerMetrics
+from repro.serving.protocol import MAX_VERTEX_ID, parse_pair
+from repro.serving.server import QueryRequest, QueryServer, serve_stdio, serve_tcp
+from repro.serving.snapshot import IndexSnapshot, SnapshotManager
+
+__all__ = [
+    "BatchQueryEngine",
+    "EngineStats",
+    "LRUCache",
+    "CacheStats",
+    "IndexSnapshot",
+    "SnapshotManager",
+    "QueryServer",
+    "QueryRequest",
+    "serve_stdio",
+    "serve_tcp",
+    "ServerMetrics",
+    "LatencyWindow",
+    "parse_pair",
+    "MAX_VERTEX_ID",
+]

@@ -1,0 +1,182 @@
+"""Serving metrics: QPS, latency percentiles, cache hit rate.
+
+Production query services are judged by throughput and *tail* latency — the
+P99 a heavy user actually experiences — not by the mean.  This module keeps a
+bounded ring buffer of recent request latencies and derives the standard
+serving dashboard from it: queries per second, P50/P95/P99, batch shape and
+cache effectiveness.  Everything is stdlib + numpy and cheap enough to update
+on every batch.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.serving.cache import CacheStats
+
+__all__ = ["LatencyWindow", "ServerMetrics"]
+
+#: Percentiles reported by default (the usual serving dashboard trio).
+DEFAULT_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+class LatencyWindow:
+    """Fixed-capacity ring buffer of recent latency observations (seconds)."""
+
+    def __init__(self, capacity: int = 8192) -> None:
+        if capacity <= 0:
+            raise ValueError("latency window capacity must be positive")
+        self._buffer = np.zeros(capacity, dtype=np.float64)
+        self._next = 0
+        self._count = 0
+
+    def __len__(self) -> int:
+        return min(self._count, self._buffer.shape[0])
+
+    def record(self, seconds: float) -> None:
+        """Append one observation, overwriting the oldest when full."""
+        self._buffer[self._next] = seconds
+        self._next = (self._next + 1) % self._buffer.shape[0]
+        self._count += 1
+
+    def values(self) -> np.ndarray:
+        """The retained observations (unordered copy)."""
+        if self._count >= self._buffer.shape[0]:
+            return self._buffer.copy()
+        return self._buffer[: self._count].copy()
+
+    def percentiles(
+        self, qs: Sequence[float] = DEFAULT_PERCENTILES
+    ) -> Dict[str, float]:
+        """Latency percentiles in **milliseconds**, keyed ``"p50"``/``"p95"``/...
+
+        Returns zeros when nothing has been recorded yet.
+        """
+        values = self.values()
+        if values.shape[0] == 0:
+            return {f"p{q:g}": 0.0 for q in qs}
+        points = np.percentile(values, qs) * 1000.0
+        return {f"p{q:g}": float(p) for q, p in zip(qs, points)}
+
+
+class ServerMetrics:
+    """Aggregated serving statistics, safe to update and read across threads."""
+
+    def __init__(self, *, window: int = 8192) -> None:
+        self._lock = threading.Lock()
+        self._latencies = LatencyWindow(window)
+        self._started = time.perf_counter()
+        self._num_requests = 0
+        self._num_batches = 0
+        self._num_queries = 0
+        self._busy_seconds = 0.0
+        self._num_rejected = 0
+        self._num_errors = 0
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+
+    def observe_batch(
+        self,
+        num_queries: int,
+        num_requests: int,
+        seconds: float,
+        *,
+        request_latencies: Optional[Sequence[float]] = None,
+    ) -> None:
+        """Record one processed batch.
+
+        ``seconds`` is the worker's evaluation time (feeds ``busy_fraction``).
+        ``request_latencies`` are the *client-observed* per-request latencies
+        — submission to completion, including queue wait and the coalescing
+        window — and are what the reported percentiles describe.  When absent
+        (e.g. direct engine benchmarking), the batch time itself is recorded.
+        """
+        with self._lock:
+            self._num_batches += 1
+            self._num_queries += num_queries
+            self._num_requests += num_requests
+            self._busy_seconds += seconds
+            if request_latencies:
+                for latency in request_latencies:
+                    self._latencies.record(latency)
+            else:
+                self._latencies.record(seconds)
+
+    def observe_rejection(self) -> None:
+        """Record one request rejected by admission control."""
+        with self._lock:
+            self._num_rejected += 1
+
+    def observe_error(self) -> None:
+        """Record one request that failed with an error."""
+        with self._lock:
+            self._num_errors += 1
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_queries(self) -> int:
+        """Total queries answered so far."""
+        return self._num_queries
+
+    def snapshot(
+        self,
+        *,
+        cache_stats: Optional[CacheStats] = None,
+        snapshot_version: Optional[int] = None,
+        queue_depth: Optional[int] = None,
+    ) -> Dict[str, float]:
+        """One flat dictionary with every serving statistic.
+
+        ``qps`` is measured over wall-clock uptime; ``busy_fraction`` is the
+        share of uptime spent actually evaluating batches, a quick saturation
+        indicator.
+        """
+        with self._lock:
+            elapsed = max(time.perf_counter() - self._started, 1e-12)
+            stats: Dict[str, float] = {
+                "uptime_seconds": elapsed,
+                "num_requests": self._num_requests,
+                "num_batches": self._num_batches,
+                "num_queries": self._num_queries,
+                "num_rejected": self._num_rejected,
+                "num_errors": self._num_errors,
+                "qps": self._num_queries / elapsed,
+                "busy_fraction": min(self._busy_seconds / elapsed, 1.0),
+                "average_batch_size": (
+                    self._num_queries / self._num_batches if self._num_batches else 0.0
+                ),
+            }
+            for name, value in self._latencies.percentiles().items():
+                stats[f"latency_{name}_ms"] = value
+        if cache_stats is not None:
+            for name, value in cache_stats.as_dict().items():
+                stats[f"cache_{name}"] = value
+        if snapshot_version is not None:
+            stats["snapshot_version"] = snapshot_version
+        if queue_depth is not None:
+            stats["queue_depth"] = queue_depth
+        return stats
+
+    def render(self, **snapshot_kwargs) -> str:
+        """Human-readable multi-line rendering of :meth:`snapshot`."""
+        stats = self.snapshot(**snapshot_kwargs)
+        lines = ["serving metrics"]
+        for key in sorted(stats):
+            value = stats[key]
+            rendered = f"{value:.4f}" if isinstance(value, float) else str(value)
+            lines.append(f"  {key:24s} {rendered}")
+        return "\n".join(lines)
+
+    def render_json(self, **snapshot_kwargs) -> str:
+        """Single-line JSON rendering of :meth:`snapshot` (the STATS wire reply)."""
+        return json.dumps(self.snapshot(**snapshot_kwargs), sort_keys=True)

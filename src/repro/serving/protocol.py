@@ -1,0 +1,37 @@
+"""Shared parsing for the query wire/CLI protocol.
+
+Both query front ends — the one-shot ``repro-pll query`` command and the
+line protocol spoken by the server's stdio/TCP sessions — accept the same
+pair syntax (``s t`` or ``s,t``).  This module is the single home for that
+parsing so the two surfaces cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+__all__ = ["MAX_VERTEX_ID", "parse_pair"]
+
+#: Largest vertex id representable in the int64 arrays queries are built from.
+MAX_VERTEX_ID = 2**63 - 1
+
+
+def parse_pair(token: str) -> Tuple[int, int]:
+    """Parse one ``s t`` / ``s,t`` token into a vertex-id pair.
+
+    Raises
+    ------
+    ValueError
+        With a human-readable reason (wrong shape, non-integer ids, or ids
+        that do not fit 64 bits).  Callers prefix their own context.
+    """
+    parts = token.replace(",", " ").split()
+    if len(parts) != 2:
+        raise ValueError("expected 's t' or 's,t'")
+    try:
+        s, t = int(parts[0]), int(parts[1])
+    except ValueError:
+        raise ValueError("vertex ids must be integers") from None
+    if abs(s) > MAX_VERTEX_ID or abs(t) > MAX_VERTEX_ID:
+        raise ValueError("vertex id does not fit 64 bits")
+    return s, t

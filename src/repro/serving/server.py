@@ -1,0 +1,474 @@
+"""Threaded query server: request batching, admission control, wire protocol.
+
+The server turns independent client requests into the large batches the
+vectorised engine is fast at:
+
+* Clients :meth:`~QueryServer.submit` requests (one or many pairs each) into
+  a bounded queue.  A full queue rejects immediately with
+  :class:`~repro.errors.AdmissionError` — fail fast beats an unbounded
+  backlog.
+* A single worker thread drains the queue, coalescing requests until either
+  ``max_batch_size`` pairs are gathered or ``batch_timeout`` elapses, probes
+  the hot-pair cache, evaluates the misses in one engine call against the
+  *current* snapshot, stores the results back into the cache and completes
+  every request.
+* Per-batch latency, throughput and cache statistics feed
+  :class:`~repro.serving.metrics.ServerMetrics`.
+
+Two thin front ends speak a line protocol (``s t`` or ``s,t`` per query;
+``STATS`` for a JSON metrics line; ``QUIT`` to end the session):
+:func:`serve_stdio` for pipes/interactive use and :func:`serve_tcp` for
+network clients (stdlib ``socketserver``, one thread per connection).
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import socketserver
+import sys
+import threading
+import time
+from typing import IO, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.index import validate_vertex_ids
+from repro.errors import AdmissionError, ServingError, VertexError
+from repro.serving.cache import LRUCache
+from repro.serving.engine import BatchQueryEngine
+from repro.serving.metrics import ServerMetrics
+from repro.serving.protocol import parse_pair
+from repro.serving.snapshot import SnapshotManager
+
+__all__ = ["QueryRequest", "QueryServer", "serve_stdio", "serve_tcp"]
+
+
+class QueryRequest:
+    """One submitted unit of work: aligned source/target arrays plus a result slot."""
+
+    __slots__ = ("sources", "targets", "result", "error", "created", "_done")
+
+    def __init__(self, sources: np.ndarray, targets: np.ndarray) -> None:
+        self.sources = sources
+        self.targets = targets
+        self.result: Optional[np.ndarray] = None
+        self.error: Optional[BaseException] = None
+        #: Submission time; completion minus this is the client-observed latency.
+        self.created = time.perf_counter()
+        self._done = threading.Event()
+
+    def __len__(self) -> int:
+        return int(self.sources.shape[0])
+
+    @property
+    def done(self) -> bool:
+        """Whether the request has been completed (successfully or not)."""
+        return self._done.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> np.ndarray:
+        """Block until the request completes; return distances or re-raise its error."""
+        if not self._done.wait(timeout):
+            raise TimeoutError("query request did not complete in time")
+        if self.error is not None:
+            raise self.error
+        assert self.result is not None
+        return self.result
+
+    def _complete(self, result: np.ndarray) -> None:
+        self.result = result
+        self._done.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self.error = error
+        self._done.set()
+
+
+class QueryServer:
+    """Batching, cache-fronted, hot-swappable distance query server.
+
+    Parameters
+    ----------
+    backend:
+        Either a :class:`~repro.serving.snapshot.SnapshotManager` (queries are
+        answered against whatever snapshot is current when a batch starts —
+        the hot-swap path) or a bare
+        :class:`~repro.serving.engine.BatchQueryEngine` (static index).
+    cache:
+        Optional hot-pair :class:`~repro.serving.cache.LRUCache`; hits skip
+        the engine entirely.
+    max_batch_size:
+        Maximum pairs coalesced into one engine call.
+    batch_timeout:
+        Seconds the worker waits for more requests before dispatching a
+        partial batch (the latency/throughput knob).
+    max_pending:
+        Admission-control bound on queued requests.
+
+    Use as a context manager (``with QueryServer(engine) as server: ...``) or
+    call :meth:`start` / :meth:`stop` explicitly.
+    """
+
+    def __init__(
+        self,
+        backend: Union[SnapshotManager, BatchQueryEngine],
+        *,
+        cache: Optional[LRUCache] = None,
+        max_batch_size: int = 2048,
+        batch_timeout: float = 0.002,
+        max_pending: int = 4096,
+        metrics: Optional[ServerMetrics] = None,
+    ) -> None:
+        self._backend = backend
+        self.cache = cache
+        # Cached distances are only valid for one index version; the worker
+        # clears the cache whenever the backing snapshot version changes.
+        self._cache_version = (
+            backend.version if isinstance(backend, SnapshotManager) else None
+        )
+        self.max_batch_size = int(max_batch_size)
+        self.batch_timeout = float(batch_timeout)
+        self.max_pending = int(max_pending)
+        self.metrics = metrics if metrics is not None else ServerMetrics()
+        self._queue: "queue.Queue[QueryRequest]" = queue.Queue()
+        self._worker: Optional[threading.Thread] = None
+        self._running = False
+        # Admission flag, dropped *before* the shutdown drain so a client
+        # streaming queries cannot keep the drain from ever finishing.
+        self._accepting = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> "QueryServer":
+        """Start the worker thread (idempotent)."""
+        if self._running:
+            return self
+        self._running = True
+        self._accepting = True
+        self._worker = threading.Thread(
+            target=self._worker_loop, name="repro-pll-query-worker", daemon=True
+        )
+        self._worker.start()
+        return self
+
+    def stop(self, *, drain: bool = True) -> None:
+        """Stop the worker; with ``drain`` (default) pending requests finish first.
+
+        New submissions are rejected from the moment ``stop`` begins, so the
+        drain is over a bounded backlog even if clients keep sending.
+        """
+        if not self._running:
+            return
+        self._accepting = False
+        if drain:
+            self._queue.join()
+        self._running = False
+        if self._worker is not None:
+            self._worker.join(timeout=5.0)
+            self._worker = None
+        self._fail_stragglers()
+
+    def _fail_stragglers(self) -> None:
+        """Fail anything still queued so no client blocks forever.
+
+        Called from :meth:`stop` and from :meth:`submit` when a request races
+        shutdown (passes the running check, lands on the queue after the
+        final drain) — whichever side runs last sees it.
+        """
+        while True:
+            try:
+                request = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            request._fail(ServingError("server stopped before request was served"))
+            self._queue.task_done()
+
+    def __enter__(self) -> "QueryServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        """Whether the worker thread is active."""
+        return self._running
+
+    # ------------------------------------------------------------------ #
+    # Client API
+    # ------------------------------------------------------------------ #
+
+    def _current_engine(self) -> BatchQueryEngine:
+        if isinstance(self._backend, SnapshotManager):
+            return self._backend.current.engine
+        return self._backend
+
+    @property
+    def snapshot_manager(self) -> Optional[SnapshotManager]:
+        """The backing snapshot manager, when hot swap is enabled."""
+        return self._backend if isinstance(self._backend, SnapshotManager) else None
+
+    def submit(
+        self, sources: Sequence[int], targets: Sequence[int]
+    ) -> QueryRequest:
+        """Enqueue one request of aligned pairs; returns immediately.
+
+        Raises
+        ------
+        AdmissionError
+            When the pending queue is at ``max_pending``.
+        ServingError
+            When the server has not been started.
+        VertexError
+            When a vertex id is out of range.  Validated here, at submission,
+            so one malformed request can never fail the unrelated requests it
+            would have been batched with.
+        """
+        if not self._accepting:
+            raise ServingError("server is not accepting requests; call start() first")
+        if self._queue.qsize() >= self.max_pending:
+            self.metrics.observe_rejection()
+            raise AdmissionError(
+                f"request rejected: {self.max_pending} requests already pending"
+            )
+        source_array = np.atleast_1d(np.asarray(sources, dtype=np.int64))
+        target_array = np.atleast_1d(np.asarray(targets, dtype=np.int64))
+        num_vertices = self._current_engine().num_vertices
+        validate_vertex_ids(source_array, num_vertices)
+        validate_vertex_ids(target_array, num_vertices)
+        request = QueryRequest(source_array, target_array)
+        self._queue.put(request)
+        if not self._running:
+            self._fail_stragglers()
+        return request
+
+    def submit_pairs(self, pairs: Iterable[Tuple[int, int]]) -> QueryRequest:
+        """Enqueue one request built from ``(s, t)`` tuples."""
+        pair_array = np.asarray(list(pairs), dtype=np.int64).reshape(-1, 2)
+        return self.submit(pair_array[:, 0], pair_array[:, 1])
+
+    def distance(self, s: int, t: int, *, timeout: Optional[float] = 30.0) -> float:
+        """Synchronous scalar query (submit one pair and wait)."""
+        return float(self.submit([s], [t]).wait(timeout)[0])
+
+    def distances(
+        self,
+        pairs: Iterable[Tuple[int, int]],
+        *,
+        timeout: Optional[float] = 30.0,
+    ) -> np.ndarray:
+        """Synchronous batch query."""
+        return self.submit_pairs(pairs).wait(timeout)
+
+    def metrics_snapshot(self) -> dict:
+        """Serving statistics including cache, snapshot version and queue depth."""
+        manager = self.snapshot_manager
+        return self.metrics.snapshot(
+            cache_stats=self.cache.stats if self.cache is not None else None,
+            snapshot_version=manager.version if manager is not None else None,
+            queue_depth=self._queue.qsize(),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Worker
+    # ------------------------------------------------------------------ #
+
+    def _gather_batch(self) -> list:
+        """Block for the first request, then coalesce more until size/timeout."""
+        try:
+            first = self._queue.get(timeout=0.05)
+        except queue.Empty:
+            return []
+        batch = [first]
+        gathered = len(first)
+        deadline = time.perf_counter() + self.batch_timeout
+        while gathered < self.max_batch_size:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                break
+            try:
+                request = self._queue.get(timeout=remaining)
+            except queue.Empty:
+                break
+            batch.append(request)
+            gathered += len(request)
+        return batch
+
+    def _current_engine_and_invalidate(self) -> BatchQueryEngine:
+        """One snapshot grab per batch: engine and cache-invalidation version
+        always belong together, so a concurrent swap can never skew them."""
+        manager = self.snapshot_manager
+        if manager is None:
+            return self._backend
+        snapshot = manager.current
+        if self.cache is not None and snapshot.version != self._cache_version:
+            self.cache.clear()
+            self._cache_version = snapshot.version
+        return snapshot.engine
+
+    def _evaluate(
+        self, engine: BatchQueryEngine, sources: np.ndarray, targets: np.ndarray
+    ) -> np.ndarray:
+        if self.cache is None:
+            return engine.query_batch(sources, targets)
+        distances, missing = self.cache.lookup_batch(sources, targets)
+        if missing.any():
+            computed = engine.query_batch(sources[missing], targets[missing])
+            distances[missing] = computed
+            self.cache.store_batch(sources[missing], targets[missing], computed)
+        return distances
+
+    def _process_batch(self, batch: list) -> None:
+        start = time.perf_counter()
+        try:
+            engine = self._current_engine_and_invalidate()
+            sources = np.concatenate([request.sources for request in batch])
+            targets = np.concatenate([request.targets for request in batch])
+            distances = self._evaluate(engine, sources, targets)
+        except Exception:
+            # Retry each request alone so one poisoned or oversized request
+            # (e.g. ids stale after a hot swap to a smaller index) cannot
+            # fail the unrelated requests it was coalesced with.
+            succeeded = []
+            for request in batch:
+                try:
+                    request._complete(
+                        self._evaluate(
+                            self._current_engine_and_invalidate(),
+                            request.sources,
+                            request.targets,
+                        )
+                    )
+                    succeeded.append(request)
+                except Exception as single_exc:
+                    request._fail(single_exc)
+                    self.metrics.observe_error()
+            if succeeded:
+                completed = time.perf_counter()
+                self.metrics.observe_batch(
+                    sum(len(request) for request in succeeded),
+                    len(succeeded),
+                    completed - start,
+                    request_latencies=[
+                        completed - request.created for request in succeeded
+                    ],
+                )
+            return
+        finally:
+            for _ in batch:
+                self._queue.task_done()
+        completed = time.perf_counter()
+        offset = 0
+        for request in batch:
+            request._complete(distances[offset: offset + len(request)])
+            offset += len(request)
+        self.metrics.observe_batch(
+            int(sources.shape[0]),
+            len(batch),
+            completed - start,
+            request_latencies=[completed - request.created for request in batch],
+        )
+
+    def _worker_loop(self) -> None:
+        while self._running:
+            try:
+                batch = self._gather_batch()
+                if batch:
+                    self._process_batch(batch)
+            except Exception:  # pragma: no cover - last-resort worker guard
+                # _process_batch handles per-request failures; anything that
+                # still escapes must not kill the worker and wedge the server.
+                continue
+
+
+# ---------------------------------------------------------------------- #
+# Wire protocol
+# ---------------------------------------------------------------------- #
+
+
+def _handle_line(server: QueryServer, line: str) -> Optional[str]:
+    """Evaluate one protocol line; returns the reply, or ``None`` to end the session."""
+    stripped = line.strip()
+    if not stripped:
+        return ""
+    command = stripped.upper()
+    if command in ("QUIT", "EXIT"):
+        return None
+    if command == "STATS":
+        return json.dumps(server.metrics_snapshot(), sort_keys=True)
+    try:
+        s, t = parse_pair(stripped)
+    except ValueError as exc:
+        return f"error: cannot parse query {stripped!r}; {exc}"
+    try:
+        distance = server.distance(s, t)
+    # ServingError covers a stopping server and TimeoutError a saturated one
+    # — client-attributable failures answer with a protocol error line, never
+    # a traceback that kills the session.  Genuine engine bugs still raise.
+    except (AdmissionError, ServingError, VertexError, TimeoutError) as exc:
+        return f"error: {exc}"
+    rendered = "inf" if distance == float("inf") else f"{distance:g}"
+    return f"{s}\t{t}\t{rendered}"
+
+
+def serve_stdio(
+    server: QueryServer,
+    in_stream: Optional[IO[str]] = None,
+    out_stream: Optional[IO[str]] = None,
+) -> int:
+    """Serve the line protocol over text streams until EOF or ``QUIT``.
+
+    Returns the number of protocol lines handled.  Used by
+    ``repro-pll serve`` when no ``--port`` is given, and directly testable
+    with ``io.StringIO``.
+    """
+    in_stream = in_stream if in_stream is not None else sys.stdin
+    out_stream = out_stream if out_stream is not None else sys.stdout
+    handled = 0
+    for line in in_stream:
+        reply = _handle_line(server, line)
+        if reply is None:
+            break
+        handled += 1
+        if reply:
+            print(reply, file=out_stream, flush=True)
+    return handled
+
+
+class _LineProtocolHandler(socketserver.StreamRequestHandler):
+    """One TCP connection speaking the line protocol."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised via serve_tcp tests
+        while True:
+            raw = self.rfile.readline()
+            if not raw:
+                break
+            reply = _handle_line(self.server.query_server, raw.decode("utf-8", "replace"))
+            if reply is None:
+                break
+            if reply:
+                self.wfile.write((reply + "\n").encode("utf-8"))
+                self.wfile.flush()
+
+
+class _ThreadedTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address, query_server: QueryServer) -> None:
+        super().__init__(address, _LineProtocolHandler)
+        self.query_server = query_server
+
+
+def serve_tcp(
+    server: QueryServer, host: str = "127.0.0.1", port: int = 0
+) -> _ThreadedTCPServer:
+    """Bind a threaded TCP front end for ``server`` (not yet serving).
+
+    Returns the bound ``socketserver`` instance; call ``serve_forever()`` on
+    it (blocking) or drive it from a thread.  ``port=0`` binds an ephemeral
+    port, available as ``server_address[1]``.
+    """
+    return _ThreadedTCPServer((host, port), server)

@@ -44,13 +44,82 @@ class TestBuildAndQuery:
         assert (source, target) == ("0", "5")
         assert distance not in ("", "inf")
 
-    def test_query_bad_pair_format(self, tmp_path, small_social_graph):
+    def test_query_bad_pair_format(self, tmp_path, small_social_graph, capsys):
         edge_path = tmp_path / "graph.txt"
         write_edge_list(small_social_graph, edge_path)
         index_path = tmp_path / "index.npz"
         main(["build", str(edge_path), "-o", str(index_path)])
-        with pytest.raises(ValueError):
-            main(["query", str(index_path), "0-5-7"])
+        capsys.readouterr()
+        assert main(["query", str(index_path), "0-5-7"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "0-5-7" in err
+
+    def test_query_non_integer_pair(self, tmp_path, small_social_graph, capsys):
+        edge_path = tmp_path / "graph.txt"
+        write_edge_list(small_social_graph, edge_path)
+        index_path = tmp_path / "index.npz"
+        main(["build", str(edge_path), "-o", str(index_path)])
+        capsys.readouterr()
+        assert main(["query", str(index_path), "a,b"]) == 2
+        assert "must be integers" in capsys.readouterr().err
+
+    def test_query_out_of_range_vertex(self, tmp_path, small_social_graph, capsys):
+        edge_path = tmp_path / "graph.txt"
+        write_edge_list(small_social_graph, edge_path)
+        index_path = tmp_path / "index.npz"
+        main(["build", str(edge_path), "-o", str(index_path)])
+        capsys.readouterr()
+        assert main(["query", str(index_path), "0,999999"]) == 2
+        err = capsys.readouterr().err
+        assert "out of range" in err and "999999" in err
+
+    def test_query_missing_index_file(self, tmp_path, capsys):
+        assert main(["query", str(tmp_path / "missing.npz"), "0,1"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_query_vertex_id_beyond_int64(self, tmp_path, small_social_graph, capsys):
+        edge_path = tmp_path / "graph.txt"
+        write_edge_list(small_social_graph, edge_path)
+        index_path = tmp_path / "index.npz"
+        main(["build", str(edge_path), "-o", str(index_path)])
+        capsys.readouterr()
+        huge = str(10**30)
+        assert main(["query", str(index_path), f"0,{huge}"]) == 2
+        assert "does not fit 64 bits" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    @pytest.fixture
+    def index_path(self, tmp_path, small_social_graph):
+        edge_path = tmp_path / "graph.txt"
+        write_edge_list(small_social_graph, edge_path)
+        path = tmp_path / "index.npz"
+        main(["build", str(edge_path), "-o", str(path), "--bit-parallel", "2"])
+        return path
+
+    def test_serve_stdio_session(self, index_path, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("0 5\n0,5\nSTATS\nQUIT\n"))
+        assert main(["serve", str(index_path)]) == 0
+        captured = capsys.readouterr()
+        lines = captured.out.splitlines()
+        assert lines[0].startswith("0\t5\t")
+        assert lines[1] == lines[0]
+        assert '"num_queries"' in lines[2]
+        assert "serving" in captured.err
+        assert "served" in captured.err
+
+    def test_serve_missing_index(self, tmp_path, capsys):
+        assert main(["serve", str(tmp_path / "nope.npz")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_cache_disabled(self, index_path, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("0 5\nQUIT\n"))
+        assert main(["serve", str(index_path), "--cache-size", "0"]) == 0
+        assert capsys.readouterr().out.startswith("0\t5\t")
 
 
 class TestDatasetsCommand:
@@ -93,3 +162,13 @@ class TestExperimentCommand:
         code = main(["experiment", "ablation-pruning", "--datasets", "notredame"])
         assert code == 0
         assert "pruning" in capsys.readouterr().out
+
+    def test_seed_flag_is_reproducible(self, capsys):
+        assert (
+            main(["experiment", "table4", "--datasets", "gnutella", "--seed", "7"]) == 0
+        )
+        first = capsys.readouterr().out
+        assert (
+            main(["experiment", "table4", "--datasets", "gnutella", "--seed", "7"]) == 0
+        )
+        assert capsys.readouterr().out == first

@@ -6,7 +6,12 @@ import numpy as np
 import pytest
 
 from repro.core.index import PrunedLandmarkLabeling
-from repro.core.serialization import FORMAT_VERSION, load_index, save_index
+from repro.core.serialization import (
+    FORMAT_VERSION,
+    load_index,
+    load_index_metadata,
+    save_index,
+)
 from repro.errors import SerializationError
 from tests.conftest import sample_pairs
 
@@ -64,6 +69,24 @@ class TestSaveLoad:
         assert np.array_equal(
             loaded.bit_parallel_labels.roots, index.bit_parallel_labels.roots
         )
+
+
+class TestMetadata:
+    def test_load_index_metadata(self, tmp_path, small_social_graph):
+        index = PrunedLandmarkLabeling(num_bit_parallel_roots=2).build(
+            small_social_graph
+        )
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        metadata = load_index_metadata(path)
+        assert metadata["format_version"] == FORMAT_VERSION
+        assert metadata["num_vertices"] == small_social_graph.num_vertices
+        assert metadata["num_bit_parallel_roots"] == 2
+        assert metadata["ordering"] == "degree"
+
+    def test_load_index_metadata_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_index_metadata(tmp_path / "missing.npz")
 
 
 class TestErrors:

@@ -1,0 +1,137 @@
+"""Tests for the hot-pair LRU cache: eviction order and counter correctness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving import LRUCache
+
+
+class TestLRUBasics:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_get_miss_then_hit(self):
+        cache = LRUCache(4)
+        assert cache.get(1, 2) is None
+        cache.put(1, 2, 3.0)
+        assert cache.get(1, 2) == 3.0
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_symmetric_normalisation(self):
+        cache = LRUCache(4)
+        cache.put(5, 2, 7.0)
+        assert cache.get(2, 5) == 7.0
+        assert (2, 5) in cache and (5, 2) in cache
+        assert len(cache) == 1
+
+    def test_asymmetric_mode_keeps_directions_distinct(self):
+        cache = LRUCache(4, symmetric=False)
+        cache.put(1, 2, 3.0)
+        assert cache.get(2, 1) is None
+        cache.put(2, 1, 4.0)
+        assert cache.get(1, 2) == 3.0
+        assert cache.get(2, 1) == 4.0
+        assert len(cache) == 2
+
+
+class TestEvictionOrder:
+    def test_least_recently_used_is_evicted(self):
+        cache = LRUCache(2)
+        cache.put(0, 1, 1.0)
+        cache.put(0, 2, 2.0)
+        # Touch (0, 1) so (0, 2) becomes the LRU entry.
+        assert cache.get(0, 1) == 1.0
+        cache.put(0, 3, 3.0)
+        assert (0, 2) not in cache
+        assert cache.get(0, 1) == 1.0
+        assert cache.get(0, 3) == 3.0
+        assert cache.stats.evictions == 1
+
+    def test_put_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put(0, 1, 1.0)
+        cache.put(0, 2, 2.0)
+        cache.put(0, 1, 1.5)  # rewrite refreshes recency, no eviction
+        assert len(cache) == 2
+        assert cache.stats.evictions == 0
+        cache.put(0, 3, 3.0)
+        assert (0, 2) not in cache
+        assert cache.get(0, 1) == 1.5
+
+    def test_eviction_sequence_matches_access_order(self):
+        cache = LRUCache(3)
+        for i in range(3):
+            cache.put(i, 100, float(i))
+        cache.get(0, 100)
+        cache.get(1, 100)
+        # LRU order is now: 2, 0, 1.
+        cache.put(50, 100, 50.0)
+        assert (2, 100) not in cache
+        cache.put(51, 100, 51.0)
+        assert (0, 100) not in cache
+        assert cache.stats.evictions == 2
+        assert cache.keys()[-1] == (51, 100)
+
+    def test_size_never_exceeds_capacity(self):
+        cache = LRUCache(8)
+        for i in range(100):
+            cache.put(i, i + 1, float(i))
+        assert len(cache) == 8
+        assert cache.stats.evictions == 92
+
+
+class TestCounters:
+    def test_hit_rate(self):
+        cache = LRUCache(4)
+        assert cache.stats.hit_rate == 0.0
+        cache.put(0, 1, 1.0)
+        cache.get(0, 1)
+        cache.get(0, 1)
+        cache.get(9, 9)
+        assert cache.stats.hits == 2
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+        assert cache.stats.lookups == 3
+        as_dict = cache.stats.as_dict()
+        assert as_dict["hits"] == 2 and as_dict["evictions"] == 0
+
+    def test_contains_does_not_touch_counters(self):
+        cache = LRUCache(4)
+        cache.put(0, 1, 1.0)
+        assert (0, 1) in cache
+        assert (7, 8) not in cache
+        assert cache.stats.lookups == 0
+
+    def test_clear_preserves_counters(self):
+        cache = LRUCache(4)
+        cache.put(0, 1, 1.0)
+        cache.get(0, 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+
+
+class TestBatchHelpers:
+    def test_lookup_and_store_batch(self):
+        cache = LRUCache(16)
+        sources = np.array([0, 1, 2])
+        targets = np.array([5, 6, 7])
+        distances, missing = cache.lookup_batch(sources, targets)
+        assert missing.all()
+        cache.store_batch(sources, targets, np.array([1.0, 2.0, 3.0]))
+        distances, missing = cache.lookup_batch(sources, targets)
+        assert not missing.any()
+        assert np.array_equal(distances, [1.0, 2.0, 3.0])
+
+    def test_partial_hits(self):
+        cache = LRUCache(16)
+        cache.put(0, 5, 1.0)
+        distances, missing = cache.lookup_batch(
+            np.array([0, 1]), np.array([5, 6])
+        )
+        assert not missing[0] and missing[1]
+        assert distances[0] == 1.0

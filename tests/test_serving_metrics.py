@@ -1,0 +1,85 @@
+"""Tests for the serving metrics: latency window, percentiles, snapshots."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serving import LatencyWindow, ServerMetrics
+from repro.serving.cache import CacheStats
+
+
+class TestLatencyWindow:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LatencyWindow(0)
+
+    def test_empty_percentiles_are_zero(self):
+        window = LatencyWindow(8)
+        assert window.percentiles() == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+        assert len(window) == 0
+
+    def test_ring_overwrites_oldest(self):
+        window = LatencyWindow(4)
+        for value in (1.0, 2.0, 3.0, 4.0, 5.0, 6.0):
+            window.record(value)
+        assert len(window) == 4
+        assert sorted(window.values()) == [3.0, 4.0, 5.0, 6.0]
+
+    def test_percentiles_in_milliseconds(self):
+        window = LatencyWindow(16)
+        for value in (0.001, 0.002, 0.003):
+            window.record(value)
+        points = window.percentiles()
+        assert points["p50"] == pytest.approx(2.0)
+        assert points["p95"] <= 3.0
+
+
+class TestServerMetrics:
+    def test_observe_and_snapshot(self):
+        metrics = ServerMetrics()
+        metrics.observe_batch(num_queries=10, num_requests=3, seconds=0.004)
+        metrics.observe_batch(num_queries=6, num_requests=1, seconds=0.002)
+        metrics.observe_rejection()
+        stats = metrics.snapshot()
+        assert stats["num_queries"] == 16
+        assert stats["num_batches"] == 2
+        assert stats["num_requests"] == 4
+        assert stats["num_rejected"] == 1
+        assert stats["average_batch_size"] == 8.0
+        assert stats["qps"] > 0.0
+        assert stats["latency_p99_ms"] >= stats["latency_p50_ms"] > 0.0
+        assert 0.0 <= stats["busy_fraction"] <= 1.0
+
+    def test_request_latencies_feed_percentiles(self):
+        metrics = ServerMetrics()
+        # Client-observed latencies dominate the batch compute time.
+        metrics.observe_batch(
+            num_queries=3,
+            num_requests=3,
+            seconds=0.001,
+            request_latencies=[0.010, 0.020, 0.030],
+        )
+        stats = metrics.snapshot()
+        assert stats["latency_p50_ms"] == pytest.approx(20.0)
+        assert stats["latency_p99_ms"] == pytest.approx(30.0, rel=0.05)
+        assert 0.0 <= stats["busy_fraction"] <= 1.0
+
+    def test_snapshot_with_cache_and_version(self):
+        metrics = ServerMetrics()
+        cache_stats = CacheStats(hits=3, misses=1)
+        stats = metrics.snapshot(
+            cache_stats=cache_stats, snapshot_version=4, queue_depth=2
+        )
+        assert stats["cache_hit_rate"] == 0.75
+        assert stats["snapshot_version"] == 4
+        assert stats["queue_depth"] == 2
+
+    def test_render_outputs(self):
+        metrics = ServerMetrics()
+        metrics.observe_batch(num_queries=1, num_requests=1, seconds=0.001)
+        text = metrics.render()
+        assert "qps" in text and "latency_p50_ms" in text
+        parsed = json.loads(metrics.render_json())
+        assert parsed["num_queries"] == 1

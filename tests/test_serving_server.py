@@ -1,0 +1,203 @@
+"""Tests for the batching query server, admission control and wire protocol."""
+
+from __future__ import annotations
+
+import io
+import json
+import socket
+
+import numpy as np
+import pytest
+
+from repro.core.index import PrunedLandmarkLabeling
+from repro.errors import AdmissionError, ServingError, VertexError
+from repro.graph.csr import Graph
+from repro.serving import (
+    BatchQueryEngine,
+    LRUCache,
+    QueryServer,
+    SnapshotManager,
+    serve_stdio,
+    serve_tcp,
+)
+
+
+@pytest.fixture
+def engine(small_social_graph):
+    index = PrunedLandmarkLabeling(num_bit_parallel_roots=2).build(small_social_graph)
+    return BatchQueryEngine(index)
+
+
+class TestQueryServer:
+    def test_distance_matches_index(self, engine, small_social_graph):
+        with QueryServer(engine) as server:
+            for s, t in [(0, 5), (3, 7), (2, 2)]:
+                assert server.distance(s, t) == engine.index.distance(s, t)
+
+    def test_batch_submission(self, engine):
+        with QueryServer(engine) as server:
+            request = server.submit([0, 1, 2], [5, 6, 7])
+            result = request.wait(10)
+            assert np.array_equal(
+                result, engine.index.distance_batch([0, 1, 2], [5, 6, 7])
+            )
+            assert request.done
+
+    def test_coalesces_concurrent_requests(self, engine):
+        with QueryServer(engine, batch_timeout=0.05) as server:
+            requests = [server.submit([i], [7 - i]) for i in range(4)]
+            for i, request in enumerate(requests):
+                assert request.wait(10)[0] == engine.index.distance(i, 7 - i)
+            stats = server.metrics_snapshot()
+            # All four one-pair requests ran, in fewer batches than requests.
+            assert stats["num_queries"] == 4
+            assert stats["num_batches"] <= stats["num_requests"]
+
+    def test_submit_requires_running_server(self, engine):
+        server = QueryServer(engine)
+        with pytest.raises(ServingError):
+            server.submit([0], [1])
+
+    def test_out_of_range_rejected_at_submit(self, engine):
+        with QueryServer(engine) as server:
+            with pytest.raises(VertexError):
+                server.submit([0], [10_000])
+            # The bad request did not poison the server.
+            assert server.distance(0, 5) == engine.index.distance(0, 5)
+
+    def test_admission_control_rejects_when_full(self, engine):
+        server = QueryServer(engine, max_pending=2)
+        server._running = True  # worker intentionally not started
+        server._accepting = True
+        try:
+            server.submit([0], [1])
+            server.submit([1], [2])
+            with pytest.raises(AdmissionError):
+                server.submit([2], [3])
+            assert server.metrics_snapshot()["num_rejected"] == 1
+        finally:
+            server._running = False
+            server._accepting = False
+
+    def test_cache_integration(self, engine):
+        cache = LRUCache(64)
+        with QueryServer(engine, cache=cache) as server:
+            first = server.distance(0, 5)
+            second = server.distance(0, 5)
+            third = server.distance(5, 0)  # symmetric hit
+            assert first == second == third
+            assert cache.stats.hits >= 2
+            stats = server.metrics_snapshot()
+            assert stats["cache_hit_rate"] > 0.0
+
+    def test_metrics_snapshot_keys(self, engine):
+        with QueryServer(engine, cache=LRUCache(8)) as server:
+            server.distance(0, 5)
+            stats = server.metrics_snapshot()
+        for key in (
+            "qps",
+            "latency_p50_ms",
+            "latency_p95_ms",
+            "latency_p99_ms",
+            "num_queries",
+            "cache_hit_rate",
+            "queue_depth",
+        ):
+            assert key in stats
+
+    def test_snapshot_backend_serves_hot_swapped_index(self):
+        manager = SnapshotManager.from_graph(Graph(4, [(0, 1), (2, 3)]))
+        with QueryServer(manager) as server:
+            assert server.distance(0, 3) == float("inf")
+            manager.insert_edge(1, 2)
+            manager.publish()
+            assert server.distance(0, 3) == 3.0
+            assert server.metrics_snapshot()["snapshot_version"] == 2
+
+    def test_cache_is_invalidated_on_hot_swap(self):
+        # Regression: a cached pre-swap distance must not survive publish().
+        manager = SnapshotManager.from_graph(Graph(4, [(0, 1), (2, 3)]))
+        cache = LRUCache(64)
+        with QueryServer(manager, cache=cache) as server:
+            assert server.distance(0, 3) == float("inf")  # now cached
+            manager.insert_edge(1, 2)
+            manager.publish()
+            assert server.distance(0, 3) == 3.0
+            # Reload-style swaps invalidate too (version bump is the trigger).
+            assert server.distance(0, 3) == 3.0  # cache hit on the new version
+            assert cache.stats.hits >= 1
+
+
+class TestWireProtocol:
+    def test_stdio_session(self, engine):
+        index = engine.index
+        with QueryServer(engine, cache=LRUCache(16)) as server:
+            in_stream = io.StringIO("0 5\n0,5\n\nSTATS\nbogus line here\n9999 0\nQUIT\n")
+            out_stream = io.StringIO()
+            handled = serve_stdio(server, in_stream, out_stream)
+        lines = out_stream.getvalue().splitlines()
+        expected = index.distance(0, 5)
+        rendered = "inf" if expected == float("inf") else f"{expected:g}"
+        assert lines[0] == f"0\t5\t{rendered}"
+        assert lines[1] == lines[0]
+        stats = json.loads(lines[2])
+        assert stats["num_queries"] == 2.0
+        assert lines[3].startswith("error: cannot parse query")
+        assert lines[4].startswith("error: vertex 9999")
+        assert handled == 6  # QUIT ends the session without being counted
+
+    def test_huge_vertex_id_does_not_kill_session(self, engine):
+        with QueryServer(engine) as server:
+            in_stream = io.StringIO(f"0 {10**30}\n0 5\nQUIT\n")
+            out_stream = io.StringIO()
+            serve_stdio(server, in_stream, out_stream)
+        lines = out_stream.getvalue().splitlines()
+        assert "does not fit 64 bits" in lines[0]
+        assert lines[1].startswith("0\t5\t")  # the session survived
+
+    def test_stopped_server_replies_with_error_line(self, engine):
+        server = QueryServer(engine)  # never started
+        out_stream = io.StringIO()
+        serve_stdio(server, io.StringIO("0 5\nQUIT\n"), out_stream)
+        assert out_stream.getvalue().startswith("error: server is not accepting")
+
+    def test_parse_pair_shared_with_cli(self):
+        from repro.serving import parse_pair
+
+        assert parse_pair("3,7") == (3, 7)
+        assert parse_pair("3 7") == (3, 7)
+        for bad in ("3", "3 7 9", "a b", str(10**30) + " 0"):
+            with pytest.raises(ValueError):
+                parse_pair(bad)
+
+    def test_stdio_stops_at_eof(self, engine):
+        with QueryServer(engine) as server:
+            out_stream = io.StringIO()
+            handled = serve_stdio(server, io.StringIO("0 5\n"), out_stream)
+        assert handled == 1
+        assert out_stream.getvalue().count("\t") == 2
+
+    def test_tcp_round_trip(self, engine):
+        with QueryServer(engine) as server:
+            tcp = serve_tcp(server, "127.0.0.1", 0)
+            import threading
+
+            thread = threading.Thread(target=tcp.serve_forever, daemon=True)
+            thread.start()
+            try:
+                host, port = tcp.server_address[:2]
+                with socket.create_connection((host, port), timeout=10) as conn:
+                    conn.sendall(b"0 5\nSTATS\nQUIT\n")
+                    conn.settimeout(10)
+                    data = b""
+                    while b"\n" not in data.partition(b"\n")[2]:
+                        chunk = conn.recv(4096)
+                        if not chunk:
+                            break
+                        data += chunk
+                replies = data.decode().splitlines()
+                assert replies[0].startswith("0\t5\t")
+                assert json.loads(replies[1])["num_queries"] >= 1
+            finally:
+                tcp.shutdown()
+                tcp.server_close()

@@ -1,0 +1,167 @@
+"""Tests for snapshot publication and atomic hot swap under concurrent updates."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.dynamic import DynamicPrunedLandmarkLabeling
+from repro.core.index import PrunedLandmarkLabeling
+from repro.core.serialization import save_index
+from repro.errors import ServingError
+from repro.graph.csr import Graph
+from repro.serving import SnapshotManager
+
+
+class TestDynamicFreeze:
+    def test_freeze_matches_dynamic_distances(self, medium_social_graph):
+        dynamic = DynamicPrunedLandmarkLabeling().build(medium_social_graph)
+        static = dynamic.freeze()
+        rng = np.random.default_rng(2)
+        n = medium_social_graph.num_vertices
+        for _ in range(100):
+            s, t = int(rng.integers(0, n)), int(rng.integers(0, n))
+            assert static.distance(s, t) == dynamic.distance(s, t)
+
+    def test_freeze_is_isolated_from_later_inserts(self):
+        graph = Graph(4, [(0, 1), (2, 3)])
+        dynamic = DynamicPrunedLandmarkLabeling().build(graph)
+        frozen = dynamic.freeze()
+        dynamic.insert_edge(1, 2)
+        assert dynamic.distance(0, 3) == 3.0
+        assert frozen.distance(0, 3) == float("inf")
+
+    def test_graph_snapshot_reflects_inserts(self):
+        graph = Graph(4, [(0, 1), (2, 3)])
+        dynamic = DynamicPrunedLandmarkLabeling().build(graph)
+        dynamic.insert_edge(1, 2)
+        snapshot = dynamic.graph_snapshot()
+        assert snapshot.num_vertices == 4
+        assert snapshot.has_edge(1, 2)
+        assert snapshot.has_edge(0, 1)
+
+
+class TestSnapshotManager:
+    def test_initial_snapshot_matches_static_index(self, small_social_graph):
+        manager = SnapshotManager.from_graph(small_social_graph)
+        static = PrunedLandmarkLabeling(num_bit_parallel_roots=0).build(
+            small_social_graph
+        )
+        n = small_social_graph.num_vertices
+        for s in range(n):
+            for t in range(n):
+                assert manager.query(s, t) == static.distance(s, t)
+        assert manager.version == 1
+
+    def test_publish_after_insert_updates_readers(self):
+        manager = SnapshotManager.from_graph(Graph(4, [(0, 1), (2, 3)]))
+        assert manager.query(0, 3) == float("inf")
+        manager.insert_edge(1, 2)
+        assert manager.pending_updates == 1
+        # Not yet visible: publication is explicit.
+        assert manager.query(0, 3) == float("inf")
+        snapshot = manager.publish()
+        assert snapshot.version == 2
+        assert manager.pending_updates == 0
+        assert manager.query(0, 3) == 3.0
+
+    def test_old_snapshot_stays_consistent_after_swap(self):
+        manager = SnapshotManager.from_graph(Graph(4, [(0, 1), (2, 3)]))
+        held = manager.current
+        manager.insert_edge(1, 2)
+        manager.publish()
+        assert held.engine.query(0, 3) == float("inf")
+        assert manager.current.engine.query(0, 3) == 3.0
+        assert manager.current.version == held.version + 1
+
+    def test_from_index_with_graph_is_writable(self, small_social_graph):
+        index = PrunedLandmarkLabeling().build(small_social_graph)
+        manager = SnapshotManager.from_index(index)
+        assert manager.writable
+        # The shadow rebuild is deferred until the first actual update.
+        assert manager._shadow is None
+        manager.insert_edge(0, small_social_graph.num_vertices - 1)
+        assert manager._shadow is not None
+        manager.publish()
+        assert manager.query(0, small_social_graph.num_vertices - 1) == 1.0
+
+    def test_reload_from_disk(self, tmp_path, small_social_graph):
+        index = PrunedLandmarkLabeling(num_bit_parallel_roots=2).build(
+            small_social_graph
+        )
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        loaded_index = PrunedLandmarkLabeling().build(Graph(2, [(0, 1)]))
+        manager = SnapshotManager(loaded_index, source="tiny")
+        snapshot = manager.reload(path)
+        assert snapshot.version == 2
+        assert manager.current.engine.query(0, 5) == index.distance(0, 5)
+
+    def test_read_only_manager_rejects_updates(self, tmp_path, small_social_graph):
+        index = PrunedLandmarkLabeling().build(small_social_graph)
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        manager = SnapshotManager(index)  # no shadow passed
+        assert not manager.writable
+        with pytest.raises(ServingError):
+            manager.insert_edge(0, 1)
+        with pytest.raises(ServingError):
+            manager.publish()
+        # Reloading is still allowed.
+        assert manager.reload(path).version == 2
+
+
+class TestConcurrentHotSwap:
+    def test_readers_see_consistent_distances_during_updates(self):
+        """A reader thread queries while a writer inserts edges and publishes.
+
+        The writer records the expected distance of a probe pair for every
+        published version; the reader repeatedly grabs the current snapshot
+        and asserts the distance it observes is exactly the one recorded for
+        that snapshot's version — i.e. swaps are atomic and a snapshot never
+        exposes a half-applied update.
+        """
+        # A path graph: inserting shortcut edges keeps shrinking d(0, n-1).
+        n = 24
+        graph = Graph(n, [(i, i + 1) for i in range(n - 1)])
+        manager = SnapshotManager.from_graph(graph)
+        probe = (0, n - 1)
+
+        expected_by_version = {1: manager.query(*probe)}
+        shortcuts = [(0, 6), (6, 12), (12, 18), (18, n - 1), (0, 12), (0, 18)]
+        stop = threading.Event()
+        failures = []
+
+        def reader():
+            while not stop.is_set():
+                snapshot = manager.current
+                observed = snapshot.engine.query(*probe)
+                expected = expected_by_version.get(snapshot.version)
+                if expected is not None and observed != expected:
+                    failures.append((snapshot.version, observed, expected))
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for a, b in shortcuts:
+                manager.insert_edge(a, b)
+                # Record the expectation *before* readers can see the version.
+                frozen_distance = None
+                snapshot = manager.publish()
+                frozen_distance = snapshot.engine.query(*probe)
+                expected_by_version[snapshot.version] = frozen_distance
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10)
+        assert not failures, f"inconsistent reads: {failures[:3]}"
+        # Shortest paths only shrink under insert-only updates.
+        versions = sorted(expected_by_version)
+        distances = [expected_by_version[v] for v in versions]
+        assert distances == sorted(distances, reverse=True)
+        assert distances[-1] < distances[0]
+        assert manager.version == 1 + len(shortcuts)
