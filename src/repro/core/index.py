@@ -141,8 +141,22 @@ class PrunedLandmarkLabeling:
     # ------------------------------------------------------------------ #
 
     def distance(self, s: int, t: int) -> float:
-        """Exact shortest-path distance between ``s`` and ``t`` (``inf`` if disconnected)."""
+        """Exact shortest-path distance between ``s`` and ``t`` (``inf`` if disconnected).
+
+        Raises
+        ------
+        VertexError
+            If either id is out of ``[0, n)``.  Negative ids in particular
+            must not fall through to numpy's end-relative indexing, which
+            would silently answer for vertex ``n + id``; ids beyond ``n``
+            would surface as a raw ``IndexError`` mid-query.
+        """
         self._require_built()
+        num_vertices = self._labels.num_vertices
+        if not (0 <= s < num_vertices):
+            raise VertexError(s, num_vertices)
+        if not (0 <= t < num_vertices):
+            raise VertexError(t, num_vertices)
         if s == t:
             return 0.0
         best = self._labels.query(s, t)

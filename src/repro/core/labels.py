@@ -22,7 +22,7 @@ the examples without overflow while still being compact.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -158,6 +158,66 @@ class LabelSet:
             hubs[start:end] = hubs_per_vertex[v]
             dists[start:end] = dists_per_vertex[v]
         return cls(indptr, hubs, dists, np.asarray(order, dtype=np.int64))
+
+    def patched(
+        self,
+        updates: "Mapping[int, Tuple[Sequence[int], Sequence[int]]]",
+    ) -> "LabelSet":
+        """Copy-on-write update: replace the labels of a few vertices.
+
+        ``updates`` maps a vertex id to its new ``(hub_ranks, distances)``
+        lists (sorted by hub rank, like every per-vertex label).  The labels
+        of every other vertex are copied from this set in contiguous block
+        slices, so the cost is a handful of vectorised copies plus work
+        proportional to the patched labels — far below re-materialising all
+        per-vertex lists with :meth:`from_lists`.  This is what makes
+        diff-based snapshot publication cheap for the dynamic oracle (see
+        :meth:`repro.core.dynamic.DynamicPrunedLandmarkLabeling.freeze`).
+
+        Returns ``self`` unchanged when ``updates`` is empty; the receiver is
+        never mutated.
+        """
+        if not updates:
+            return self
+        num_vertices = self.num_vertices
+        arrays = {}
+        for vertex, (hubs, dists) in updates.items():
+            if not (0 <= vertex < num_vertices):
+                raise IndexBuildError(
+                    f"patched vertex {vertex} out of range for "
+                    f"{num_vertices} vertices"
+                )
+            arrays[int(vertex)] = (
+                np.asarray(hubs, dtype=np.int32),
+                np.asarray(dists, dtype=np.uint16),
+            )
+        dirty = sorted(arrays)
+
+        new_sizes = np.diff(self._indptr)
+        for vertex in dirty:
+            new_sizes[vertex] = arrays[vertex][0].shape[0]
+        new_indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.cumsum(new_sizes, out=new_indptr[1:])
+        total = int(new_indptr[-1])
+        new_hubs = np.empty(total, dtype=np.int32)
+        new_dists = np.empty(total, dtype=np.uint16)
+
+        # Alternate between block-copying the untouched run before each dirty
+        # vertex and writing that vertex's replacement label.
+        run_start = 0
+        for vertex in dirty + [num_vertices]:
+            if run_start < vertex:
+                src0, src1 = self._indptr[run_start], self._indptr[vertex]
+                dst0 = new_indptr[run_start]
+                new_hubs[dst0: dst0 + (src1 - src0)] = self._hubs[src0:src1]
+                new_dists[dst0: dst0 + (src1 - src0)] = self._dists[src0:src1]
+            if vertex < num_vertices:
+                hubs, dists = arrays[vertex]
+                start = new_indptr[vertex]
+                new_hubs[start: start + hubs.shape[0]] = hubs
+                new_dists[start: start + dists.shape[0]] = dists
+            run_start = vertex + 1
+        return LabelSet(new_indptr, new_hubs, new_dists, self._order)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -331,10 +391,14 @@ class LabelSet:
             return np.full(sizes.shape[0], np.inf, dtype=np.float64)
 
         contributions = flat_dists.astype(np.float64) + temp[flat_hubs]
-        # Per-target minimum via reduceat; empty label segments are patched to inf.
-        clipped_starts = np.minimum(starts, contributions.shape[0] - 1)
-        minima = np.minimum.reduceat(contributions, clipped_starts)
-        result = np.where(sizes > 0, minima, np.inf)
+        # Per-target minimum via reduceat.  Empty label segments are excluded
+        # from the index list entirely: clipping their starts into range would
+        # truncate the reduce window of the last non-empty segment (reduceat
+        # windows end at the next index, whatever segment it belongs to).
+        nonempty = sizes > 0
+        minima = np.minimum.reduceat(contributions, starts[nonempty])
+        result = np.full(sizes.shape[0], np.inf, dtype=np.float64)
+        result[np.flatnonzero(nonempty)] = minima
         if source < result.shape[0] and targets is None:
             result[source] = 0.0
         return result

@@ -189,9 +189,13 @@ class BatchQueryKernel:
         sizes = np.asarray(labels.label_sizes(), dtype=np.int64)
         owners = np.repeat(np.arange(num_vertices, dtype=np.int64), sizes)
         self._stride = np.int64(max(num_vertices, 1))
-        self._hub_ranks = labels.hub_ranks.astype(np.int64)
+        # The hub-rank and distance arrays are shared with (not copied from)
+        # the immutable label set; sums and keys upcast to int64 at query
+        # time.  Sharing keeps kernel construction — and especially
+        # :meth:`patched` — down to the one array that must be derived.
+        self._hub_ranks = labels.hub_ranks
         self._keys = owners * self._stride + self._hub_ranks
-        self._entry_dists = labels.distances.astype(np.int64)
+        self._entry_dists = labels.distances
         self._indptr = labels.indptr
         self._sizes = sizes
 
@@ -203,6 +207,44 @@ class BatchQueryKernel:
     def nbytes(self) -> int:
         """Approximate size of the precomputed key arrays in bytes."""
         return int(self._keys.nbytes + self._entry_dists.nbytes + self._sizes.nbytes)
+
+    def patched(self, labels: LabelSet, dirty_vertices) -> "BatchQueryKernel":
+        """Rebuild the kernel for ``labels``, reusing this kernel's arrays.
+
+        ``labels`` must derive from this kernel's label set with only the
+        labels of ``dirty_vertices`` changed (the contract of
+        :meth:`LabelSet.patched`).  Entry keys encode ``owner * stride +
+        hub_rank`` — both unchanged outside the dirty vertices — so every
+        untouched run is block-copied from the existing arrays and only the
+        dirty segments are re-encoded.  This keeps diff-based snapshot
+        publication free of the O(total label entries) kernel rebuild.
+        """
+        num_vertices = labels.num_vertices
+        if num_vertices != self.num_vertices:
+            return BatchQueryKernel(labels)
+        new_indptr = np.asarray(labels.indptr, dtype=np.int64)
+        total = int(new_indptr[-1])
+        new_keys = np.empty(total, dtype=np.int64)
+        stride = self._stride
+        run_start = 0
+        for vertex in sorted(int(v) for v in dirty_vertices) + [num_vertices]:
+            if run_start < vertex:
+                src0, src1 = self._indptr[run_start], self._indptr[vertex]
+                dst0 = new_indptr[run_start]
+                new_keys[dst0: dst0 + (src1 - src0)] = self._keys[src0:src1]
+            if vertex < num_vertices:
+                hubs, _ = labels.vertex_label(vertex)
+                dst0, dst1 = new_indptr[vertex], new_indptr[vertex + 1]
+                new_keys[dst0:dst1] = vertex * stride + hubs.astype(np.int64)
+            run_start = vertex + 1
+        kernel = BatchQueryKernel.__new__(BatchQueryKernel)
+        kernel._keys = new_keys
+        kernel._hub_ranks = labels.hub_ranks
+        kernel._entry_dists = labels.distances
+        kernel._indptr = new_indptr
+        kernel._sizes = np.asarray(labels.label_sizes(), dtype=np.int64)
+        kernel._stride = stride
+        return kernel
 
     def query_pairs(self, sources: np.ndarray, targets: np.ndarray) -> np.ndarray:
         """Label distances for aligned ``sources[i], targets[i]`` pairs.
@@ -232,7 +274,8 @@ class BatchQueryKernel:
         group_starts = np.concatenate(([0], np.cumsum(enum_sizes)[:-1]))
         offsets = np.arange(total, dtype=np.int64) - np.repeat(group_starts, enum_sizes)
         flat = np.repeat(self._indptr[enum_side], enum_sizes) + offsets
-        enum_dists = self._entry_dists[flat]
+        # Upcast here so the uint16 label distances cannot wrap when summed.
+        enum_dists = self._entry_dists[flat].astype(np.int64)
 
         # One binary search per entry against the probe endpoint's label.
         probe_keys = (

@@ -20,8 +20,14 @@ while the index is updated underneath it.
 from repro.serving.cache import CacheStats, LRUCache
 from repro.serving.engine import BatchQueryEngine, EngineStats
 from repro.serving.metrics import LatencyWindow, ServerMetrics
-from repro.serving.protocol import MAX_VERTEX_ID, parse_pair
-from repro.serving.server import QueryRequest, QueryServer, serve_stdio, serve_tcp
+from repro.serving.protocol import MAX_VERTEX_ID, parse_mutation, parse_pair
+from repro.serving.server import (
+    QueryRequest,
+    QueryServer,
+    replay_mutations,
+    serve_stdio,
+    serve_tcp,
+)
 from repro.serving.snapshot import IndexSnapshot, SnapshotManager
 
 __all__ = [
@@ -33,10 +39,12 @@ __all__ = [
     "SnapshotManager",
     "QueryServer",
     "QueryRequest",
+    "replay_mutations",
     "serve_stdio",
     "serve_tcp",
     "ServerMetrics",
     "LatencyWindow",
     "parse_pair",
+    "parse_mutation",
     "MAX_VERTEX_ID",
 ]

@@ -2,15 +2,17 @@
 
 Both query front ends — the one-shot ``repro-pll query`` command and the
 line protocol spoken by the server's stdio/TCP sessions — accept the same
-pair syntax (``s t`` or ``s,t``).  This module is the single home for that
-parsing so the two surfaces cannot drift apart.
+pair syntax (``s t`` or ``s,t``).  Mutation lines (``add a b``,
+``remove a b``, ``publish``) use the same vocabulary in the live protocol
+and in ``--mutations`` replay files.  This module is the single home for
+that parsing so the surfaces cannot drift apart.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
-__all__ = ["MAX_VERTEX_ID", "parse_pair"]
+__all__ = ["MAX_VERTEX_ID", "is_mutation", "parse_pair", "parse_mutation"]
 
 #: Largest vertex id representable in the int64 arrays queries are built from.
 MAX_VERTEX_ID = 2**63 - 1
@@ -35,3 +37,52 @@ def parse_pair(token: str) -> Tuple[int, int]:
     if abs(s) > MAX_VERTEX_ID or abs(t) > MAX_VERTEX_ID:
         raise ValueError("vertex id does not fit 64 bits")
     return s, t
+
+
+#: Accepted spellings for each mutation operation.
+_MUTATION_ALIASES = {
+    "add": "add",
+    "insert": "add",
+    "remove": "remove",
+    "delete": "remove",
+    "publish": "publish",
+}
+
+
+def is_mutation(line: str) -> bool:
+    """Whether a protocol line is a mutation (vs a query pair).
+
+    Uses the same tokenisation as :func:`parse_mutation`, so every line that
+    parser accepts — including fully comma-separated forms like ``add,0,2``
+    — is routed to it.
+    """
+    parts = line.replace(",", " ").split()
+    return bool(parts) and parts[0].lower() in _MUTATION_ALIASES
+
+
+def parse_mutation(line: str) -> Tuple[str, Optional[Tuple[int, int]]]:
+    """Parse one mutation line into ``(op, endpoints)``.
+
+    Accepted forms (case-insensitive): ``add a b`` / ``insert a b``,
+    ``remove a b`` / ``delete a b``, and the bare ``publish``.  Edge
+    endpoints follow the same ``a b`` / ``a,b`` syntax as query pairs.
+    ``endpoints`` is ``None`` for ``publish``.
+
+    Raises
+    ------
+    ValueError
+        With a human-readable reason; callers prefix their own context.
+    """
+    parts = line.replace(",", " ").split()
+    if not parts:
+        raise ValueError("empty mutation line")
+    op = _MUTATION_ALIASES.get(parts[0].lower())
+    if op is None:
+        raise ValueError(
+            f"unknown mutation {parts[0]!r}; expected add, remove or publish"
+        )
+    if op == "publish":
+        if len(parts) != 1:
+            raise ValueError("publish takes no arguments")
+        return op, None
+    return op, parse_pair(" ".join(parts[1:]))

@@ -16,9 +16,12 @@ vectorised engine is fast at:
   :class:`~repro.serving.metrics.ServerMetrics`.
 
 Two thin front ends speak a line protocol (``s t`` or ``s,t`` per query;
-``STATS`` for a JSON metrics line; ``QUIT`` to end the session):
-:func:`serve_stdio` for pipes/interactive use and :func:`serve_tcp` for
-network clients (stdlib ``socketserver``, one thread per connection).
+``add a b`` / ``remove a b`` to mutate the shadow graph and ``publish`` to
+hot-swap the mutations in; ``STATS`` for a JSON metrics line; ``QUIT`` to
+end the session): :func:`serve_stdio` for pipes/interactive use and
+:func:`serve_tcp` for network clients (stdlib ``socketserver``, one thread
+per connection).  :func:`replay_mutations` drives the same mutation
+vocabulary from a file (the ``--mutations`` serve option).
 """
 
 from __future__ import annotations
@@ -34,14 +37,26 @@ from typing import IO, Iterable, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.core.index import validate_vertex_ids
-from repro.errors import AdmissionError, ServingError, VertexError
+from repro.errors import (
+    AdmissionError,
+    GraphError,
+    IndexBuildError,
+    ServingError,
+    VertexError,
+)
 from repro.serving.cache import LRUCache
 from repro.serving.engine import BatchQueryEngine
 from repro.serving.metrics import ServerMetrics
-from repro.serving.protocol import parse_pair
+from repro.serving.protocol import is_mutation, parse_mutation, parse_pair
 from repro.serving.snapshot import SnapshotManager
 
-__all__ = ["QueryRequest", "QueryServer", "serve_stdio", "serve_tcp"]
+__all__ = [
+    "QueryRequest",
+    "QueryServer",
+    "replay_mutations",
+    "serve_stdio",
+    "serve_tcp",
+]
 
 
 class QueryRequest:
@@ -272,6 +287,55 @@ class QueryServer:
         )
 
     # ------------------------------------------------------------------ #
+    # Mutations (hot-swap write path)
+    # ------------------------------------------------------------------ #
+
+    def _require_manager(self) -> SnapshotManager:
+        manager = self.snapshot_manager
+        if manager is None:
+            raise ServingError(
+                "mutations require a snapshot-manager backend; this server "
+                "wraps a bare engine"
+            )
+        return manager
+
+    def insert_edge(self, a: int, b: int) -> None:
+        """Apply one edge insertion to the backing shadow index (not yet published)."""
+        self._require_manager().insert_edge(a, b)
+
+    def remove_edge(self, a: int, b: int) -> None:
+        """Apply one edge deletion to the backing shadow index (not yet published)."""
+        self._require_manager().remove_edge(a, b)
+
+    def publish(self):
+        """Publish pending mutations as a new snapshot; readers swap atomically."""
+        return self._require_manager().publish()
+
+    def apply_mutation(
+        self, op: str, endpoints: Optional[Tuple[int, int]] = None
+    ) -> str:
+        """Apply one parsed mutation (``add`` / ``remove`` / ``publish``).
+
+        The shared dispatch behind the live protocol's mutation lines and
+        ``--mutations`` file replay.  Returns a one-line human-readable
+        acknowledgement.
+        """
+        if op == "publish":
+            snapshot = self.publish()
+            return f"ok published version={snapshot.version}"
+        if endpoints is None:
+            raise ValueError(f"mutation {op!r} requires edge endpoints")
+        a, b = endpoints
+        if op == "add":
+            self.insert_edge(a, b)
+        elif op == "remove":
+            self.remove_edge(a, b)
+        else:
+            raise ValueError(f"unknown mutation {op!r}")
+        pending = self._require_manager().pending_updates
+        return f"ok {op} ({a}, {b}); {pending} updates pending publish"
+
+    # ------------------------------------------------------------------ #
     # Worker
     # ------------------------------------------------------------------ #
 
@@ -398,6 +462,19 @@ def _handle_line(server: QueryServer, line: str) -> Optional[str]:
         return None
     if command == "STATS":
         return json.dumps(server.metrics_snapshot(), sort_keys=True)
+    if is_mutation(stripped):
+        try:
+            op, endpoints = parse_mutation(stripped)
+        except ValueError as exc:
+            return f"error: cannot parse mutation {stripped!r}; {exc}"
+        try:
+            return server.apply_mutation(op, endpoints)
+        # ServingError: no writable shadow behind this server; GraphError
+        # covers out-of-range endpoints; IndexBuildError the same from the
+        # dynamic oracle.  All client-attributable, so answer with an error
+        # line instead of killing the session.
+        except (ServingError, GraphError, IndexBuildError) as exc:
+            return f"error: {exc}"
     try:
         s, t = parse_pair(stripped)
     except ValueError as exc:
@@ -411,6 +488,47 @@ def _handle_line(server: QueryServer, line: str) -> Optional[str]:
         return f"error: {exc}"
     rendered = "inf" if distance == float("inf") else f"{distance:g}"
     return f"{s}\t{t}\t{rendered}"
+
+
+def replay_mutations(server: QueryServer, lines: Iterable[str]) -> dict:
+    """Replay a mixed insert/delete stream against a server's shadow index.
+
+    ``lines`` holds one mutation per line in the shared protocol vocabulary
+    (``add a b``, ``remove a b``, ``publish``); blank lines and ``#``
+    comments are skipped.  If mutations remain unpublished after the last
+    line, a final publish makes them visible — a replayed file always leaves
+    the serving snapshot caught up with the stream.
+
+    Returns a counter dict (``added`` / ``removed`` / ``published``).
+
+    Raises
+    ------
+    ValueError
+        On an unparsable line (prefixed with its 1-based line number).
+    ServingError
+        When the server has no writable snapshot-manager backend.
+    """
+    counts = {"added": 0, "removed": 0, "published": 0}
+    for line_number, raw in enumerate(lines, start=1):
+        stripped = raw.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        try:
+            op, endpoints = parse_mutation(stripped)
+        except ValueError as exc:
+            raise ValueError(f"mutations line {line_number}: {exc}") from None
+        server.apply_mutation(op, endpoints)
+        if op == "add":
+            counts["added"] += 1
+        elif op == "remove":
+            counts["removed"] += 1
+        else:
+            counts["published"] += 1
+    manager = server.snapshot_manager
+    if manager is not None and manager.pending_updates > 0:
+        server.apply_mutation("publish")
+        counts["published"] += 1
+    return counts
 
 
 def serve_stdio(

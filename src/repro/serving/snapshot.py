@@ -1,8 +1,8 @@
 """Atomic index snapshots: lock-free reads, hot-swapped updates.
 
 A serving index must answer queries continuously while the graph underneath
-it changes (edge insertions from :mod:`repro.core.dynamic`) or while a newer
-index is loaded from disk.  Rather than guarding the read path with locks —
+it changes (edge insertions and deletions from :mod:`repro.core.dynamic`) or
+while a newer index is loaded from disk.  Rather than guarding the read path with locks —
 which would put a mutex acquisition in front of every microsecond-scale query
 — the serving layer uses *snapshot publication*:
 
@@ -11,12 +11,13 @@ which would put a mutex acquisition in front of every microsecond-scale query
   read path is completely lock free, and a reader holding a snapshot keeps a
   consistent index view for as long as it likes — in-flight batches are never
   affected by a concurrent swap.
-* Writers apply edge insertions to a private *shadow*
+* Writers apply edge insertions and deletions to a private *shadow*
   :class:`~repro.core.dynamic.DynamicPrunedLandmarkLabeling` under a write
-  lock, then :meth:`~SnapshotManager.publish` an immutable frozen copy.
-  Publication replaces the current snapshot in one reference assignment; old
-  snapshots are reclaimed by the garbage collector once the last reader drops
-  them.
+  lock, then :meth:`~SnapshotManager.publish` an immutable frozen copy —
+  by default a *diff* freeze that patches only the changed per-vertex labels
+  into the previous snapshot's label set.  Publication replaces the current
+  snapshot in one reference assignment; old snapshots are reclaimed by the
+  garbage collector once the last reader drops them.
 
 This is the classic read-copy-update shape used by production search/vector
 stores for index segment swaps, applied to the 2-hop-label index.
@@ -194,21 +195,43 @@ class SnapshotManager:
                 shadow.insert_edge(int(a), int(b))
                 self._pending_updates += 1
 
-    def publish(self) -> IndexSnapshot:
+    def remove_edge(self, a: int, b: int) -> None:
+        """Apply one edge deletion to the shadow index (not yet visible to readers)."""
+        shadow = self._require_shadow()
+        with self._write_lock:
+            shadow.remove_edge(a, b)
+            self._pending_updates += 1
+
+    def remove_edges(self, edges: Iterable[Tuple[int, int]]) -> None:
+        """Apply a stream of edge deletions to the shadow index."""
+        shadow = self._require_shadow()
+        with self._write_lock:
+            for a, b in edges:
+                shadow.remove_edge(int(a), int(b))
+                self._pending_updates += 1
+
+    def publish(self, *, diff: bool = True) -> IndexSnapshot:
         """Freeze the shadow index and atomically swap it in for readers.
 
         In-flight readers holding the previous snapshot are unaffected; new
-        ``current`` reads observe the new version immediately.
+        ``current`` reads observe the new version immediately.  With ``diff``
+        (the default) the freeze patches only the labels of vertices dirtied
+        since the last freeze into the previous frozen label set, so publish
+        cost scales with the size of the change, not the index.
         """
         shadow = self._require_shadow()
         with self._write_lock:
-            frozen = shadow.freeze()
+            patched = len(shadow.dirty_vertices)
+            frozen = shadow.freeze(diff=diff)
             applied = self._pending_updates
             self._pending_updates = 0
             snapshot = IndexSnapshot(
                 engine=BatchQueryEngine(frozen),
                 version=self._current.version + 1,
-                source=f"publish ({applied} pending updates applied)",
+                source=(
+                    f"publish ({applied} pending updates applied, "
+                    f"{patched} vertex labels patched)"
+                ),
             )
             self._current = snapshot
         return snapshot

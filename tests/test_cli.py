@@ -121,6 +121,71 @@ class TestServeCommand:
         assert main(["serve", str(index_path), "--cache-size", "0"]) == 0
         assert capsys.readouterr().out.startswith("0\t5\t")
 
+    def test_serve_requires_exactly_one_input(self, index_path, tmp_path, capsys):
+        assert main(["serve"]) == 2
+        assert "exactly one input" in capsys.readouterr().err
+        edge_path = tmp_path / "g.txt"
+        edge_path.write_text("0 1\n")
+        assert main(["serve", str(index_path), "--edge-list", str(edge_path)]) == 2
+        assert "exactly one input" in capsys.readouterr().err
+
+    def test_serve_edge_list_with_mutations(self, tmp_path, capsys, monkeypatch):
+        import io
+
+        edge_path = tmp_path / "g.txt"
+        edge_path.write_text("0 1\n1 2\n2 3\n3 4\n")
+        mutations_path = tmp_path / "muts.txt"
+        mutations_path.write_text(
+            "# evolve the path graph\nremove 2 3\nadd 0 4\n"
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO("2 3\n0 4\nQUIT\n"))
+        assert main([
+            "serve",
+            "--edge-list", str(edge_path),
+            "--mutations", str(mutations_path),
+        ]) == 0
+        captured = capsys.readouterr()
+        lines = captured.out.splitlines()
+        # The deletion is live: 2-3 now routes 2-1-0-4-3 over the new edge.
+        assert lines[0] == "2\t3\t4"
+        assert lines[1] == "0\t4\t1"     # insertion is live
+        assert "replayed" in captured.err
+        assert "1 insertions, 1 deletions" in captured.err
+
+    def test_serve_live_mutation_session(self, tmp_path, capsys, monkeypatch):
+        import io
+
+        edge_path = tmp_path / "g.txt"
+        edge_path.write_text("0 1\n1 2\n")
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO("0 2\nremove 1 2\npublish\n0 2\nQUIT\n"),
+        )
+        assert main(["serve", "--edge-list", str(edge_path)]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines[0] == "0\t2\t2"
+        assert lines[1].startswith("ok remove")
+        assert lines[2] == "ok published version=2"
+        assert lines[3] == "0\t2\tinf"
+
+    def test_serve_mutations_require_edge_list(self, index_path, tmp_path, capsys):
+        mutations_path = tmp_path / "muts.txt"
+        mutations_path.write_text("add 0 1\n")
+        assert main([
+            "serve", str(index_path), "--mutations", str(mutations_path)
+        ]) == 2
+        assert "no writable shadow index" in capsys.readouterr().err
+
+    def test_serve_missing_mutations_file(self, tmp_path, capsys):
+        edge_path = tmp_path / "g.txt"
+        edge_path.write_text("0 1\n")
+        assert main([
+            "serve",
+            "--edge-list", str(edge_path),
+            "--mutations", str(tmp_path / "nope.txt"),
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
+
 
 class TestDatasetsCommand:
     def test_lists_builtin_datasets(self, capsys):

@@ -168,3 +168,47 @@ class TestIntrospection:
         assert index.construction_stats.labeled_per_bfs.sum() == (
             index.label_set.total_entries()
         )
+
+
+class TestVertexValidation:
+    """Regression: ``distance(-1, 0)`` used to return ``inf`` (numpy's
+    end-relative indexing produced a nonsense label view) instead of raising,
+    masking caller bugs; ``repro-pll query`` already rejected the same ids."""
+
+    def test_distance_rejects_negative_ids(self, small_social_graph):
+        from repro.errors import VertexError
+
+        index = PrunedLandmarkLabeling().build(small_social_graph)
+        with pytest.raises(VertexError):
+            index.distance(-1, 0)
+        with pytest.raises(VertexError):
+            index.distance(0, -1)
+
+    def test_distance_rejects_too_large_ids(self, small_social_graph):
+        from repro.errors import VertexError
+
+        index = PrunedLandmarkLabeling().build(small_social_graph)
+        n = small_social_graph.num_vertices
+        with pytest.raises(VertexError):
+            index.distance(0, n)
+        with pytest.raises(VertexError):
+            index.distance(n + 7, 0)
+
+    def test_distance_batch_rejects_negative_ids(self, small_social_graph):
+        from repro.errors import VertexError
+
+        index = PrunedLandmarkLabeling().build(small_social_graph)
+        with pytest.raises(VertexError):
+            index.distance_batch([0, -1], [1, 1])
+
+    def test_validation_aligns_with_batch_path(self, small_social_graph):
+        """Scalar and batch queries reject exactly the same ids."""
+        from repro.errors import VertexError
+
+        index = PrunedLandmarkLabeling().build(small_social_graph)
+        n = small_social_graph.num_vertices
+        for s, t in [(-1, 0), (0, n), (-5, -5)]:
+            with pytest.raises(VertexError):
+                index.distance(s, t)
+            with pytest.raises(VertexError):
+                index.distance_batch([s], [t])

@@ -119,3 +119,111 @@ class TestLabelSet:
         labels = accumulator.freeze(np.zeros(0, dtype=np.int64))
         assert labels.num_vertices == 0
         assert labels.average_label_size() == 0.0
+
+
+class TestLabelSetPatched:
+    def test_empty_updates_returns_self(self):
+        labels = build_tiny_labelset()
+        assert labels.patched({}) is labels
+
+    def test_patch_matches_from_lists(self):
+        labels = build_tiny_labelset()
+        # Replace vertex 0's label: grow it.  Replace vertex 2's: shrink it.
+        updates = {0: ([0, 1, 2], [2, 0, 3]), 2: ([2], [0])}
+        patched = labels.patched(updates)
+        expected = LabelSet.from_lists(
+            [[0, 1, 2], [0], [2]],
+            [[2, 0, 3], [0], [0]],
+            np.array([1, 0, 2]),
+        )
+        assert np.array_equal(patched.indptr, expected.indptr)
+        assert np.array_equal(patched.hub_ranks, expected.hub_ranks)
+        assert np.array_equal(patched.distances, expected.distances)
+        assert np.array_equal(patched.order, labels.order)
+
+    def test_receiver_is_not_mutated(self):
+        labels = build_tiny_labelset()
+        before = (labels.hub_ranks.copy(), labels.distances.copy())
+        labels.patched({1: ([0, 1], [1, 4])})
+        assert np.array_equal(labels.hub_ranks, before[0])
+        assert np.array_equal(labels.distances, before[1])
+
+    def test_patch_to_empty_label(self):
+        labels = build_tiny_labelset()
+        patched = labels.patched({1: ([], [])})
+        assert patched.label_size(1) == 0
+        assert patched.total_entries() == labels.total_entries() - 1
+        assert patched.query(0, 2) == 2.0  # untouched vertices still answer
+
+    def test_out_of_range_vertex_rejected(self):
+        labels = build_tiny_labelset()
+        with pytest.raises(IndexBuildError):
+            labels.patched({7: ([0], [0])})
+        with pytest.raises(IndexBuildError):
+            labels.patched({-1: ([0], [0])})
+
+    def test_random_patches_match_full_rebuild(self):
+        rng = np.random.default_rng(3)
+        n = 40
+        order = rng.permutation(n).astype(np.int64)
+        def random_label():
+            size = int(rng.integers(0, 6))
+            hubs = sorted(rng.choice(n, size=size, replace=False).tolist())
+            return hubs, rng.integers(0, 30, size=size).tolist()
+        base_labels = [random_label() for _ in range(n)]
+        labels = LabelSet.from_lists(
+            [h for h, _ in base_labels], [d for _, d in base_labels], order
+        )
+        for _ in range(5):
+            dirty = rng.choice(n, size=int(rng.integers(1, 8)), replace=False)
+            updates = {int(v): random_label() for v in dirty}
+            for vertex, (hubs, dists) in updates.items():
+                base_labels[vertex] = (hubs, dists)
+            labels = labels.patched(updates)
+            expected = LabelSet.from_lists(
+                [h for h, _ in base_labels], [d for _, d in base_labels], order
+            )
+            assert np.array_equal(labels.indptr, expected.indptr)
+            assert np.array_equal(labels.hub_ranks, expected.hub_ranks)
+            assert np.array_equal(labels.distances, expected.distances)
+
+
+class TestQueryOneToManyEmptyGroups:
+    """Regression: reduceat start-clipping used to truncate the reduce window
+    of the last non-empty label segment whenever trailing vertices had empty
+    labels, silently dropping that segment's final (often minimal) entry."""
+
+    def test_last_nonempty_vertex_followed_by_empty_labels(self):
+        # Vertex 1's best (and last) entry is hub rank 2; vertex 2 has an
+        # empty label behind it, which used to clip the window short.
+        labels = LabelSet.from_lists(
+            [[0, 1, 2], [0, 2], []],
+            [[0, 5, 1], [9, 1], []],
+            np.array([0, 1, 2]),
+        )
+        result = labels.query_one_to_many(0)
+        assert result[1] == 2.0  # via hub rank 2: 1 + 1, not 9 via hub 0
+        assert result[2] == float("inf")
+
+    def test_matches_scalar_query_with_empty_labels(self):
+        rng = np.random.default_rng(17)
+        n = 25
+        labels_per_vertex = []
+        for _ in range(n):
+            size = int(rng.integers(0, 4))  # empty labels are common
+            hubs = sorted(rng.choice(n, size=size, replace=False).tolist())
+            labels_per_vertex.append(
+                (hubs, rng.integers(0, 9, size=size).tolist())
+            )
+        labels = LabelSet.from_lists(
+            [h for h, _ in labels_per_vertex],
+            [d for _, d in labels_per_vertex],
+            np.arange(n, dtype=np.int64),
+        )
+        for source in range(0, n, 3):
+            batch = labels.query_one_to_many(source)
+            for target in range(n):
+                expected = labels.query(source, target)
+                if source == target:
+                    continue  # one-to-many pins the source slot to 0.0
+                assert batch[target] == expected, (source, target)

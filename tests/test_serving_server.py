@@ -201,3 +201,129 @@ class TestWireProtocol:
             finally:
                 tcp.shutdown()
                 tcp.server_close()
+
+
+class TestMutationProtocol:
+    def _writable_server(self):
+        from repro.serving import SnapshotManager
+
+        graph = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        return QueryServer(SnapshotManager.from_graph(graph))
+
+    def test_add_remove_publish_session(self):
+        with self._writable_server() as server:
+            in_stream = io.StringIO(
+                "0 4\nremove 2 3\n0 4\npublish\n0 4\nadd 0,4\npublish\n0 4\nQUIT\n"
+            )
+            out_stream = io.StringIO()
+            serve_stdio(server, in_stream, out_stream)
+        lines = out_stream.getvalue().splitlines()
+        assert lines[0] == "0\t4\t4"
+        assert lines[1].startswith("ok remove (2, 3)")
+        assert lines[2] == "0\t4\t4"      # not yet published
+        assert lines[3] == "ok published version=2"
+        assert lines[4] == "0\t4\tinf"
+        assert lines[5].startswith("ok add (0, 4)")
+        assert lines[6] == "ok published version=3"
+        assert lines[7] == "0\t4\t1"
+
+    def test_mutations_on_engine_backend_answer_error_line(self, engine):
+        with QueryServer(engine) as server:
+            in_stream = io.StringIO("add 0 1\npublish\n0 5\nQUIT\n")
+            out_stream = io.StringIO()
+            serve_stdio(server, in_stream, out_stream)
+        lines = out_stream.getvalue().splitlines()
+        assert lines[0].startswith("error: mutations require")
+        assert lines[1].startswith("error: mutations require")
+        assert lines[2].startswith("0\t5\t")  # the session survived
+
+    def test_malformed_mutations_answer_error_line(self):
+        with self._writable_server() as server:
+            in_stream = io.StringIO(
+                "add 1\nremove a b\npublish now\nadd 0 99\n0 4\nQUIT\n"
+            )
+            out_stream = io.StringIO()
+            serve_stdio(server, in_stream, out_stream)
+        lines = out_stream.getvalue().splitlines()
+        assert lines[0].startswith("error: cannot parse mutation")
+        assert lines[1].startswith("error: cannot parse mutation")
+        assert lines[2].startswith("error: cannot parse mutation")
+        assert lines[3].startswith("error: edge endpoints (0, 99)")
+        assert lines[4] == "0\t4\t4"
+
+    def test_cache_invalidated_by_published_removal(self):
+        from repro.serving import SnapshotManager
+
+        graph = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        manager = SnapshotManager.from_graph(graph)
+        with QueryServer(manager, cache=LRUCache(16)) as server:
+            assert server.distance(0, 3) == 3.0
+            assert server.distance(0, 3) == 3.0  # now cached
+            server.remove_edge(1, 2)
+            server.publish()
+            assert server.distance(0, 3) == float("inf")
+
+    def test_comma_form_mutations_route_to_mutation_parser(self):
+        """Regression: 'add,0,2' used to fall through to the query parser in
+        the live protocol even though parse_mutation (and replay files)
+        accept it."""
+        with self._writable_server() as server:
+            in_stream = io.StringIO("remove,2,3\npublish\n2 3\nQUIT\n")
+            out_stream = io.StringIO()
+            serve_stdio(server, in_stream, out_stream)
+        lines = out_stream.getvalue().splitlines()
+        assert lines[0].startswith("ok remove (2, 3)")
+        assert lines[1] == "ok published version=2"
+        assert lines[2] == "2\t3\tinf"
+
+    def test_parse_mutation_vocabulary(self):
+        from repro.serving import parse_mutation
+
+        assert parse_mutation("add 1 2") == ("add", (1, 2))
+        assert parse_mutation("INSERT 1,2") == ("add", (1, 2))
+        assert parse_mutation("remove 3 4") == ("remove", (3, 4))
+        assert parse_mutation("Delete 3,4") == ("remove", (3, 4))
+        assert parse_mutation("publish") == ("publish", None)
+        for bad in ("", "add 1", "frobnicate 1 2", "publish 3", "add x y"):
+            with pytest.raises(ValueError):
+                parse_mutation(bad)
+
+
+class TestReplayMutations:
+    def test_replay_applies_and_auto_publishes(self):
+        from repro.serving import SnapshotManager, replay_mutations
+
+        graph = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        with QueryServer(SnapshotManager.from_graph(graph)) as server:
+            counts = replay_mutations(
+                server,
+                ["# comment", "", "remove 2 3", "publish", "add 0 4"],
+            )
+            assert counts == {"added": 1, "removed": 1, "published": 2}
+            # The removed edge now routes around the inserted one: 2-1-0-4-3.
+            assert server.distance(2, 3) == 4.0
+            assert server.distance(0, 4) == 1.0
+
+    def test_replay_no_trailing_publish_needed(self):
+        from repro.serving import SnapshotManager, replay_mutations
+
+        graph = Graph(3, [(0, 1)])
+        with QueryServer(SnapshotManager.from_graph(graph)) as server:
+            counts = replay_mutations(server, ["add 1 2", "publish"])
+            assert counts["published"] == 1
+
+    def test_replay_reports_bad_line_number(self):
+        from repro.serving import SnapshotManager, replay_mutations
+
+        graph = Graph(3, [(0, 1)])
+        with QueryServer(SnapshotManager.from_graph(graph)) as server:
+            with pytest.raises(ValueError, match="line 2"):
+                replay_mutations(server, ["add 1 2", "nonsense"])
+
+    def test_replay_requires_writable_backend(self, engine):
+        from repro.serving import replay_mutations
+        from repro.errors import ServingError
+
+        with QueryServer(engine) as server:
+            with pytest.raises(ServingError):
+                replay_mutations(server, ["add 0 1"])

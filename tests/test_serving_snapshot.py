@@ -165,3 +165,70 @@ class TestConcurrentHotSwap:
         assert distances == sorted(distances, reverse=True)
         assert distances[-1] < distances[0]
         assert manager.version == 1 + len(shortcuts)
+
+
+class TestDecrementalPublish:
+    def test_publish_after_remove_updates_readers(self):
+        manager = SnapshotManager.from_graph(
+            Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        )
+        assert manager.query(0, 4) == 4.0
+        manager.remove_edge(2, 3)
+        assert manager.pending_updates == 1
+        # Not yet visible: publication is explicit.
+        assert manager.query(0, 4) == 4.0
+        snapshot = manager.publish()
+        assert snapshot.version == 2
+        assert "vertex labels patched" in snapshot.source
+        assert manager.query(0, 4) == float("inf")
+        assert manager.query(0, 2) == 2.0
+
+    def test_mixed_stream_matches_rebuilt_index(self):
+        graph = Graph(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
+        manager = SnapshotManager.from_graph(graph)
+        manager.remove_edge(5, 0)
+        manager.insert_edge(0, 3)
+        manager.remove_edge(2, 3)
+        manager.publish()
+        final = Graph(6, [(0, 1), (1, 2), (3, 4), (4, 5), (0, 3)])
+        truth = PrunedLandmarkLabeling().build(final)
+        for s in range(6):
+            for t in range(6):
+                assert manager.query(s, t) == truth.distance(s, t)
+
+    def test_remove_edges_stream_counts_pending(self):
+        manager = SnapshotManager.from_graph(
+            Graph(4, [(0, 1), (1, 2), (2, 3)])
+        )
+        manager.remove_edges([(0, 1), (2, 3)])
+        assert manager.pending_updates == 2
+        manager.publish()
+        assert manager.pending_updates == 0
+        assert manager.query(0, 1) == float("inf")
+
+    def test_read_only_manager_rejects_removals(self, small_social_graph):
+        index = PrunedLandmarkLabeling().build(small_social_graph)
+        manager = SnapshotManager(index)  # no shadow
+        with pytest.raises(ServingError):
+            manager.remove_edge(0, 1)
+
+    def test_diff_publish_equals_full_publish(self):
+        graph = Graph(8, [(i, i + 1) for i in range(7)] + [(0, 7)])
+        diff_manager = SnapshotManager.from_graph(graph)
+        full_manager = SnapshotManager.from_graph(graph)
+        for manager in (diff_manager, full_manager):
+            manager.remove_edge(3, 4)
+            manager.insert_edge(1, 6)
+        diff_snapshot = diff_manager.publish(diff=True)
+        full_snapshot = full_manager.publish(diff=False)
+        for s in range(8):
+            for t in range(8):
+                assert diff_snapshot.engine.query(s, t) == full_snapshot.engine.query(s, t)
+
+    def test_held_snapshot_unaffected_by_removal_publish(self):
+        manager = SnapshotManager.from_graph(Graph(3, [(0, 1), (1, 2)]))
+        held = manager.current
+        manager.remove_edge(0, 1)
+        manager.publish()
+        assert held.engine.query(0, 2) == 2.0
+        assert manager.current.engine.query(0, 2) == float("inf")
