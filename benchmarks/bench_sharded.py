@@ -1,0 +1,283 @@
+"""Benchmark for multi-process sharded query serving.
+
+Measures, on a generated clustered power-law graph of >= 10k vertices:
+
+* single-process batched throughput (:class:`~repro.serving.engine.BatchQueryEngine`
+  over the current snapshot) — the GIL-bound baseline every query used to
+  go through,
+* :class:`~repro.serving.sharded.ShardedQueryEngine` throughput with the
+  batch shards fanned out across worker processes that attach the snapshot's
+  named shared-memory generation (no label arrays cross the process
+  boundary),
+* diff publish into a fresh shared-memory generation
+  (``freeze(diff=True)`` patching the dirty label/kernel segments directly
+  into the new region) vs the full-freeze publish baseline, after redundant
+  -edge deletion bursts dirtying < 1% of vertices,
+* shared-memory hygiene: at most two generations exist at any point and
+  none survive shutdown.
+
+The headline acceptance number is the sharded-vs-single-process speedup,
+asserted to be at least 4x with 4 workers at full scale.  The speedup is
+real parallelism, so it needs cores: the ``--smoke`` CI configuration
+(small graph, 2 workers, shared CI runners) keeps every correctness and
+hygiene assertion but only sanity-bounds the throughput ratio.
+Also runnable standalone: ``python benchmarks/bench_sharded.py [--smoke]``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+from bench_dynamic import _redundant_edges  # noqa: E402
+
+from repro.core.dynamic import DynamicPrunedLandmarkLabeling  # noqa: E402
+from repro.generators import holme_kim_graph  # noqa: E402
+from repro.serving import ShardedQueryEngine, SnapshotManager  # noqa: E402
+
+#: Minimum sharded/single-process speedup promised with 4 workers at full scale.
+REQUIRED_SPEEDUP = 4.0
+#: Sanity floor at smoke scale (shared runners, possibly fewer cores than
+#: workers — smoke checks the machinery, not the parallelism).
+SMOKE_SPEEDUP = 0.2
+#: Diff-publish-into-generation vs full-publish speedup at < 1% churn.
+REQUIRED_PUBLISH_SPEEDUP = 5.0
+SMOKE_PUBLISH_SPEEDUP = 1.5
+MAX_DIRTY_FRACTION = 0.01
+SMOKE_DIRTY_FRACTION = 0.05
+
+
+def _live_generations(prefix_root: str = "pll") -> List[str]:
+    """Distinct shared-memory generation prefixes currently in /dev/shm."""
+    shm = Path("/dev/shm")
+    if not shm.exists():  # pragma: no cover - non-Linux fallback
+        return []
+    return sorted(
+        {entry.name.rsplit(".", 1)[0] for entry in shm.iterdir() if entry.name.startswith(prefix_root)}
+    )
+
+
+def run_sharded_benchmark(
+    *,
+    num_vertices: int = 10_000,
+    attach: int = 4,
+    triad_probability: float = 0.5,
+    num_queries: int = 60_000,
+    batch_size: int = 8_192,
+    num_workers: int = 4,
+    min_shard_size: int = 512,
+    removals_per_burst: int = 6,
+    num_bursts: int = 3,
+    seed: int = 17,
+) -> Dict[str, float]:
+    """Build one shared serving stack and measure single vs sharded throughput."""
+    graph = holme_kim_graph(num_vertices, attach, triad_probability, seed=seed)
+    build_start = time.perf_counter()
+    shadow = DynamicPrunedLandmarkLabeling().build(graph)
+    build_seconds = time.perf_counter() - build_start
+    manager = SnapshotManager(shadow.freeze(), shadow=shadow, shared=True)
+    manager.current.engine.index.prepare_batch_kernel()
+
+    rng = np.random.default_rng(seed + 1)
+    sources = rng.integers(0, num_vertices, size=num_queries)
+    targets = rng.integers(0, num_vertices, size=num_queries)
+
+    # Single-process baseline: the engine behind the current snapshot.
+    # One full untimed pass first — cold caches and frequency ramp-up make
+    # the first pass ~2x slower than steady state, which would flatter the
+    # sharded ratio.
+    single_engine = manager.current.engine
+
+    def _single_pass():
+        return [
+            single_engine.query_batch(
+                sources[start: start + batch_size],
+                targets[start: start + batch_size],
+            )
+            for start in range(0, num_queries, batch_size)
+        ]
+
+    _single_pass()
+    single_start = time.perf_counter()
+    single_chunks = _single_pass()
+    single_seconds = time.perf_counter() - single_start
+    single_results = np.concatenate(single_chunks)
+
+    sharded = ShardedQueryEngine(
+        manager, num_workers=num_workers, min_shard_size=min_shard_size
+    )
+    try:
+        # Warm the worker attachments and caches outside the timed window.
+        for start in range(0, num_queries, batch_size):
+            sharded.query_batch(
+                sources[start: start + batch_size],
+                targets[start: start + batch_size],
+            )
+        sharded_start = time.perf_counter()
+        sharded_chunks = [
+            sharded.query_batch(
+                sources[start: start + batch_size],
+                targets[start: start + batch_size],
+            )
+            for start in range(0, num_queries, batch_size)
+        ]
+        sharded_seconds = time.perf_counter() - sharded_start
+        sharded_results = np.concatenate(sharded_chunks)
+
+        if not np.array_equal(sharded_results, single_results):
+            raise AssertionError(
+                "sharded engine disagrees with the single-process engine"
+            )
+        busy_workers = len(sharded.worker_seconds())
+
+        # Diff publish into a new shared-memory generation vs the full path,
+        # driven by redundant-edge deletion bursts (local label impact).
+        total_removals = removals_per_burst * (num_bursts + 1)
+        doomed = _redundant_edges(shadow, total_removals, seed + 2)
+        diff_publish_seconds: List[float] = []
+        dirty_counts: List[int] = []
+        max_concurrent_generations = 0
+        for burst in range(num_bursts):
+            start = burst * removals_per_burst
+            for a, b in doomed[start: start + removals_per_burst]:
+                manager.remove_edge(a, b)
+            dirty_counts.append(len(shadow.dirty_vertices))
+            publish_start = time.perf_counter()
+            manager.publish()
+            diff_publish_seconds.append(time.perf_counter() - publish_start)
+            max_concurrent_generations = max(
+                max_concurrent_generations, len(_live_generations())
+            )
+        for a, b in doomed[num_bursts * removals_per_burst:]:
+            manager.remove_edge(a, b)
+        full_start = time.perf_counter()
+        manager.publish(diff=False)
+        full_publish_seconds = time.perf_counter() - full_start
+
+        # The new generation must serve the post-deletion distances.
+        check = rng.integers(0, num_vertices, size=(2_000, 2))
+        expected = shadow.distances([tuple(pair) for pair in check])
+        refreshed = sharded.query_batch(check[:, 0], check[:, 1])
+        if not np.array_equal(refreshed, expected):
+            raise AssertionError(
+                "sharded engine disagrees with the shadow oracle after publish"
+            )
+    finally:
+        sharded.close()
+        manager.close()
+    leaked = _live_generations()
+
+    diff_seconds = min(diff_publish_seconds)
+    return {
+        "num_vertices": num_vertices,
+        "num_edges": graph.num_edges,
+        "build_seconds": build_seconds,
+        "num_queries": num_queries,
+        "batch_size": batch_size,
+        "num_workers": num_workers,
+        "busy_workers": busy_workers,
+        "single_qps": num_queries / single_seconds,
+        "sharded_qps": num_queries / sharded_seconds,
+        "speedup": single_seconds / sharded_seconds,
+        "dirty_vertices": max(dirty_counts),
+        "dirty_fraction": max(dirty_counts) / num_vertices,
+        "diff_publish_ms": diff_seconds * 1000.0,
+        "full_publish_ms": full_publish_seconds * 1000.0,
+        "publish_speedup": full_publish_seconds / diff_seconds,
+        "max_concurrent_generations": max_concurrent_generations,
+        "leaked_generations": len(leaked),
+    }
+
+
+def format_sharded_report(results: Dict[str, float]) -> str:
+    """Human-readable sharded-serving benchmark report."""
+    lines = [
+        "Sharded serving benchmark (multi-process engine vs single process)",
+        f"  graph: {results['num_vertices']:,.0f} vertices / "
+        f"{results['num_edges']:,.0f} edges "
+        f"(index built in {results['build_seconds']:.1f}s)",
+        f"  workload: {results['num_queries']:,.0f} uniform pairs in batches "
+        f"of {results['batch_size']:,.0f}; "
+        f"{results['num_workers']:.0f} workers "
+        f"({results['busy_workers']:.0f} saw shards)",
+        "",
+        f"  single process     {results['single_qps']:12,.0f} queries/s",
+        f"  sharded            {results['sharded_qps']:12,.0f} queries/s "
+        f"({results['speedup']:.2f}x)",
+        f"  diff publish       {results['diff_publish_ms']:10,.2f} ms into a "
+        f"new shared-memory generation",
+        f"  full publish       {results['full_publish_ms']:10,.2f} ms "
+        f"({results['publish_speedup']:.1f}x slower; "
+        f"{results['dirty_fraction']:.2%} of labels dirty per diff burst)",
+        f"  generations alive  {results['max_concurrent_generations']:.0f} max "
+        f"concurrent, {results['leaked_generations']:.0f} leaked after close",
+    ]
+    return "\n".join(lines)
+
+
+def _check(results: Dict[str, float], *, smoke: bool) -> None:
+    """Assert the acceptance bars (relaxed throughput floor at smoke scale)."""
+    required = SMOKE_SPEEDUP if smoke else REQUIRED_SPEEDUP
+    assert results["speedup"] >= required, (
+        f"sharded speedup {results['speedup']:.2f}x below the "
+        f"{required:.2f}x requirement"
+    )
+    dirty_budget = SMOKE_DIRTY_FRACTION if smoke else MAX_DIRTY_FRACTION
+    assert results["dirty_fraction"] < dirty_budget, (
+        f"deletion bursts dirtied {results['dirty_fraction']:.2%} of vertices; "
+        f"the diff-publish scenario requires < {dirty_budget:.0%}"
+    )
+    publish_floor = SMOKE_PUBLISH_SPEEDUP if smoke else REQUIRED_PUBLISH_SPEEDUP
+    assert results["publish_speedup"] >= publish_floor, (
+        f"diff publish into a shared generation only "
+        f"{results['publish_speedup']:.1f}x a full publish "
+        f"(requirement: {publish_floor:.1f}x)"
+    )
+    if os.path.exists("/dev/shm"):
+        assert results["max_concurrent_generations"] <= 2, (
+            "more than two shared-memory generations were alive at once"
+        )
+        assert results["leaked_generations"] == 0, (
+            "shared-memory generations leaked past engine/manager close"
+        )
+    if not smoke:
+        assert results["num_vertices"] >= 10_000
+        assert results["num_workers"] >= 4
+
+
+def test_sharded_throughput(run_once, save_result, full_scale):
+    """Sharded serving must beat single-process by >= 4x with 4 workers."""
+    kwargs = dict(num_vertices=20_000, num_queries=120_000) if full_scale else {}
+    results = run_once(run_sharded_benchmark, **kwargs)
+    text = format_sharded_report(results)
+    print("\n" + text)
+    save_result("sharded", text)
+    _check(results, smoke=False)
+
+
+if __name__ == "__main__":
+    smoke = "--smoke" in sys.argv[1:]
+    if smoke:
+        report = run_sharded_benchmark(
+            num_vertices=2_000,
+            num_queries=16_000,
+            batch_size=4_096,
+            num_workers=2,
+            min_shard_size=256,
+            removals_per_burst=4,
+            num_bursts=2,
+        )
+    else:
+        report = run_sharded_benchmark()
+    print(format_sharded_report(report))
+    try:
+        _check(report, smoke=smoke)
+    except AssertionError as exc:
+        raise SystemExit(f"FAIL: {exc}")
+    print("PASS" + (" (smoke scale)" if smoke else ""))

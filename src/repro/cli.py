@@ -41,7 +41,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     build = subparsers.add_parser("build", help="build an index from an edge list")
     build.add_argument("edge_list", help="path to a whitespace-separated edge list")
-    build.add_argument("-o", "--output", required=True, help="output .npz index file")
+    build.add_argument(
+        "-o",
+        "--output",
+        required=True,
+        help=(
+            "output index file; a .npz suffix selects the compressed archive, "
+            "any other suffix the raw layout that supports zero-copy "
+            "(--mmap) loading"
+        ),
+    )
     build.add_argument(
         "--bit-parallel", type=int, default=16, help="number of bit-parallel BFSs"
     )
@@ -54,11 +63,20 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--directed", action="store_true", help="treat edges as directed")
 
     query = subparsers.add_parser("query", help="answer distance queries from an index")
-    query.add_argument("index", help="path to a saved .npz index")
+    query.add_argument("index", help="path to a saved index file")
     query.add_argument(
         "pairs",
         nargs="*",
         help="query pairs as 's,t' (e.g. 12,93); omit to read pairs from stdin",
+    )
+    query.add_argument(
+        "--mmap",
+        action="store_true",
+        help=(
+            "zero-copy load: memory-map the label arrays read-only instead "
+            "of materialising heap copies (raw-layout indexes only; the OS "
+            "pages in just the labels the queries touch)"
+        ),
     )
 
     serve = subparsers.add_parser(
@@ -120,6 +138,22 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=4096,
         help="admission control: maximum queued requests before rejecting",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "worker processes sharing the label arrays through named shared "
+            "memory; batches are sharded across them, bypassing the GIL for "
+            "multi-core serving (1 = single-process)"
+        ),
+    )
+    serve.add_argument(
+        "--min-shard-size",
+        type=int,
+        default=512,
+        help="target query pairs per worker shard (multi-process mode only)",
     )
 
     datasets = subparsers.add_parser("datasets", help="list the built-in datasets")
@@ -210,7 +244,7 @@ def _command_query(args: argparse.Namespace) -> int:
     from repro.errors import SerializationError, VertexError
 
     try:
-        index = load_index(args.index)
+        index = load_index(args.index, mmap=args.mmap)
     except SerializationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -240,6 +274,8 @@ def _command_serve(args: argparse.Namespace) -> int:
     from repro.serving import (
         LRUCache,
         QueryServer,
+        ServerMetrics,
+        ShardedQueryEngine,
         SnapshotManager,
         replay_mutations,
         serve_stdio,
@@ -252,13 +288,17 @@ def _command_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.workers < 1:
+        print("error: --workers must be at least 1", file=sys.stderr)
+        return 2
+    sharded = args.workers > 1
     if args.edge_list is not None:
         try:
             graph, _ = read_edge_list(args.edge_list)
         except (OSError, GraphError, ValueError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        manager = SnapshotManager.from_graph(graph)
+        manager = SnapshotManager.from_graph(graph, shared=sharded)
         source = args.edge_list
     else:
         try:
@@ -271,22 +311,60 @@ def _command_serve(args: argparse.Namespace) -> int:
             f"bit_parallel_roots={index.num_bit_parallel_roots}",
             file=sys.stderr,
         )
-        manager = SnapshotManager.from_index(index)
+        manager = SnapshotManager.from_index(index, shared=sharded)
         source = args.index
     cache = LRUCache(args.cache_size) if args.cache_size > 0 else None
-    server = QueryServer(
-        manager,
-        cache=cache,
-        max_batch_size=args.batch_size,
-        batch_timeout=args.batch_timeout_ms / 1000.0,
-        max_pending=args.max_pending,
-    )
-    print(
-        f"serving {manager.current.engine.num_vertices} vertices from {source} "
-        f"(cache={args.cache_size}, batch={args.batch_size}, "
-        f"writable={manager.writable})",
-        file=sys.stderr,
-    )
+    metrics = ServerMetrics()
+    # A served index may own named shared-memory generations; SIGTERM must
+    # unwind through the finally below (not hard-kill the process) or their
+    # /dev/shm segments outlive the server, and the finally must already be
+    # in place while the engine/server are constructed (a failing pool fork
+    # would otherwise skip manager.close()).  Restore the previous handler
+    # so in-process callers (tests) are unaffected afterwards.
+    import signal
+
+    previous_handler = None
+    try:
+        previous_handler = signal.signal(
+            signal.SIGTERM, lambda signum, frame: sys.exit(143)
+        )
+    except ValueError:  # not in the main thread; keep default behaviour
+        pass
+    engine = None
+    try:
+        if sharded:
+            engine = ShardedQueryEngine(
+                manager,
+                num_workers=args.workers,
+                min_shard_size=args.min_shard_size,
+                metrics=metrics,
+            )
+        server = QueryServer(
+            engine if engine is not None else manager,
+            cache=cache,
+            max_batch_size=args.batch_size,
+            batch_timeout=args.batch_timeout_ms / 1000.0,
+            max_pending=args.max_pending,
+            metrics=metrics,
+        )
+        print(
+            f"serving {manager.current.engine.num_vertices} vertices from {source} "
+            f"(cache={args.cache_size}, batch={args.batch_size}, "
+            f"workers={args.workers}, writable={manager.writable})",
+            file=sys.stderr,
+        )
+        return _run_serve_loop(args, server, manager, replay_mutations, serve_stdio, serve_tcp)
+    finally:
+        if engine is not None:
+            engine.close()
+        manager.close()
+        if previous_handler is not None:
+            signal.signal(signal.SIGTERM, previous_handler)
+
+
+def _run_serve_loop(args, server, manager, replay_mutations, serve_stdio, serve_tcp) -> int:
+    from repro.errors import ReproError
+
     with server:
         if args.mutations is not None:
             try:

@@ -26,6 +26,13 @@ from repro.core.query import (
 )
 from repro.core.serialization import load_index, load_index_metadata, save_index
 from repro.core.stats import IndexStats, collect_index_stats, label_size_percentiles
+from repro.core.storage import (
+    ArrayBackend,
+    HeapBackend,
+    MmapBackend,
+    SharedGeneration,
+    SharedMemoryBackend,
+)
 from repro.core.verification import (
     VerificationIssue,
     VerificationReport,
@@ -62,6 +69,11 @@ __all__ = [
     "save_index",
     "load_index",
     "load_index_metadata",
+    "ArrayBackend",
+    "HeapBackend",
+    "SharedMemoryBackend",
+    "MmapBackend",
+    "SharedGeneration",
     "IndexStats",
     "collect_index_stats",
     "label_size_percentiles",

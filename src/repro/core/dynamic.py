@@ -45,12 +45,15 @@ from __future__ import annotations
 import bisect
 import heapq
 from collections import deque
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from itertools import chain
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.core.index import PrunedLandmarkLabeling
 from repro.core.labels import LabelSet
+from repro.core.query import BatchQueryKernel
+from repro.core.storage import ArrayBackend
 from repro.errors import IndexBuildError, IndexStateError, VertexError
 from repro.graph.csr import Graph
 
@@ -136,7 +139,14 @@ class DynamicPrunedLandmarkLabeling:
         # Rank-indexed scratch array for fixed-root queries (Section 4.5.1's
         # temp-array trick): attach a root's label once, then each query
         # costs O(|L(v)|) list lookups instead of a full two-label merge.
+        # A numpy twin backs the vectorised batch evaluator; it is scattered
+        # lazily, on the first batch evaluation under an attach, so scalar
+        # -only attaches (every insert-path prune test, tiny deletion
+        # regions) never pay for it.
         self._temp = [_TEMP_INF] * n
+        self._temp_np = np.full(n, _TEMP_INF, dtype=np.int64)
+        self._attached_root: Optional[int] = None
+        self._np_touched: Optional[np.ndarray] = None
         return self
 
     @property
@@ -170,6 +180,7 @@ class DynamicPrunedLandmarkLabeling:
         touched = self._hubs[root]
         for hub_rank, distance in zip(touched, self._dists[root]):
             temp[hub_rank] = distance
+        self._attached_root = root
         return touched
 
     def _detach_root(self, touched: List[int]) -> None:
@@ -177,6 +188,10 @@ class DynamicPrunedLandmarkLabeling:
         temp = self._temp
         for hub_rank in touched:
             temp[hub_rank] = _TEMP_INF
+        if self._np_touched is not None:
+            self._temp_np[self._np_touched] = _TEMP_INF
+            self._np_touched = None
+        self._attached_root = None
 
     def _rooted_query(self, vertex: int, max_rank: int) -> int:
         """Minimum attached-root label distance via hubs of rank ``<= max_rank``.
@@ -195,6 +210,79 @@ class DynamicPrunedLandmarkLabeling:
             if candidate < best:
                 best = candidate
         return best
+
+    #: Below this many probed label entries the scalar evaluator beats the
+    #: vectorised one (per-call numpy overhead exceeds the interpreted loop;
+    #: the breakeven sits at a few hundred entries).
+    _BATCH_EVAL_MIN_ENTRIES = 256
+
+    def _rooted_query_many(
+        self, vertices: List[int], max_rank: int
+    ) -> "Sequence[int]":
+        """Batched rooted evaluator over the *attached* root (Section 4.5.1).
+
+        The vectorised counterpart of :meth:`_rooted_query`: with a root's
+        label scattered into the temp arrays by :meth:`_attach_root`, the
+        contribution of every label entry of every queried vertex —
+        restricted to hubs of rank ``<= max_rank`` — is evaluated with flat
+        numpy operations.  This replaces the per-affected-hub Python probe
+        loops that dominated :meth:`remove_edge`; tiny batches (most
+        low-impact deletions) keep the scalar path, whose per-entry cost is
+        lower than numpy's per-call overhead.
+
+        Returns a sequence aligned with ``vertices`` (a plain list on the
+        scalar fast path, an ``int64`` array on the vectorised one); entries
+        are exactly :data:`_TEMP_INF` when no qualifying common hub exists
+        (matching the scalar evaluator's sentinel).
+        """
+        count = len(vertices)
+        if count == 0:
+            return []
+        hub_lists = [self._hubs[v] for v in vertices]
+        total = 0
+        for hubs in hub_lists:
+            total += len(hubs)
+        if total < self._BATCH_EVAL_MIN_ENTRIES:
+            # Stay off numpy entirely: for the tiny batches that dominate
+            # low-impact deletions, even the result-array allocation costs
+            # more than the whole interpreted probe loop.
+            rooted_query = self._rooted_query
+            return [rooted_query(vertex, max_rank) for vertex in vertices]
+        sizes = np.fromiter(map(len, hub_lists), dtype=np.int64, count=count)
+        result = np.full(count, _TEMP_INF, dtype=np.int64)
+        if self._np_touched is None:
+            # First batch evaluation under this attach: mirror the root's
+            # label into the numpy temp (one C-speed scatter).
+            root_hubs = np.asarray(
+                self._hubs[self._attached_root], dtype=np.int64
+            )
+            self._temp_np[root_hubs] = self._dists[self._attached_root]
+            self._np_touched = root_hubs
+        # Flatten through chain.from_iterable + fromiter: both stay in C, so
+        # the cost per label entry is a few machine operations whatever the
+        # per-vertex label sizes are (a per-entry Python generator or a
+        # per-vertex asarray would put the interpreter back on the hot path).
+        flat_hubs = np.fromiter(
+            chain.from_iterable(hub_lists), dtype=np.int64, count=total
+        )
+        flat_dists = np.fromiter(
+            chain.from_iterable(self._dists[v] for v in vertices),
+            dtype=np.int64,
+            count=total,
+        )
+        contributions = flat_dists + self._temp_np[flat_hubs]
+        # Out-of-rank hubs and missing common hubs both collapse onto the
+        # sentinel so reduceat minima read "no qualifying hub" directly.
+        contributions = np.minimum(contributions, _TEMP_INF)
+        contributions[flat_hubs > max_rank] = _TEMP_INF
+        starts = np.zeros(count, dtype=np.int64)
+        np.cumsum(sizes[:-1], out=starts[1:])
+        # Empty label segments are excluded from the reduceat index list
+        # entirely (clipping would truncate the preceding window).
+        nonempty = sizes > 0
+        minima = np.minimum.reduceat(contributions, starts[nonempty])
+        result[np.flatnonzero(nonempty)] = minima
+        return result
 
     def _query_prefix(self, s: int, t: int, max_rank: int) -> float:
         """Minimum label distance using only hubs of rank ``<= max_rank``."""
@@ -355,20 +443,32 @@ class DynamicPrunedLandmarkLabeling:
         max_rank = len(self._hubs)
         old_dist: Dict[int, int] = {far: far_distance}
         affected: Dict[int, int] = {far: far_distance}
-        queue = deque([far])
+        # The affected region grows level-synchronously in old-distance
+        # levels (DAG edges increase the old distance by exactly one), so
+        # each level's unknown old distances are probed in one call to the
+        # batched rooted evaluator instead of per-neighbour scalar loops.
+        frontier = [far]
+        depth = far_distance
         touched = self._attach_root(root)
         try:
-            while queue:
-                vertex = queue.popleft()
-                depth = affected[vertex]
-                for neighbor in self._adjacency[vertex]:
-                    if neighbor in affected:
-                        continue
-                    if neighbor not in old_dist:
-                        old_dist[neighbor] = self._rooted_query(neighbor, max_rank)
+            while frontier:
+                candidates = dict.fromkeys(
+                    neighbor
+                    for vertex in frontier
+                    for neighbor in self._adjacency[vertex]
+                    if neighbor not in affected
+                )
+                unknown = [v for v in candidates if v not in old_dist]
+                for vertex, value in zip(
+                    unknown, self._rooted_query_many(unknown, max_rank)
+                ):
+                    old_dist[vertex] = int(value)
+                frontier = []
+                for neighbor in candidates:
                     if old_dist[neighbor] == depth + 1:
                         affected[neighbor] = depth + 1
-                        queue.append(neighbor)
+                        frontier.append(neighbor)
+                depth += 1
         finally:
             self._detach_root(touched)
         boundary: Dict[int, int] = {}
@@ -418,23 +518,26 @@ class DynamicPrunedLandmarkLabeling:
             for neighbor in self._adjacency[vertex]:
                 if neighbor in affected and neighbor not in new_dist:
                     heapq.heappush(heap, (depth + 1, neighbor))
+        # One batched pass answers every keep-probe: the probes only read
+        # labels (this hub's stale entries were all popped in phase 2), so
+        # the later insertions cannot influence them.
+        vertices = list(affected)
         touched = self._attach_root(root)
         try:
-            for vertex in affected:
-                depth = new_dist.get(vertex)
-                keep = depth is not None and (
-                    self._rooted_query(vertex, hub_rank) > depth
-                )
-                if keep:
-                    hubs = self._hubs[vertex]
-                    position = bisect.bisect_left(hubs, hub_rank)
-                    hubs.insert(position, hub_rank)
-                    self._dists[vertex].insert(position, depth)
-                final = depth if keep else None
-                if removed.get(vertex) != final:
-                    self._dirty.add(vertex)
+            bounds = self._rooted_query_many(vertices, hub_rank)
         finally:
             self._detach_root(touched)
+        for vertex, bound in zip(vertices, bounds):
+            depth = new_dist.get(vertex)
+            keep = depth is not None and int(bound) > depth
+            if keep:
+                hubs = self._hubs[vertex]
+                position = bisect.bisect_left(hubs, hub_rank)
+                hubs.insert(position, hub_rank)
+                self._dists[vertex].insert(position, depth)
+            final = depth if keep else None
+            if removed.get(vertex) != final:
+                self._dirty.add(vertex)
 
     def remove_edge(self, a: int, b: int) -> None:
         """Remove the undirected edge ``(a, b)`` and repair the index.
@@ -506,7 +609,9 @@ class DynamicPrunedLandmarkLabeling:
         self._require_built()
         return frozenset(self._dirty)
 
-    def freeze(self, *, diff: bool = True) -> PrunedLandmarkLabeling:
+    def freeze(
+        self, *, diff: bool = True, backend: Optional[ArrayBackend] = None
+    ) -> PrunedLandmarkLabeling:
         """Snapshot the current labels into an immutable static oracle.
 
         The returned :class:`~repro.core.index.PrunedLandmarkLabeling` owns
@@ -523,6 +628,12 @@ class DynamicPrunedLandmarkLabeling:
         proportional to the changed labels plus a few block copies, instead
         of the O(total label entries) re-materialisation of a full freeze.
         ``diff=False`` forces the full path (the benchmark baseline).
+
+        With ``backend`` (e.g. a shared-memory generation for the
+        multi-process serving path), the frozen label arrays — and the batch
+        kernel's key array, which is then always derived — are allocated
+        from it: the diff path patches the dirty segments *directly into*
+        the new region, never materialising an intermediate heap copy.
         """
         self._require_built()
         from repro.core.bitparallel import BitParallelLabels
@@ -539,7 +650,8 @@ class DynamicPrunedLandmarkLabeling:
                 {
                     vertex: (self._hubs[vertex], self._dists[vertex])
                     for vertex in self._dirty
-                }
+                },
+                backend=backend,
             )
             # The previous snapshot's batch kernel (if the serving layer
             # built it) is patched the same way, not rebuilt from scratch.
@@ -552,9 +664,17 @@ class DynamicPrunedLandmarkLabeling:
                 if labels is self._frozen_labels:
                     kernel = base_kernel
                 else:
-                    kernel = base_kernel.patched(labels, self._dirty)
+                    kernel = base_kernel.patched(
+                        labels, self._dirty, backend=backend
+                    )
         else:
-            labels = LabelSet.from_lists(self._hubs, self._dists, self._order.copy())
+            labels = LabelSet.from_lists(
+                self._hubs, self._dists, self._order.copy(), backend=backend
+            )
+        if backend is not None and kernel is None:
+            # A shared snapshot always carries its kernel, so attaching
+            # worker processes never pay the O(total entries) derivation.
+            kernel = BatchQueryKernel(labels, backend=backend)
         self._frozen_labels = labels
         self._dirty = set()
 

@@ -21,11 +21,16 @@ Three kernels are provided, mirroring Section 4.5 of the paper:
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.labels import INF_DISTANCE, LabelAccumulator, LabelSet
+from repro.core.storage import ArrayBackend
+
+#: Backend field name of the precomputed kernel key array (shared with the
+#: shared-memory snapshot export; see :mod:`repro.core.storage`).
+FIELD_KERNEL_KEYS = "kernel_keys"
 
 __all__ = [
     "merge_join_query",
@@ -184,7 +189,9 @@ class BatchQueryKernel:
 
     __slots__ = ("_keys", "_entry_dists", "_indptr", "_hub_ranks", "_sizes", "_stride")
 
-    def __init__(self, labels: LabelSet) -> None:
+    def __init__(
+        self, labels: LabelSet, *, backend: Optional[ArrayBackend] = None
+    ) -> None:
         num_vertices = labels.num_vertices
         sizes = np.asarray(labels.label_sizes(), dtype=np.int64)
         owners = np.repeat(np.arange(num_vertices, dtype=np.int64), sizes)
@@ -193,22 +200,61 @@ class BatchQueryKernel:
         # the immutable label set; sums and keys upcast to int64 at query
         # time.  Sharing keeps kernel construction — and especially
         # :meth:`patched` — down to the one array that must be derived.
+        # With ``backend``, that derived key array is allocated from it (so a
+        # shared-memory snapshot carries the kernel, and attaching workers
+        # skip the O(total entries) re-derivation).
         self._hub_ranks = labels.hub_ranks
-        self._keys = owners * self._stride + self._hub_ranks
+        keys = owners * self._stride + self._hub_ranks
+        self._keys = keys if backend is None else backend.put(FIELD_KERNEL_KEYS, keys)
         self._entry_dists = labels.distances
         self._indptr = labels.indptr
         self._sizes = sizes
+
+    @classmethod
+    def from_arrays(cls, labels: LabelSet, keys: np.ndarray) -> "BatchQueryKernel":
+        """Reassemble a kernel from ``labels`` plus a stored key array.
+
+        The attach path of the sharded serving layer: ``keys`` is the
+        ``owner * stride + hub_rank`` encoding a previous
+        :class:`BatchQueryKernel` derived for exactly these labels (and e.g.
+        published in the same shared-memory generation), so nothing needs to
+        be recomputed beyond the O(n) size table.
+        """
+        if keys.shape != labels.hub_ranks.shape:
+            raise ValueError(
+                f"kernel key array has {keys.shape[0]} entries for "
+                f"{labels.hub_ranks.shape[0]} label entries"
+            )
+        kernel = cls.__new__(cls)
+        kernel._keys = np.asarray(keys, dtype=np.int64)
+        kernel._hub_ranks = labels.hub_ranks
+        kernel._entry_dists = labels.distances
+        kernel._indptr = labels.indptr
+        kernel._sizes = np.asarray(labels.label_sizes(), dtype=np.int64)
+        kernel._stride = np.int64(max(labels.num_vertices, 1))
+        return kernel
 
     @property
     def num_vertices(self) -> int:
         """Number of vertices covered by the kernel."""
         return self._sizes.shape[0]
 
+    @property
+    def keys(self) -> np.ndarray:
+        """The sorted ``owner * stride + hub_rank`` key array (read-mostly)."""
+        return self._keys
+
     def nbytes(self) -> int:
         """Approximate size of the precomputed key arrays in bytes."""
         return int(self._keys.nbytes + self._entry_dists.nbytes + self._sizes.nbytes)
 
-    def patched(self, labels: LabelSet, dirty_vertices) -> "BatchQueryKernel":
+    def patched(
+        self,
+        labels: LabelSet,
+        dirty_vertices,
+        *,
+        backend: Optional[ArrayBackend] = None,
+    ) -> "BatchQueryKernel":
         """Rebuild the kernel for ``labels``, reusing this kernel's arrays.
 
         ``labels`` must derive from this kernel's label set with only the
@@ -217,14 +263,19 @@ class BatchQueryKernel:
         hub_rank`` — both unchanged outside the dirty vertices — so every
         untouched run is block-copied from the existing arrays and only the
         dirty segments are re-encoded.  This keeps diff-based snapshot
-        publication free of the O(total label entries) kernel rebuild.
+        publication free of the O(total label entries) kernel rebuild.  With
+        ``backend``, the new key array is patched directly into it (e.g. the
+        next shared-memory generation).
         """
         num_vertices = labels.num_vertices
         if num_vertices != self.num_vertices:
-            return BatchQueryKernel(labels)
+            return BatchQueryKernel(labels, backend=backend)
         new_indptr = np.asarray(labels.indptr, dtype=np.int64)
         total = int(new_indptr[-1])
-        new_keys = np.empty(total, dtype=np.int64)
+        if backend is None:
+            new_keys = np.empty(total, dtype=np.int64)
+        else:
+            new_keys = backend.empty(FIELD_KERNEL_KEYS, (total,), np.int64)
         stride = self._stride
         run_start = 0
         for vertex in sorted(int(v) for v in dirty_vertices) + [num_vertices]:

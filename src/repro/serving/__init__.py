@@ -13,8 +13,11 @@ while the index is updated underneath it.
   reader snapshots with atomic hot swap of updated or reloaded indexes.
 * :mod:`~repro.serving.server` — :class:`QueryServer`, the threaded request
   loop with coalescing and admission control, plus stdio/TCP front ends.
+* :mod:`~repro.serving.sharded` — :class:`ShardedQueryEngine`, the
+  multi-process engine answering batch shards against named shared-memory
+  snapshot generations (the GIL bypass for multi-core serving).
 * :mod:`~repro.serving.metrics` — :class:`ServerMetrics`: QPS, P50/P95/P99
-  latency and cache hit rate.
+  latency, cache hit rate and per-worker shard accounting.
 """
 
 from repro.serving.cache import CacheStats, LRUCache
@@ -28,11 +31,14 @@ from repro.serving.server import (
     serve_stdio,
     serve_tcp,
 )
+from repro.serving.sharded import ShardedQueryEngine, default_worker_count
 from repro.serving.snapshot import IndexSnapshot, SnapshotManager
 
 __all__ = [
     "BatchQueryEngine",
     "EngineStats",
+    "ShardedQueryEngine",
+    "default_worker_count",
     "LRUCache",
     "CacheStats",
     "IndexSnapshot",

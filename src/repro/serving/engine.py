@@ -54,6 +54,20 @@ class EngineStats:
             return 0.0
         return self.num_queries / self.num_batches
 
+    def observe(self, num_queries: int, seconds: float, *, window: int = 4096) -> None:
+        """Record one batch and trim the recent-latency window to ``window``.
+
+        Not thread safe on its own; callers that share stats across threads
+        (the engine) hold their own lock around it.
+        """
+        self.num_batches += 1
+        self.num_queries += num_queries
+        self.total_seconds += seconds
+        recent = self.recent_batch_seconds
+        recent.append(seconds)
+        if len(recent) > window:
+            del recent[: len(recent) - window]
+
     def as_dict(self) -> Dict[str, float]:
         """Flat dictionary view for the metrics endpoint."""
         return {
@@ -141,13 +155,9 @@ class BatchQueryEngine:
         )
         elapsed = time.perf_counter() - start
         with self._stats_lock:
-            self._stats.num_batches += 1
-            self._stats.num_queries += int(result.shape[0])
-            self._stats.total_seconds += elapsed
-            window = self._stats.recent_batch_seconds
-            window.append(elapsed)
-            if len(window) > self._stats_window:
-                del window[: len(window) - self._stats_window]
+            self._stats.observe(
+                int(result.shape[0]), elapsed, window=self._stats_window
+            )
         return result
 
     def query_pairs(self, pairs: Iterable[Tuple[int, int]]) -> np.ndarray:

@@ -77,6 +77,9 @@ class ServerMetrics:
         self._busy_seconds = 0.0
         self._num_rejected = 0
         self._num_errors = 0
+        # Per-worker shard accounting for the multi-process engine, keyed by
+        # worker id (pid); empty for single-process serving.
+        self._workers: Dict[str, Dict[str, float]] = {}
 
     # ------------------------------------------------------------------ #
     # Recording
@@ -108,6 +111,25 @@ class ServerMetrics:
                     self._latencies.record(latency)
             else:
                 self._latencies.record(seconds)
+
+    def observe_shard(
+        self, worker: object, num_queries: int, seconds: float
+    ) -> None:
+        """Record one worker-process shard of a sharded batch.
+
+        ``worker`` is the worker's identity (its pid); per-worker counters
+        feed the ``worker_*`` aggregates and the ``workers`` breakdown of
+        :meth:`snapshot`, so a skewed pool (one slow or dead worker) is
+        visible on the serving dashboard.
+        """
+        with self._lock:
+            counters = self._workers.setdefault(
+                str(worker),
+                {"num_shards": 0, "num_queries": 0, "busy_seconds": 0.0},
+            )
+            counters["num_shards"] += 1
+            counters["num_queries"] += num_queries
+            counters["busy_seconds"] += seconds
 
     def observe_rejection(self) -> None:
         """Record one request rejected by admission control."""
@@ -158,6 +180,18 @@ class ServerMetrics:
             }
             for name, value in self._latencies.percentiles().items():
                 stats[f"latency_{name}_ms"] = value
+            if self._workers:
+                shard_queries = [w["num_queries"] for w in self._workers.values()]
+                stats["num_workers"] = len(self._workers)
+                stats["worker_queries_min"] = min(shard_queries)
+                stats["worker_queries_max"] = max(shard_queries)
+                stats["worker_busy_seconds_total"] = sum(
+                    w["busy_seconds"] for w in self._workers.values()
+                )
+                stats["workers"] = {
+                    worker: dict(counters)
+                    for worker, counters in self._workers.items()
+                }
         if cache_stats is not None:
             for name, value in cache_stats.as_dict().items():
                 stats[f"cache_{name}"] = value

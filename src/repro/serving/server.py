@@ -107,8 +107,11 @@ class QueryServer:
     backend:
         Either a :class:`~repro.serving.snapshot.SnapshotManager` (queries are
         answered against whatever snapshot is current when a batch starts —
-        the hot-swap path) or a bare
-        :class:`~repro.serving.engine.BatchQueryEngine` (static index).
+        the hot-swap path), a bare
+        :class:`~repro.serving.engine.BatchQueryEngine` (static index), or a
+        :class:`~repro.serving.sharded.ShardedQueryEngine` (multi-process
+        serving; when it wraps a shared snapshot manager, the mutation API
+        and hot swap work exactly as with a manager backend).
     cache:
         Optional hot-pair :class:`~repro.serving.cache.LRUCache`; hits skip
         the engine entirely.
@@ -138,9 +141,8 @@ class QueryServer:
         self.cache = cache
         # Cached distances are only valid for one index version; the worker
         # clears the cache whenever the backing snapshot version changes.
-        self._cache_version = (
-            backend.version if isinstance(backend, SnapshotManager) else None
-        )
+        manager = self.snapshot_manager
+        self._cache_version = manager.version if manager is not None else None
         self.max_batch_size = int(max_batch_size)
         self.batch_timeout = float(batch_timeout)
         self.max_pending = int(max_pending)
@@ -222,8 +224,15 @@ class QueryServer:
 
     @property
     def snapshot_manager(self) -> Optional[SnapshotManager]:
-        """The backing snapshot manager, when hot swap is enabled."""
-        return self._backend if isinstance(self._backend, SnapshotManager) else None
+        """The backing snapshot manager, when hot swap is enabled.
+
+        Found either directly (a manager backend) or through a sharded
+        engine that wraps one — mutations and cache invalidation work the
+        same way in both configurations.
+        """
+        if isinstance(self._backend, SnapshotManager):
+            return self._backend
+        return getattr(self._backend, "snapshot_manager", None)
 
     def submit(
         self, sources: Sequence[int], targets: Sequence[int]
@@ -362,7 +371,13 @@ class QueryServer:
 
     def _current_engine_and_invalidate(self) -> BatchQueryEngine:
         """One snapshot grab per batch: engine and cache-invalidation version
-        always belong together, so a concurrent swap can never skew them."""
+        always belong together, so a concurrent swap can never skew them.
+
+        With a sharded-engine backend the engine resolves the generation
+        itself per batch; the version check here only drives cache
+        invalidation (a publish landing between the check and the shard
+        dispatch is flushed on the next batch).
+        """
         manager = self.snapshot_manager
         if manager is None:
             return self._backend
@@ -370,7 +385,9 @@ class QueryServer:
         if self.cache is not None and snapshot.version != self._cache_version:
             self.cache.clear()
             self._cache_version = snapshot.version
-        return snapshot.engine
+        if isinstance(self._backend, SnapshotManager):
+            return snapshot.engine
+        return self._backend
 
     def _evaluate(
         self, engine: BatchQueryEngine, sources: np.ndarray, targets: np.ndarray

@@ -44,6 +44,32 @@ class TestBuildAndQuery:
         assert (source, target) == ("0", "5")
         assert distance not in ("", "inf")
 
+    def test_build_raw_layout_and_mmap_query(
+        self, tmp_path, small_social_graph, capsys
+    ):
+        """A non-.npz output selects the raw layout, which --mmap loads zero-copy."""
+        edge_path = tmp_path / "graph.txt"
+        write_edge_list(small_social_graph, edge_path)
+        index_path = tmp_path / "index.pll"
+
+        assert main(["build", str(edge_path), "-o", str(index_path)]) == 0
+        capsys.readouterr()
+        assert main(["query", "--mmap", str(index_path), "0,5", "3,7"]) == 0
+        mmap_lines = capsys.readouterr().out.strip().splitlines()
+        assert main(["query", str(index_path), "0,5", "3,7"]) == 0
+        heap_lines = capsys.readouterr().out.strip().splitlines()
+        assert mmap_lines == heap_lines
+        assert len(mmap_lines) == 2
+
+    def test_query_mmap_rejects_npz(self, tmp_path, small_social_graph, capsys):
+        edge_path = tmp_path / "graph.txt"
+        write_edge_list(small_social_graph, edge_path)
+        index_path = tmp_path / "index.npz"
+        main(["build", str(edge_path), "-o", str(index_path)])
+        capsys.readouterr()
+        assert main(["query", "--mmap", str(index_path), "0,5"]) == 2
+        assert "memory-mapped" in capsys.readouterr().err
+
     def test_query_bad_pair_format(self, tmp_path, small_social_graph, capsys):
         edge_path = tmp_path / "graph.txt"
         write_edge_list(small_social_graph, edge_path)
@@ -109,6 +135,19 @@ class TestServeCommand:
         assert '"num_queries"' in lines[2]
         assert "serving" in captured.err
         assert "served" in captured.err
+
+    def test_serve_sharded_workers(self, index_path, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("0 5\nSTATS\nQUIT\n"))
+        assert main(["serve", str(index_path), "--workers", "2"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.splitlines()[0].startswith("0\t5\t")
+        assert "workers=2" in captured.err
+
+    def test_serve_rejects_bad_worker_count(self, index_path, capsys):
+        assert main(["serve", str(index_path), "--workers", "0"]) == 2
+        assert "--workers" in capsys.readouterr().err
 
     def test_serve_missing_index(self, tmp_path, capsys):
         assert main(["serve", str(tmp_path / "nope.npz")]) == 2

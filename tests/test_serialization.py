@@ -71,6 +71,59 @@ class TestSaveLoad:
         )
 
 
+class TestRawLayout:
+    def test_raw_roundtrip_distances(self, tmp_path, medium_social_graph):
+        index = PrunedLandmarkLabeling(num_bit_parallel_roots=4).build(
+            medium_social_graph
+        )
+        path = tmp_path / "index.pll"
+        save_index(index, path)
+        loaded = load_index(path)
+        pairs = sample_pairs(medium_social_graph, 200, seed=2)
+        assert np.array_equal(index.distances(pairs), loaded.distances(pairs))
+
+    def test_mmap_load_is_read_only_and_exact(self, tmp_path, medium_social_graph):
+        """``load_index(mmap=True)`` hands out read-only zero-copy views that
+        still answer batch queries bit-identically to scalar ones."""
+        index = PrunedLandmarkLabeling(num_bit_parallel_roots=4).build(
+            medium_social_graph
+        )
+        path = tmp_path / "index.pll"
+        save_index(index, path)
+        mapped = load_index(path, mmap=True)
+
+        labels = mapped.label_set
+        for array in (labels.indptr, labels.hub_ranks, labels.distances, labels.order):
+            assert not array.flags.writeable
+        bp = mapped.bit_parallel_labels
+        for array in (bp.dist, bp.s_minus, bp.s_zero):
+            assert not array.flags.writeable
+
+        pairs = sample_pairs(medium_social_graph, 300, seed=5)
+        batched = mapped.distances(pairs)
+        scalar = [mapped.distance(s, t) for s, t in pairs]
+        assert np.array_equal(batched, np.asarray(scalar))
+        assert np.array_equal(batched, index.distances(pairs))
+
+    def test_mmap_load_rejects_npz(self, tmp_path, small_social_graph):
+        index = PrunedLandmarkLabeling().build(small_social_graph)
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        with pytest.raises(SerializationError, match="memory-mapped"):
+            load_index(path, mmap=True)
+
+    def test_raw_metadata(self, tmp_path, small_social_graph):
+        index = PrunedLandmarkLabeling(num_bit_parallel_roots=2).build(
+            small_social_graph
+        )
+        path = tmp_path / "index.pll"
+        save_index(index, path)
+        metadata = load_index_metadata(path)
+        assert metadata["format_version"] == FORMAT_VERSION
+        assert metadata["num_vertices"] == small_social_graph.num_vertices
+        assert metadata["num_bit_parallel_roots"] == 2
+
+
 class TestMetadata:
     def test_load_index_metadata(self, tmp_path, small_social_graph):
         index = PrunedLandmarkLabeling(num_bit_parallel_roots=2).build(

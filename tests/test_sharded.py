@@ -1,0 +1,200 @@
+"""Tests for multi-process sharded serving over shared-memory generations."""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.index import PrunedLandmarkLabeling
+from repro.errors import ServingError, VertexError
+from repro.graph.csr import Graph
+from repro.serving import (
+    LRUCache,
+    QueryServer,
+    ServerMetrics,
+    ShardedQueryEngine,
+    SnapshotManager,
+)
+from tests.conftest import sample_pairs
+
+#: Pool/shard settings that force even tiny test batches through the workers.
+WORKER_KWARGS = dict(num_workers=2, min_shard_size=4, local_threshold=0)
+
+
+def _segment_names(prefix: str):
+    shm = Path("/dev/shm")
+    if not shm.exists():
+        pytest.skip("no /dev/shm on this platform")
+    return sorted(p.name for p in shm.iterdir() if p.name.startswith(prefix))
+
+
+class TestShardedEngine:
+    def test_matches_single_process_engine(self, small_social_graph):
+        index = PrunedLandmarkLabeling(num_bit_parallel_roots=4).build(
+            small_social_graph
+        )
+        pairs = np.asarray(
+            sample_pairs(small_social_graph, 300, seed=3), dtype=np.int64
+        )
+        # Include identical endpoints (the s == t short-circuit crosses the
+        # process boundary too).
+        pairs[:10, 1] = pairs[:10, 0]
+        expected = index.distance_batch(pairs[:, 0], pairs[:, 1])
+        with ShardedQueryEngine(index, **WORKER_KWARGS) as engine:
+            result = engine.query_batch(pairs[:, 0], pairs[:, 1])
+            assert np.array_equal(result, expected)
+            assert engine.stats.num_queries == pairs.shape[0]
+            # Both workers participated in the fan-out.
+            assert len(engine.worker_seconds()) == 2
+
+    def test_disconnected_pairs_cross_processes(self, disconnected_graph):
+        index = PrunedLandmarkLabeling().build(disconnected_graph)
+        with ShardedQueryEngine(index, **WORKER_KWARGS) as engine:
+            result = engine.query_batch([0, 3, 5, 0], [1, 4, 0, 4])
+            assert np.array_equal(result, [1.0, 1.0, np.inf, np.inf])
+
+    def test_validates_vertex_ids(self, small_social_graph):
+        index = PrunedLandmarkLabeling().build(small_social_graph)
+        with ShardedQueryEngine(index, **WORKER_KWARGS) as engine:
+            with pytest.raises(VertexError):
+                engine.query_batch([0], [small_social_graph.num_vertices])
+            with pytest.raises(VertexError):
+                engine.query_batch([-1], [0])
+
+    def test_requires_shared_manager(self, small_social_graph):
+        manager = SnapshotManager.from_graph(small_social_graph)
+        with pytest.raises(ServingError):
+            ShardedQueryEngine(manager, **WORKER_KWARGS)
+
+    def test_closed_engine_rejects_queries(self, path_graph):
+        engine = ShardedQueryEngine(
+            PrunedLandmarkLabeling().build(path_graph), **WORKER_KWARGS
+        )
+        engine.close()
+        with pytest.raises(ServingError):
+            engine.query_batch([0], [1])
+        engine.close()  # idempotent
+
+
+class TestPublishWhileQuerying:
+    def test_workers_never_observe_torn_snapshots(self):
+        """Concurrent publishes vs cross-process batches: every batch must be
+        internally consistent with exactly one published graph version."""
+        chain = [(i, i + 1) for i in range(7)]
+        with_edge = Graph(8, chain + [(0, 7)])
+        without_edge = Graph(8, chain)
+        pair_set = [(0, 7), (0, 6), (0, 5), (1, 7), (2, 7), (7, 0)]
+        pairs = np.asarray(pair_set * 12, dtype=np.int64)
+        expected_with = PrunedLandmarkLabeling().build(with_edge).distances(pairs)
+        expected_without = (
+            PrunedLandmarkLabeling().build(without_edge).distances(pairs)
+        )
+        assert not np.array_equal(expected_with, expected_without)
+
+        manager = SnapshotManager.from_graph(with_edge, shared=True)
+        engine = ShardedQueryEngine(manager, **WORKER_KWARGS)
+        stop = threading.Event()
+        publish_error = []
+
+        def churn():
+            present = True
+            try:
+                while not stop.is_set():
+                    if present:
+                        manager.remove_edge(0, 7)
+                    else:
+                        manager.insert_edge(0, 7)
+                    present = not present
+                    manager.publish()
+                    time.sleep(0.002)
+            except Exception as exc:  # pragma: no cover - surfaced below
+                publish_error.append(exc)
+
+        publisher = threading.Thread(target=churn)
+        publisher.start()
+        try:
+            for _ in range(40):
+                result = engine.query_batch(pairs[:, 0], pairs[:, 1])
+                matches_with = np.array_equal(result, expected_with)
+                matches_without = np.array_equal(result, expected_without)
+                assert matches_with or matches_without, (
+                    "batch mixed distances from different snapshot versions"
+                )
+        finally:
+            stop.set()
+            publisher.join(timeout=30)
+            engine.close()
+            manager.close()
+        assert not publish_error, publish_error
+        assert manager.version > 1
+
+    def test_generation_unlinked_after_last_reader_detaches(self, path_graph):
+        manager = SnapshotManager.from_graph(path_graph, shared=True)
+        first = manager.current.generation
+        assert first is not None
+        assert _segment_names(first.name)
+        # A reader pins the generation across a publish...
+        assert first.acquire()
+        manager.insert_edge(0, 4)
+        manager.publish()
+        assert first.retired
+        assert not first.unlinked
+        assert _segment_names(first.name), "generation vanished under a reader"
+        # ...and the last detach reclaims it.
+        first.release()
+        assert first.unlinked
+        assert _segment_names(first.name) == []
+        manager.close()
+
+    def test_no_segments_leak_across_publish_cycles(self, path_graph):
+        manager = SnapshotManager.from_graph(path_graph, shared=True)
+        engine = ShardedQueryEngine(manager, **WORKER_KWARGS)
+        generation_names = [manager.current.generation.name]
+        try:
+            for round_number in range(4):
+                manager.insert_edge(0, 2 + round_number % 3)
+                manager.publish()
+                generation_names.append(manager.current.generation.name)
+                engine.query_batch([0, 1, 2, 3, 4], [4, 3, 2, 1, 0])
+                # Only the current generation may remain on disk.
+                for name in generation_names[:-1]:
+                    assert _segment_names(name) == []
+                assert _segment_names(generation_names[-1])
+        finally:
+            engine.close()
+            manager.close()
+        for name in generation_names:
+            assert _segment_names(name) == []
+
+
+class TestServerIntegration:
+    def test_query_server_over_sharded_engine(self, small_social_graph):
+        manager = SnapshotManager.from_graph(small_social_graph, shared=True)
+        metrics = ServerMetrics()
+        engine = ShardedQueryEngine(manager, metrics=metrics, **WORKER_KWARGS)
+        pairs = sample_pairs(small_social_graph, 200, seed=9)
+        expected = manager.current.engine.query_pairs(pairs)
+        try:
+            with QueryServer(
+                engine, cache=LRUCache(1024), metrics=metrics
+            ) as server:
+                assert server.snapshot_manager is manager
+                result = server.distances(pairs)
+                assert np.array_equal(result, expected)
+                # Mutations flow through the sharded backend to the manager.
+                server.insert_edge(0, small_social_graph.num_vertices - 1)
+                server.publish()
+                assert manager.version == 2
+                assert (
+                    server.distance(0, small_social_graph.num_vertices - 1) == 1.0
+                )
+                stats = server.metrics_snapshot()
+                assert stats["num_workers"] >= 1
+                assert stats["worker_busy_seconds_total"] > 0.0
+        finally:
+            engine.close()
+            manager.close()

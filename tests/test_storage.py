@@ -1,0 +1,176 @@
+"""Tests for the array storage backends (heap, shared memory, mmap)."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.storage import (
+    HeapBackend,
+    MmapBackend,
+    SharedGeneration,
+    SharedMemoryBackend,
+    new_shared_prefix,
+    read_raw_meta,
+    write_raw,
+)
+from repro.errors import SerializationError, ServingError
+
+
+def _sample_fields():
+    return {
+        "small": np.arange(7, dtype=np.int32),
+        "wide": np.arange(12, dtype=np.uint64).reshape(3, 4),
+        "dists": np.array([0, 1, 65535], dtype=np.uint16),
+        "empty": np.empty(0, dtype=np.int64),
+    }
+
+
+def _segment_names(prefix: str):
+    shm = Path("/dev/shm")
+    if not shm.exists():
+        pytest.skip("no /dev/shm on this platform")
+    return sorted(p.name for p in shm.iterdir() if p.name.startswith(prefix))
+
+
+class TestHeapBackend:
+    def test_alloc_and_lookup(self):
+        backend = HeapBackend()
+        array = backend.empty("a", (5,), np.int64)
+        array[:] = 3
+        assert backend.get("a") is array
+        put = backend.put("b", np.arange(4))
+        assert np.array_equal(backend.get("b"), put)
+        assert set(backend.fields()) == {"a", "b"}
+        assert backend.writable
+
+
+class TestSharedMemoryBackend:
+    def test_roundtrip_across_attach(self):
+        backend = SharedMemoryBackend.create()
+        fields = _sample_fields()
+        for name, array in fields.items():
+            backend.put(name, array)
+        backend.seal({"purpose": "test", "count": 3})
+
+        attached = SharedMemoryBackend.attach(backend.prefix)
+        try:
+            assert attached.meta == {"purpose": "test", "count": 3}
+            assert set(attached.fields()) == set(fields)
+            for name, array in fields.items():
+                view = attached.get(name)
+                assert np.array_equal(view, array)
+                assert view.dtype == array.dtype
+                assert not view.flags.writeable
+        finally:
+            attached.close()
+            backend.unlink()
+
+    def test_attach_unsealed_group_fails(self):
+        backend = SharedMemoryBackend.create()
+        backend.put("x", np.arange(3))
+        try:
+            with pytest.raises(ServingError):
+                SharedMemoryBackend.attach(backend.prefix)
+        finally:
+            backend.unlink()
+
+    def test_sealed_group_rejects_allocation(self):
+        backend = SharedMemoryBackend.create()
+        backend.put("x", np.arange(3))
+        backend.seal({})
+        try:
+            assert not backend.writable
+            with pytest.raises(ServingError):
+                backend.empty("y", (2,), np.int64)
+        finally:
+            backend.unlink()
+
+    def test_unlink_removes_segments(self):
+        backend = SharedMemoryBackend.create()
+        backend.put("x", np.arange(3))
+        backend.seal({})
+        assert _segment_names(backend.prefix)
+        backend.unlink()
+        assert _segment_names(backend.prefix) == []
+
+    def test_prefixes_are_unique(self):
+        assert new_shared_prefix() != new_shared_prefix()
+
+
+class TestSharedGeneration:
+    def _generation(self):
+        backend = SharedMemoryBackend.create()
+        backend.put("x", np.arange(3))
+        backend.seal({})
+        return SharedGeneration(backend)
+
+    def test_retire_without_readers_unlinks_immediately(self):
+        generation = self._generation()
+        assert _segment_names(generation.name)
+        generation.retire()
+        assert generation.unlinked
+        assert _segment_names(generation.name) == []
+
+    def test_retire_defers_to_last_reader(self):
+        generation = self._generation()
+        assert generation.acquire()
+        generation.retire()
+        # Still readable: the name must survive until the reader detaches.
+        assert not generation.unlinked
+        assert _segment_names(generation.name)
+        generation.release()
+        assert generation.unlinked
+        assert _segment_names(generation.name) == []
+
+    def test_acquire_after_unlink_fails(self):
+        generation = self._generation()
+        generation.retire()
+        assert not generation.acquire()
+
+
+class TestRawLayout:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "group.raw"
+        fields = _sample_fields()
+        write_raw(path, fields, {"kind": "test"})
+        backend = MmapBackend(path)
+        assert backend.meta == {"kind": "test"}
+        assert set(backend.fields()) == set(fields)
+        for name, array in fields.items():
+            view = backend.get(name)
+            assert np.array_equal(view, array)
+            assert view.dtype == array.dtype
+            assert not view.flags.writeable
+
+    def test_read_raw_meta(self, tmp_path):
+        path = tmp_path / "group.raw"
+        write_raw(path, {"a": np.arange(5)}, {"n": 5})
+        assert read_raw_meta(path) == {"n": 5}
+
+    def test_mmap_backend_is_read_only(self, tmp_path):
+        path = tmp_path / "group.raw"
+        write_raw(path, {"a": np.arange(5)}, {})
+        backend = MmapBackend(path)
+        with pytest.raises(SerializationError):
+            backend.put("b", np.arange(2))
+        with pytest.raises(SerializationError):
+            backend.empty("c", (2,), np.int64)
+
+    def test_rejects_non_raw_file(self, tmp_path):
+        path = tmp_path / "bogus.raw"
+        path.write_bytes(b"definitely not raw layout")
+        with pytest.raises(SerializationError):
+            MmapBackend(path)
+
+    def test_arrays_are_aligned(self, tmp_path):
+        path = tmp_path / "group.raw"
+        write_raw(path, _sample_fields(), {})
+        backend = MmapBackend(path)
+        for name in backend.fields():
+            view = backend.get(name)
+            if view.size:
+                assert view.ctypes.data % 64 == 0, name
