@@ -116,6 +116,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="TCP port to listen on; omit to serve stdin/stdout instead",
     )
     serve.add_argument(
+        "--async",
+        dest="use_async",
+        action="store_true",
+        help=(
+            "serve the line protocol from a single asyncio event loop instead "
+            "of one thread per connection — thousands of mostly-idle clients "
+            "cost a few coroutines each, not a thread; requires --port"
+        ),
+    )
+    serve.add_argument(
+        "--http-port",
+        type=int,
+        default=None,
+        help=(
+            "also bind an HTTP admin plane on this port (async mode only): "
+            "GET /metrics (Prometheus text exposition), GET /healthz, "
+            "POST /publish"
+        ),
+    )
+    serve.add_argument(
+        "--warm",
+        default=None,
+        metavar="PAIRS_FILE",
+        help=(
+            "replay this query log (one 's t' or 's,t' pair per line) through "
+            "the engine to populate the hot-pair cache before the listener "
+            "accepts connections; requires a non-zero --cache-size"
+        ),
+    )
+    serve.add_argument(
         "--cache-size",
         type=int,
         default=65536,
@@ -291,6 +321,27 @@ def _command_serve(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print("error: --workers must be at least 1", file=sys.stderr)
         return 2
+    if args.use_async and args.port is None:
+        print(
+            "error: --async serves TCP (and optional HTTP) from an event "
+            "loop; it requires --port",
+            file=sys.stderr,
+        )
+        return 2
+    if args.http_port is not None and not args.use_async:
+        print(
+            "error: the HTTP admin plane (--http-port) is part of the async "
+            "front end; add --async",
+            file=sys.stderr,
+        )
+        return 2
+    if args.warm is not None and args.cache_size <= 0:
+        print(
+            "error: --warm populates the hot-pair cache; it requires a "
+            "non-zero --cache-size",
+            file=sys.stderr,
+        )
+        return 2
     sharded = args.workers > 1
     if args.edge_list is not None:
         try:
@@ -339,19 +390,27 @@ def _command_serve(args: argparse.Namespace) -> int:
                 min_shard_size=args.min_shard_size,
                 metrics=metrics,
             )
+        backend = engine if engine is not None else manager
+        print(
+            f"serving {manager.current.engine.num_vertices} vertices from {source} "
+            f"(cache={args.cache_size}, batch={args.batch_size}, "
+            f"workers={args.workers}, writable={manager.writable}, "
+            f"frontend={'async' if args.use_async else 'threaded'})",
+            file=sys.stderr,
+        )
+        if args.warm is not None:
+            exit_code = _warm_serve_cache(args, backend, manager, cache)
+            if exit_code != 0:
+                return exit_code
+        if args.use_async:
+            return _run_async_serve(args, backend, manager, metrics, cache)
         server = QueryServer(
-            engine if engine is not None else manager,
+            backend,
             cache=cache,
             max_batch_size=args.batch_size,
             batch_timeout=args.batch_timeout_ms / 1000.0,
             max_pending=args.max_pending,
             metrics=metrics,
-        )
-        print(
-            f"serving {manager.current.engine.num_vertices} vertices from {source} "
-            f"(cache={args.cache_size}, batch={args.batch_size}, "
-            f"workers={args.workers}, writable={manager.writable})",
-            file=sys.stderr,
         )
         return _run_serve_loop(args, server, manager, replay_mutations, serve_stdio, serve_tcp)
     finally:
@@ -360,6 +419,103 @@ def _command_serve(args: argparse.Namespace) -> int:
         manager.close()
         if previous_handler is not None:
             signal.signal(signal.SIGTERM, previous_handler)
+
+
+def _warm_serve_cache(args, backend, manager, cache) -> int:
+    """Replay the ``--warm`` query log into the hot-pair cache (before listening)."""
+    from repro.errors import ReproError
+    from repro.serving import SnapshotManager, read_pairs_file, warm_cache
+
+    engine = (
+        backend.current.engine if isinstance(backend, SnapshotManager) else backend
+    )
+    try:
+        pairs = read_pairs_file(args.warm)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        stats = warm_cache(engine, cache, pairs)
+    except ReproError as exc:
+        print(f"error: cannot warm cache; {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"warmed cache from {args.warm}: {stats['pairs']} pairs replayed in "
+        f"{stats['seconds']:.2f}s, {stats['cached']} entries cached, replay "
+        f"hit rate {stats['hit_rate']:.1%}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _run_async_serve(args, backend, manager, metrics, cache) -> int:
+    """Serve through the asyncio front end until SIGTERM/SIGINT drains it."""
+    import asyncio
+
+    from repro.errors import ReproError
+    from repro.serving import AsyncQueryFrontend, QueryServer, replay_mutations
+
+    # Constructed before any mutations replay: the frontend pins the current
+    # snapshot version for cache invalidation at construction, so a replayed
+    # publish afterwards bumps the version and flushes any --warm entries on
+    # the first batch instead of serving them stale.
+    frontend = AsyncQueryFrontend(
+        backend,
+        cache=cache,
+        max_batch_size=args.batch_size,
+        batch_timeout=args.batch_timeout_ms / 1000.0,
+        max_pending=args.max_pending,
+        metrics=metrics,
+        health_check_interval=5.0 if args.workers > 1 else None,
+    )
+
+    if args.mutations is not None:
+        # Replay before any listener exists.  The never-started QueryServer is
+        # only a shim reusing the threaded server's mutation dispatch; it
+        # serves no queries.
+        shim = QueryServer(backend, metrics=metrics)
+        try:
+            with open(args.mutations, "r", encoding="utf-8") as handle:
+                counts = replay_mutations(shim, handle)
+        except (OSError, ValueError, ReproError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"replayed {args.mutations}: {counts['added']} insertions, "
+            f"{counts['removed']} deletions, {counts['published']} "
+            f"publishes (now at version {manager.version})",
+            file=sys.stderr,
+        )
+
+    def announce(front) -> None:
+        host, port = front.tcp_address
+        print(f"listening on {host}:{port} (async)", file=sys.stderr)
+        if front.http_address is not None:
+            http_host, http_port = front.http_address
+            print(
+                f"admin plane on http://{http_host}:{http_port} "
+                "(GET /metrics, GET /healthz, POST /publish)",
+                file=sys.stderr,
+            )
+        sys.stderr.flush()
+
+    try:
+        asyncio.run(
+            frontend.serve(
+                args.host, args.port, http_port=args.http_port, ready=announce
+            )
+        )
+    except KeyboardInterrupt:  # pragma: no cover - non-main-thread loops only
+        pass
+    stats = frontend.metrics_snapshot()
+    print(
+        f"served {stats['num_queries']:.0f} queries in "
+        f"{stats['num_batches']:.0f} batches "
+        f"(p50 {stats['latency_p50_ms']:.3f} ms, "
+        f"p99 {stats['latency_p99_ms']:.3f} ms)",
+        file=sys.stderr,
+    )
+    return 0
 
 
 def _run_serve_loop(args, server, manager, replay_mutations, serve_stdio, serve_tcp) -> int:

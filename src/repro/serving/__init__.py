@@ -12,44 +12,63 @@ while the index is updated underneath it.
 * :mod:`~repro.serving.snapshot` — :class:`SnapshotManager`, lock-free
   reader snapshots with atomic hot swap of updated or reloaded indexes.
 * :mod:`~repro.serving.server` — :class:`QueryServer`, the threaded request
-  loop with coalescing and admission control, plus stdio/TCP front ends.
+  loop with coalescing and admission control, plus stdio/TCP front ends and
+  the cache-warming replay (:func:`warm_cache`).
+* :mod:`~repro.serving.aio` — :class:`AsyncQueryFrontend`, the asyncio front
+  end multiplexing thousands of connections on one event loop, with the
+  HTTP admin plane (Prometheus ``/metrics``, ``/healthz``, ``/publish``)
+  and graceful drain.
 * :mod:`~repro.serving.sharded` — :class:`ShardedQueryEngine`, the
   multi-process engine answering batch shards against named shared-memory
-  snapshot generations (the GIL bypass for multi-core serving).
+  snapshot generations (the GIL bypass for multi-core serving), with
+  worker health checks and automatic pool respawn.
 * :mod:`~repro.serving.metrics` — :class:`ServerMetrics`: QPS, P50/P95/P99
-  latency, cache hit rate and per-worker shard accounting.
+  latency, cache hit rate, per-worker shard accounting and the Prometheus
+  text-exposition renderer.
 """
 
-from repro.serving.cache import CacheStats, LRUCache
+from repro.serving.aio import AsyncQueryFrontend
+from repro.serving.cache import CacheStats, LRUCache, cached_query_batch
 from repro.serving.engine import BatchQueryEngine, EngineStats
-from repro.serving.metrics import LatencyWindow, ServerMetrics
+from repro.serving.metrics import (
+    LatencyWindow,
+    ServerMetrics,
+    render_prometheus_text,
+)
 from repro.serving.protocol import MAX_VERTEX_ID, parse_mutation, parse_pair
 from repro.serving.server import (
     QueryRequest,
     QueryServer,
+    read_pairs_file,
     replay_mutations,
     serve_stdio,
     serve_tcp,
+    warm_cache,
 )
 from repro.serving.sharded import ShardedQueryEngine, default_worker_count
 from repro.serving.snapshot import IndexSnapshot, SnapshotManager
 
 __all__ = [
+    "AsyncQueryFrontend",
     "BatchQueryEngine",
     "EngineStats",
     "ShardedQueryEngine",
     "default_worker_count",
     "LRUCache",
     "CacheStats",
+    "cached_query_batch",
     "IndexSnapshot",
     "SnapshotManager",
     "QueryServer",
     "QueryRequest",
+    "read_pairs_file",
     "replay_mutations",
     "serve_stdio",
     "serve_tcp",
+    "warm_cache",
     "ServerMetrics",
     "LatencyWindow",
+    "render_prometheus_text",
     "parse_pair",
     "parse_mutation",
     "MAX_VERTEX_ID",

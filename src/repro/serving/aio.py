@@ -1,0 +1,875 @@
+"""Asyncio serving front end: thousands of connections on one event loop.
+
+The threaded TCP server (:mod:`repro.serving.server`) pins one thread per
+connection, so a few thousand mostly-idle clients exhaust the thread budget
+long before the engine is saturated.  :class:`AsyncQueryFrontend` multiplexes
+all of them on a single event loop instead:
+
+* **Line protocol over asyncio streams.**  Every client connection speaks
+  exactly the protocol of the threaded server (``s t`` queries,
+  ``add``/``remove``/``publish`` mutations, ``STATS`` / ``STATS JSON``,
+  ``QUIT``); query, mutation and error replies are rendered through the
+  shared :mod:`~repro.serving.protocol` formatters, so they are
+  byte-identical across front ends (the stats replies additionally report
+  ``num_connections`` here).  An idle connection costs a couple of
+  suspended coroutines, not a thread.
+* **Awaitable micro-batching.**  Requests land on an :class:`asyncio.Queue`;
+  a batcher coroutine coalesces them under the same deadline + max-batch
+  admission control as :class:`~repro.serving.server.QueryServer` and
+  dispatches each batch to the engine through ``run_in_executor`` — CPU work
+  (numpy label merges, or the sharded engine's cross-process fan-out) never
+  blocks the loop, so accepts and reads keep flowing while a batch computes.
+* **HTTP/1.1 admin plane.**  A second listener answers ``GET /metrics``
+  (Prometheus text exposition rendered from
+  :class:`~repro.serving.metrics.ServerMetrics`), ``GET /healthz`` (JSON
+  liveness incl. snapshot version and connection count) and
+  ``POST /publish`` (hot-swap pending mutations) — curl-able, scrapeable,
+  no client library needed.
+* **Graceful drain.**  ``SIGTERM``/``SIGINT`` (or :meth:`request_stop`) stop
+  admissions, finish every in-flight batch, flush the replies, then close
+  the connections — clients always see a final response or a clean EOF, and
+  shared-memory generations are retired by the owning manager/engine
+  ``close()`` afterwards, never yanked mid-batch.
+* **Self-healing backend.**  With a sharded backend, an optional health
+  coroutine pings the worker pool periodically; a broken pool is respawned
+  by the engine and counted in the metrics.
+
+The front end accepts the same backends as the threaded server — a
+:class:`~repro.serving.snapshot.SnapshotManager`, a bare
+:class:`~repro.serving.engine.BatchQueryEngine`, or a
+:class:`~repro.serving.sharded.ShardedQueryEngine` — and the same hot-pair
+:class:`~repro.serving.cache.LRUCache`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.index import validate_vertex_ids
+from repro.errors import (
+    AdmissionError,
+    GraphError,
+    IndexBuildError,
+    ServingError,
+    VertexError,
+)
+from repro.serving.cache import LRUCache, cached_query_batch
+from repro.serving.engine import BatchQueryEngine
+from repro.serving.metrics import ServerMetrics, render_prometheus_text
+from repro.serving.protocol import (
+    format_distance_line,
+    format_mutation_ack,
+    format_publish_ack,
+    is_mutation,
+    parse_mutation,
+    parse_pair,
+)
+from repro.serving.snapshot import SnapshotManager
+
+__all__ = ["AsyncQueryFrontend"]
+
+_HTTP_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+}
+
+#: Admin-plane request bodies larger than this are rejected outright.
+_MAX_HTTP_BODY = 1 << 16
+
+
+class _AsyncRequest:
+    """One admitted unit of work: aligned id arrays plus the future to resolve."""
+
+    __slots__ = ("sources", "targets", "future", "created")
+
+    def __init__(
+        self,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        future: "asyncio.Future[np.ndarray]",
+    ) -> None:
+        self.sources = sources
+        self.targets = targets
+        self.future = future
+        self.created = time.perf_counter()
+
+    def __len__(self) -> int:
+        return int(self.sources.shape[0])
+
+
+class AsyncQueryFrontend:
+    """Event-loop front end: micro-batched queries, admin plane, graceful drain.
+
+    Parameters
+    ----------
+    backend:
+        A :class:`~repro.serving.snapshot.SnapshotManager` (hot-swap serving
+        and mutations), a bare :class:`~repro.serving.engine.BatchQueryEngine`
+        (static index), or a :class:`~repro.serving.sharded.ShardedQueryEngine`
+        (multi-process serving, with mutations when it wraps a shared
+        manager).
+    cache:
+        Optional hot-pair :class:`~repro.serving.cache.LRUCache`; hits skip
+        the engine, and the cache is cleared when the snapshot version
+        changes (same invalidation rule as the threaded server).
+    max_batch_size / batch_timeout / max_pending:
+        The admission-control and coalescing knobs, with the same meanings
+        and defaults as :class:`~repro.serving.server.QueryServer`.
+    metrics:
+        Optional shared :class:`~repro.serving.metrics.ServerMetrics`.
+    health_check_interval:
+        Seconds between worker-pool health probes; only meaningful when the
+        backend exposes ``ping`` (the sharded engine).  ``None`` disables the
+        probe loop.
+
+    All coroutine methods must run on the loop :meth:`start` was awaited on.
+    Typical embedding::
+
+        frontend = AsyncQueryFrontend(manager, cache=LRUCache(65_536))
+        asyncio.run(frontend.serve("0.0.0.0", 5577, http_port=9100))
+
+    or drive the pieces yourself (tests do)::
+
+        await frontend.start()
+        server = await frontend.start_tcp("127.0.0.1", 0)
+        ...
+        await frontend.stop()
+    """
+
+    def __init__(
+        self,
+        backend: Union[SnapshotManager, BatchQueryEngine],
+        *,
+        cache: Optional[LRUCache] = None,
+        max_batch_size: int = 2048,
+        batch_timeout: float = 0.002,
+        max_pending: int = 4096,
+        metrics: Optional[ServerMetrics] = None,
+        health_check_interval: Optional[float] = None,
+    ) -> None:
+        self._backend = backend
+        self.cache = cache
+        self.max_batch_size = int(max_batch_size)
+        self.batch_timeout = float(batch_timeout)
+        self.max_pending = int(max_pending)
+        self.metrics = metrics if metrics is not None else ServerMetrics()
+        manager = self.snapshot_manager
+        self._cache_version = manager.version if manager is not None else None
+        self._health_check_interval = health_check_interval
+
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._queue: Optional["asyncio.Queue[Optional[_AsyncRequest]]"] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._batcher_task: Optional[asyncio.Task] = None
+        self._health_task: Optional[asyncio.Task] = None
+        self._draining: Optional[asyncio.Event] = None
+        self._stop_requested: Optional[asyncio.Event] = None
+        self._servers = []
+        self._tcp_server: Optional[asyncio.AbstractServer] = None
+        self._http_server: Optional[asyncio.AbstractServer] = None
+        self._connections: set = set()
+        self._admin_connections: set = set()
+        #: Requests admitted but not yet completed (the qsize analogue).
+        self._pending = 0
+        self._accepting = False
+        self._running = False
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def snapshot_manager(self) -> Optional[SnapshotManager]:
+        """The backing snapshot manager, when hot swap is enabled."""
+        if isinstance(self._backend, SnapshotManager):
+            return self._backend
+        return getattr(self._backend, "snapshot_manager", None)
+
+    @property
+    def running(self) -> bool:
+        """Whether the batcher loop is active."""
+        return self._running
+
+    @property
+    def num_connections(self) -> int:
+        """Open line-protocol connections."""
+        return len(self._connections)
+
+    def _listener_address(
+        self, server: Optional[asyncio.AbstractServer]
+    ) -> Optional[Tuple[str, int]]:
+        if server is None or not server.sockets:
+            return None
+        name = server.sockets[0].getsockname()
+        return (name[0], name[1])
+
+    @property
+    def tcp_address(self) -> Optional[Tuple[str, int]]:
+        """Bound ``(host, port)`` of the line-protocol listener (if started)."""
+        return self._listener_address(self._tcp_server)
+
+    @property
+    def http_address(self) -> Optional[Tuple[str, int]]:
+        """Bound ``(host, port)`` of the HTTP admin listener (if started)."""
+        return self._listener_address(self._http_server)
+
+    def _current_engine(self) -> BatchQueryEngine:
+        if isinstance(self._backend, SnapshotManager):
+            return self._backend.current.engine
+        return self._backend
+
+    def _current_engine_and_invalidate(self) -> BatchQueryEngine:
+        """One snapshot grab per batch, with cache invalidation on version change."""
+        manager = self.snapshot_manager
+        if manager is None:
+            return self._backend
+        snapshot = manager.current
+        if self.cache is not None and snapshot.version != self._cache_version:
+            self.cache.clear()
+            self._cache_version = snapshot.version
+        if isinstance(self._backend, SnapshotManager):
+            return snapshot.engine
+        return self._backend
+
+    # ------------------------------------------------------------------ #
+    # Metrics
+    # ------------------------------------------------------------------ #
+
+    def _metrics_kwargs(self) -> dict:
+        manager = self.snapshot_manager
+        return dict(
+            cache_stats=self.cache.stats if self.cache is not None else None,
+            snapshot_version=manager.version if manager is not None else None,
+            queue_depth=self._pending,
+        )
+
+    def metrics_snapshot(self) -> dict:
+        """Serving statistics including cache, snapshot version, queue depth
+        and the open-connection count."""
+        stats = self.metrics.snapshot(**self._metrics_kwargs())
+        stats["num_connections"] = self.num_connections
+        return stats
+
+    def metrics_json(self) -> str:
+        """Single-line JSON metrics (the ``stats json`` wire reply)."""
+        return json.dumps(self.metrics_snapshot(), sort_keys=True)
+
+    def metrics_prometheus(self) -> str:
+        """Prometheus text exposition of the current metrics (``GET /metrics``)."""
+        return render_prometheus_text(self.metrics_snapshot())
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def start(self) -> "AsyncQueryFrontend":
+        """Bind to the running loop and start the batcher (idempotent)."""
+        if self._running:
+            return self
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue()
+        # Two threads: one effectively serialises engine batches (the batcher
+        # awaits each dispatch, mirroring the threaded server's single
+        # worker), the other keeps mutations/publishes from stalling query
+        # batches behind them.
+        self._executor = ThreadPoolExecutor(
+            max_workers=2, thread_name_prefix="repro-pll-aio"
+        )
+        self._draining = asyncio.Event()
+        self._stop_requested = asyncio.Event()
+        self._accepting = True
+        self._running = True
+        self._batcher_task = asyncio.create_task(self._batcher_loop())
+        if self._health_check_interval and hasattr(self._backend, "ping"):
+            self._health_task = asyncio.create_task(self._health_loop())
+        return self
+
+    async def stop(self) -> None:
+        """Drain and shut down: finish in-flight work, then close connections.
+
+        Admission stops immediately (late submissions fail fast with
+        :class:`~repro.errors.ServingError`, which the protocol renders as a
+        clean ``error:`` line), every already-admitted request completes and
+        its reply is flushed, then remaining connections are closed.  Safe to
+        call once per :meth:`start`; concurrent callers are idempotent.
+        """
+        if not self._running:
+            return
+        self._running = False
+        self._accepting = False
+        self._draining.set()
+        for server in self._servers:
+            server.close()
+        for server in self._servers:
+            # Bounded: from Python 3.12.1 wait_closed() also waits for every
+            # connection handler, and an idle admin connection (opened, no
+            # request sent) would hold it forever — the force-close below
+            # deals with those.
+            try:
+                await asyncio.wait_for(server.wait_closed(), timeout=1.0)
+            except Exception:  # pragma: no cover - timeout or platform teardown
+                pass
+        self._servers.clear()
+        if self._health_task is not None:
+            self._health_task.cancel()
+            try:
+                await self._health_task
+            except asyncio.CancelledError:
+                pass
+            self._health_task = None
+        # Every request admitted before the flag flipped completes here...
+        await self._queue.join()
+        self._queue.put_nowait(None)
+        if self._batcher_task is not None:
+            await self._batcher_task
+            self._batcher_task = None
+        # ...and the handlers get a grace window to flush the final replies
+        # and exit on their own (they watch the draining event) before any
+        # straggler — e.g. a client streaming queries forever — is cut off.
+        deadline = self._loop.time() + 1.0
+        while self._connections and self._loop.time() < deadline:
+            await asyncio.sleep(0.01)
+        for writer in list(self._connections) + list(self._admin_connections):
+            writer.close()
+        deadline = self._loop.time() + 5.0
+        while (
+            (self._connections or self._admin_connections)
+            and self._loop.time() < deadline
+        ):
+            await asyncio.sleep(0.01)
+        self._executor.shutdown(wait=True)
+
+    def request_stop(self) -> None:
+        """Ask :meth:`serve` to drain and return (signal-handler safe)."""
+        if self._stop_requested is not None:
+            self._stop_requested.set()
+
+    def request_stop_threadsafe(self) -> None:
+        """Like :meth:`request_stop`, callable from any thread."""
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self.request_stop)
+
+    async def start_tcp(
+        self, host: str = "127.0.0.1", port: int = 0, *, backlog: int = 2048
+    ) -> asyncio.AbstractServer:
+        """Start the line-protocol listener; ``port=0`` binds an ephemeral port."""
+        server = await asyncio.start_server(
+            self._handle_connection, host, port, backlog=backlog
+        )
+        self._servers.append(server)
+        self._tcp_server = server
+        return server
+
+    async def start_http(
+        self, host: str = "127.0.0.1", port: int = 0, *, backlog: int = 128
+    ) -> asyncio.AbstractServer:
+        """Start the HTTP admin listener (``/metrics``, ``/healthz``, ``/publish``)."""
+        server = await asyncio.start_server(
+            self._handle_http, host, port, backlog=backlog
+        )
+        self._servers.append(server)
+        self._http_server = server
+        return server
+
+    async def serve(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        http_host: Optional[str] = None,
+        http_port: Optional[int] = None,
+        install_signal_handlers: bool = True,
+        ready: Optional[Callable[["AsyncQueryFrontend"], None]] = None,
+    ) -> None:
+        """Run the front end until a stop is requested, then drain.
+
+        Starts the batcher and the TCP listener (plus the HTTP admin listener
+        when ``http_port`` is given), installs ``SIGTERM``/``SIGINT``
+        handlers that trigger a graceful drain (where the platform supports
+        loop signal handlers), invokes ``ready`` once the ports are bound
+        (read them from :attr:`tcp_address` / :attr:`http_address`), and
+        blocks until :meth:`request_stop` — or a signal — fires.
+        """
+        await self.start()
+        await self.start_tcp(host, port)
+        if http_port is not None:
+            await self.start_http(http_host if http_host is not None else host, http_port)
+        loop = asyncio.get_running_loop()
+        installed = []
+        if install_signal_handlers:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(signum, self.request_stop)
+                    installed.append(signum)
+                except (NotImplementedError, RuntimeError, ValueError):
+                    pass  # non-main thread or unsupported platform
+        if ready is not None:
+            ready(self)
+        try:
+            await self._stop_requested.wait()
+        finally:
+            # Drain with the handlers still installed: a second SIGTERM during
+            # the drain must stay a (redundant) stop request, not the default
+            # hard kill that would strand shared-memory generations.
+            try:
+                await self.stop()
+            finally:
+                for signum in installed:
+                    loop.remove_signal_handler(signum)
+
+    # ------------------------------------------------------------------ #
+    # Client API (coroutines)
+    # ------------------------------------------------------------------ #
+
+    def submit(
+        self, sources: Sequence[int], targets: Sequence[int]
+    ) -> "asyncio.Future[np.ndarray]":
+        """Admit one request of aligned pairs; returns the future to await.
+
+        Synchronous (no suspension point between the admission check and the
+        enqueue), so back-to-back submits observe a consistent pending count.
+
+        Raises
+        ------
+        AdmissionError
+            When ``max_pending`` requests are already admitted.
+        ServingError
+            When the front end is not started or is draining.
+        VertexError
+            When a vertex id is out of range — validated at submission so one
+            malformed request cannot fail the batch it would have joined.
+        """
+        if not self._accepting:
+            raise ServingError(
+                "front end is not accepting requests; call start() first"
+            )
+        if self._pending >= self.max_pending:
+            self.metrics.observe_rejection()
+            raise AdmissionError(
+                f"request rejected: {self.max_pending} requests already pending"
+            )
+        source_array = np.atleast_1d(np.asarray(sources, dtype=np.int64))
+        target_array = np.atleast_1d(np.asarray(targets, dtype=np.int64))
+        if source_array.shape != target_array.shape:
+            raise ValueError("sources and targets must have the same length")
+        num_vertices = self._current_engine().num_vertices
+        validate_vertex_ids(source_array, num_vertices)
+        validate_vertex_ids(target_array, num_vertices)
+        future: "asyncio.Future[np.ndarray]" = self._loop.create_future()
+        self._pending += 1
+        self._queue.put_nowait(_AsyncRequest(source_array, target_array, future))
+        return future
+
+    async def query_batch(
+        self, sources: Sequence[int], targets: Sequence[int]
+    ) -> np.ndarray:
+        """Submit aligned pairs and await the distances."""
+        return await self.submit(sources, targets)
+
+    async def distance(self, s: int, t: int) -> float:
+        """Scalar convenience query."""
+        return float((await self.submit([s], [t]))[0])
+
+    async def publish(self):
+        """Publish pending mutations as a new snapshot (off-loop); returns it."""
+        manager = self._require_manager()
+        return await self._loop.run_in_executor(self._executor, manager.publish)
+
+    def _require_manager(self) -> SnapshotManager:
+        manager = self.snapshot_manager
+        if manager is None:
+            raise ServingError(
+                "mutations require a snapshot-manager backend; this front "
+                "end wraps a bare engine"
+            )
+        return manager
+
+    async def apply_mutation(
+        self, op: str, endpoints: Optional[Tuple[int, int]] = None
+    ) -> str:
+        """Apply one parsed mutation (``add`` / ``remove`` / ``publish``).
+
+        Same vocabulary and acknowledgement lines as
+        :meth:`~repro.serving.server.QueryServer.apply_mutation`; the work
+        runs on the executor so a slow publish never stalls the loop.
+        """
+        manager = self._require_manager()
+        return await self._loop.run_in_executor(
+            self._executor, self._apply_mutation_sync, manager, op, endpoints
+        )
+
+    @staticmethod
+    def _apply_mutation_sync(
+        manager: SnapshotManager, op: str, endpoints: Optional[Tuple[int, int]]
+    ) -> str:
+        if op == "publish":
+            snapshot = manager.publish()
+            return format_publish_ack(snapshot.version)
+        if endpoints is None:
+            raise ValueError(f"mutation {op!r} requires edge endpoints")
+        a, b = endpoints
+        if op == "add":
+            manager.insert_edge(a, b)
+        elif op == "remove":
+            manager.remove_edge(a, b)
+        else:
+            raise ValueError(f"unknown mutation {op!r}")
+        return format_mutation_ack(op, a, b, manager.pending_updates)
+
+    # ------------------------------------------------------------------ #
+    # Batcher
+    # ------------------------------------------------------------------ #
+
+    async def _batcher_loop(self) -> None:
+        """Coalesce admitted requests into engine batches until the sentinel."""
+        while True:
+            request = await self._queue.get()
+            if request is None:
+                self._queue.task_done()
+                return
+            batch = [request]
+            gathered = len(request)
+            deadline = self._loop.time() + self.batch_timeout
+            stopping = False
+            while gathered < self.max_batch_size:
+                remaining = deadline - self._loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    more = await asyncio.wait_for(self._queue.get(), remaining)
+                except asyncio.TimeoutError:
+                    break
+                if more is None:
+                    self._queue.task_done()
+                    stopping = True
+                    break
+                batch.append(more)
+                gathered += len(more)
+            await self._process_batch(batch)
+            if stopping:
+                return
+
+    def _evaluate_sync(
+        self, engine: BatchQueryEngine, sources: np.ndarray, targets: np.ndarray
+    ) -> np.ndarray:
+        """Cache-fronted engine evaluation; runs on the executor thread."""
+        return cached_query_batch(engine, self.cache, sources, targets)
+
+    @staticmethod
+    def _complete(request: _AsyncRequest, result: np.ndarray) -> None:
+        # The future is done when the awaiting client vanished (connection
+        # closed cancels the await, which cancels the future) — drop silently.
+        if not request.future.done():
+            request.future.set_result(result)
+
+    @staticmethod
+    def _fail(request: _AsyncRequest, error: BaseException) -> None:
+        if not request.future.done():
+            request.future.set_exception(error)
+
+    async def _process_batch(self, batch) -> None:
+        start = time.perf_counter()
+        try:
+            engine = self._current_engine_and_invalidate()
+            sources = np.concatenate([request.sources for request in batch])
+            targets = np.concatenate([request.targets for request in batch])
+            distances = await self._loop.run_in_executor(
+                self._executor, self._evaluate_sync, engine, sources, targets
+            )
+        except Exception:
+            # Retry each request alone so one poisoned or oversized request
+            # (e.g. ids stale after a hot swap to a smaller index) cannot
+            # fail the unrelated requests it was coalesced with.
+            succeeded = []
+            for request in batch:
+                try:
+                    result = await self._loop.run_in_executor(
+                        self._executor,
+                        self._evaluate_sync,
+                        self._current_engine_and_invalidate(),
+                        request.sources,
+                        request.targets,
+                    )
+                except Exception as single_exc:
+                    self._fail(request, single_exc)
+                    self.metrics.observe_error()
+                else:
+                    self._complete(request, result)
+                    succeeded.append(request)
+            if succeeded:
+                completed = time.perf_counter()
+                self.metrics.observe_batch(
+                    sum(len(request) for request in succeeded),
+                    len(succeeded),
+                    completed - start,
+                    request_latencies=[
+                        completed - request.created for request in succeeded
+                    ],
+                )
+            return
+        finally:
+            for _ in batch:
+                self._queue.task_done()
+            self._pending -= len(batch)
+        completed = time.perf_counter()
+        offset = 0
+        for request in batch:
+            self._complete(request, distances[offset: offset + len(request)])
+            offset += len(request)
+        self.metrics.observe_batch(
+            int(sources.shape[0]),
+            len(batch),
+            completed - start,
+            request_latencies=[completed - request.created for request in batch],
+        )
+
+    async def _health_loop(self) -> None:
+        """Ping the sharded worker pool periodically; it respawns on breakage."""
+        while True:
+            await asyncio.sleep(self._health_check_interval)
+            try:
+                await self._loop.run_in_executor(
+                    self._executor, self._backend.ping
+                )
+            except ServingError:
+                # Only a closed engine ends the probing; a transient failure
+                # (e.g. the respawned pool broke again under memory pressure)
+                # must not silently disable self-healing for good.
+                if getattr(self._backend, "closed", False):
+                    return
+                continue
+            except Exception:  # pragma: no cover - probe must never kill the loop
+                continue
+
+    # ------------------------------------------------------------------ #
+    # Line protocol
+    # ------------------------------------------------------------------ #
+
+    async def _handle_line(self, line: str) -> Optional[str]:
+        """Evaluate one protocol line; ``None`` ends the session.
+
+        The command surface and every reply format match the threaded
+        server's ``_handle_line`` exactly.
+        """
+        stripped = line.strip()
+        if not stripped:
+            return ""
+        command = " ".join(stripped.upper().split())
+        if command in ("QUIT", "EXIT"):
+            return None
+        if command in ("STATS JSON", "STATS"):
+            return self.metrics_json()
+        if is_mutation(stripped):
+            try:
+                op, endpoints = parse_mutation(stripped)
+            except ValueError as exc:
+                return f"error: cannot parse mutation {stripped!r}; {exc}"
+            try:
+                return await self.apply_mutation(op, endpoints)
+            except (ServingError, GraphError, IndexBuildError) as exc:
+                return f"error: {exc}"
+        try:
+            s, t = parse_pair(stripped)
+        except ValueError as exc:
+            return f"error: cannot parse query {stripped!r}; {exc}"
+        try:
+            distance = float((await self.submit([s], [t]))[0])
+        # Same client-attributable tuple as the threaded server's handler:
+        # TimeoutError covers a wedged sharded worker surfacing through the
+        # batch retry — answer an error line, never kill the session.
+        except (AdmissionError, ServingError, VertexError, TimeoutError) as exc:
+            return f"error: {exc}"
+        return format_distance_line(s, t, distance)
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One line-protocol session; exits on EOF, ``QUIT`` or drain."""
+        self._connections.add(writer)
+        drain_wait = asyncio.ensure_future(self._draining.wait())
+        try:
+            while True:
+                read = asyncio.ensure_future(reader.readline())
+                done, _ = await asyncio.wait(
+                    {read, drain_wait}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if read not in done:
+                    # Draining with no line in flight: close cleanly (EOF).
+                    read.cancel()
+                    break
+                raw = read.result()
+                if not raw:
+                    break
+                reply = await self._handle_line(raw.decode("utf-8", "replace"))
+                if reply is None:
+                    break
+                if reply:
+                    writer.write((reply + "\n").encode("utf-8"))
+                    await writer.drain()
+        except asyncio.CancelledError:
+            raise
+        except Exception:
+            # A dropped connection mid-write (reset, broken pipe) — or any
+            # similarly client-attributable failure — must not spam the loop's
+            # exception handler or affect other sessions.
+            pass
+        finally:
+            drain_wait.cancel()
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    # ------------------------------------------------------------------ #
+    # HTTP admin plane
+    # ------------------------------------------------------------------ #
+
+    async def _http_respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: str,
+        content_type: str = "application/json",
+    ) -> None:
+        payload = body.encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_HTTP_REASONS.get(status, 'OK')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + payload)
+        await writer.drain()
+
+    async def _handle_http(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One admin-plane request (HTTP/1.1, one request per connection)."""
+        self._admin_connections.add(writer)
+        try:
+            request_line = await reader.readline()
+            if not request_line:
+                return
+            parts = request_line.decode("latin-1", "replace").split()
+            if len(parts) < 2:
+                await self._http_respond(
+                    writer, 400, json.dumps({"error": "malformed request line"})
+                )
+                return
+            method, target = parts[0].upper(), parts[1]
+            content_length = 0
+            while True:
+                header = await reader.readline()
+                if header in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = header.decode("latin-1", "replace").partition(":")
+                if name.strip().lower() == "content-length":
+                    try:
+                        content_length = int(value.strip())
+                    except ValueError:
+                        content_length = 0
+            if content_length:
+                # The admin verbs take no body; read and discard a bounded
+                # amount so the reply is not mistaken for a pipelined response.
+                await reader.readexactly(min(content_length, _MAX_HTTP_BODY))
+            path = target.split("?", 1)[0]
+            await self._dispatch_http(writer, method, path)
+        except ValueError:
+            # StreamReader raises ValueError for a request/header line over
+            # the stream limit (64 KiB); answer 400 best effort — the
+            # connection closes either way, but never as an unhandled
+            # task exception.
+            try:
+                await self._http_respond(
+                    writer,
+                    400,
+                    json.dumps({"error": "request line or header too long"}),
+                )
+            except Exception:
+                pass
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+        ):
+            pass
+        finally:
+            self._admin_connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _dispatch_http(
+        self, writer: asyncio.StreamWriter, method: str, path: str
+    ) -> None:
+        if path == "/metrics":
+            if method != "GET":
+                await self._http_respond(
+                    writer, 405, json.dumps({"error": "use GET"})
+                )
+                return
+            await self._http_respond(
+                writer,
+                200,
+                self.metrics_prometheus(),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
+            return
+        if path == "/healthz":
+            if method != "GET":
+                await self._http_respond(
+                    writer, 405, json.dumps({"error": "use GET"})
+                )
+                return
+            manager = self.snapshot_manager
+            payload = {
+                "status": "ok" if self._accepting else "draining",
+                "snapshot_version": manager.version if manager is not None else None,
+                "connections": self.num_connections,
+                "queue_depth": self._pending,
+            }
+            await self._http_respond(writer, 200, json.dumps(payload, sort_keys=True))
+            return
+        if path == "/publish":
+            if method != "POST":
+                await self._http_respond(
+                    writer, 405, json.dumps({"error": "use POST"})
+                )
+                return
+            try:
+                snapshot = await self.publish()
+            except (ServingError, GraphError, IndexBuildError) as exc:
+                await self._http_respond(
+                    writer, 409, json.dumps({"error": str(exc)})
+                )
+                return
+            await self._http_respond(
+                writer,
+                200,
+                json.dumps(
+                    {"published": True, "version": snapshot.version},
+                    sort_keys=True,
+                ),
+            )
+            return
+        await self._http_respond(
+            writer,
+            404,
+            json.dumps(
+                {"error": f"unknown path {path!r}", "paths": ["/metrics", "/healthz", "/publish"]}
+            ),
+        )

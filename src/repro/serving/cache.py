@@ -21,7 +21,26 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["CacheStats", "LRUCache"]
+__all__ = ["CacheStats", "LRUCache", "cached_query_batch"]
+
+
+def cached_query_batch(engine, cache: Optional["LRUCache"], sources, targets):
+    """Answer one aligned batch through the hot-pair cache (probe-compute-store).
+
+    The one evaluation path every cache-fronted surface shares — the threaded
+    server, the asyncio front end and the ``--warm`` replay: probe the cache
+    for the whole batch, compute only the misses through
+    ``engine.query_batch``, store them back, return the full distance array.
+    With ``cache=None`` the engine answers directly.
+    """
+    if cache is None:
+        return engine.query_batch(sources, targets)
+    distances, missing = cache.lookup_batch(sources, targets)
+    if missing.any():
+        computed = engine.query_batch(sources[missing], targets[missing])
+        distances[missing] = computed
+        cache.store_batch(sources[missing], targets[missing], computed)
+    return distances
 
 
 @dataclass

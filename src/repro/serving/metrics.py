@@ -6,23 +6,129 @@ bounded ring buffer of recent request latencies and derives the standard
 serving dashboard from it: queries per second, P50/P95/P99, batch shape and
 cache effectiveness.  Everything is stdlib + numpy and cheap enough to update
 on every batch.
+
+Three renderings of the same snapshot cover every consumer: :meth:`ServerMetrics.render`
+(human-readable), :meth:`ServerMetrics.render_json` (the ``stats json`` wire
+reply) and :func:`render_prometheus_text` (the text exposition format served
+on the async front end's ``GET /metrics`` admin endpoint, scrapeable by
+Prometheus).
 """
 
 from __future__ import annotations
 
 import json
+import math
 import threading
 import time
-from typing import Dict, Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.serving.cache import CacheStats
 
-__all__ = ["LatencyWindow", "ServerMetrics"]
+__all__ = ["LatencyWindow", "ServerMetrics", "render_prometheus_text"]
 
 #: Percentiles reported by default (the usual serving dashboard trio).
 DEFAULT_PERCENTILES = (50.0, 95.0, 99.0)
+
+#: Snapshot keys that are monotonically increasing and therefore exposed with
+#: the Prometheus ``counter`` type; every other numeric key is a ``gauge``.
+PROMETHEUS_COUNTERS = frozenset(
+    {
+        "num_requests",
+        "num_batches",
+        "num_queries",
+        "num_rejected",
+        "num_errors",
+        "num_worker_respawns",
+        "cache_hits",
+        "cache_misses",
+        "cache_evictions",
+    }
+)
+
+#: Help strings for the best-known snapshot keys; anything else gets a
+#: generated fallback so the exposition stays self-describing.
+_PROMETHEUS_HELP = {
+    "uptime_seconds": "Wall-clock seconds since the metrics object was created.",
+    "num_requests": "Total query requests admitted.",
+    "num_batches": "Total coalesced batches evaluated.",
+    "num_queries": "Total query pairs answered.",
+    "num_rejected": "Requests rejected by admission control.",
+    "num_errors": "Requests that failed with an error.",
+    "num_worker_respawns": "Times the sharded worker pool was rebuilt after breaking.",
+    "qps": "Queries answered per second of uptime.",
+    "busy_fraction": "Fraction of uptime spent evaluating batches.",
+    "average_batch_size": "Mean query pairs per evaluated batch.",
+    "cache_hit_rate": "Fraction of cache lookups served from the hot-pair cache.",
+    "snapshot_version": "Version number of the currently served index snapshot.",
+    "queue_depth": "Requests currently queued for batching.",
+    "num_connections": "Open client connections on the async front end.",
+}
+
+
+def _prometheus_number(value: float) -> str:
+    """Render one sample value in the exposition grammar (incl. +Inf/NaN)."""
+    number = float(value)
+    if math.isinf(number):
+        return "+Inf" if number > 0 else "-Inf"
+    if math.isnan(number):
+        return "NaN"
+    if number == int(number) and abs(number) < 2**53:
+        return str(int(number))
+    return repr(number)
+
+
+def render_prometheus_text(
+    stats: Mapping[str, object], *, prefix: str = "repro_pll"
+) -> str:
+    """Render one :meth:`ServerMetrics.snapshot` dictionary as Prometheus text.
+
+    Produces the `text exposition format
+    <https://prometheus.io/docs/instrumenting/exposition_formats/>`_ (version
+    0.0.4): ``# HELP`` / ``# TYPE`` comment pairs followed by one sample per
+    metric, all names prefixed with ``prefix``.  The nested per-worker
+    breakdown (the ``workers`` key) becomes labelled series —
+    ``<prefix>_worker_queries{worker="<pid>"}`` and friends — so a skewed or
+    respawned pool is visible to the scraper.  Non-numeric values are skipped.
+    """
+    lines = []
+
+    def emit(name: str, value: float, kind: str, help_text: str, labels: str = "") -> None:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        lines.append(f"{name}{labels} {_prometheus_number(value)}")
+
+    workers = stats.get("workers")
+    for key in sorted(stats):
+        if key == "workers":
+            continue
+        value = stats[key]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        name = f"{prefix}_{key}"
+        kind = "counter" if key in PROMETHEUS_COUNTERS else "gauge"
+        help_text = _PROMETHEUS_HELP.get(key, f"Serving statistic {key}.")
+        emit(name, value, kind, help_text)
+    if isinstance(workers, Mapping) and workers:
+        per_worker = {
+            "num_shards": ("shards", "counter", "Batch shards evaluated by this worker."),
+            "num_queries": ("queries", "counter", "Query pairs answered by this worker."),
+            "busy_seconds": ("busy_seconds", "gauge", "Cumulative evaluation seconds in this worker."),
+        }
+        for field_name, (suffix, kind, help_text) in per_worker.items():
+            name = f"{prefix}_worker_{suffix}"
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            for worker in sorted(workers):
+                counters = workers[worker]
+                if field_name not in counters:
+                    continue
+                lines.append(
+                    f'{name}{{worker="{worker}"}} '
+                    f"{_prometheus_number(counters[field_name])}"
+                )
+    return "\n".join(lines) + "\n"
 
 
 class LatencyWindow:
@@ -77,6 +183,7 @@ class ServerMetrics:
         self._busy_seconds = 0.0
         self._num_rejected = 0
         self._num_errors = 0
+        self._num_worker_respawns = 0
         # Per-worker shard accounting for the multi-process engine, keyed by
         # worker id (pid); empty for single-process serving.
         self._workers: Dict[str, Dict[str, float]] = {}
@@ -141,6 +248,11 @@ class ServerMetrics:
         with self._lock:
             self._num_errors += 1
 
+    def observe_worker_respawn(self) -> None:
+        """Record one rebuild of a broken sharded worker pool."""
+        with self._lock:
+            self._num_worker_respawns += 1
+
     # ------------------------------------------------------------------ #
     # Reporting
     # ------------------------------------------------------------------ #
@@ -172,6 +284,7 @@ class ServerMetrics:
                 "num_queries": self._num_queries,
                 "num_rejected": self._num_rejected,
                 "num_errors": self._num_errors,
+                "num_worker_respawns": self._num_worker_respawns,
                 "qps": self._num_queries / elapsed,
                 "busy_fraction": min(self._busy_seconds / elapsed, 1.0),
                 "average_batch_size": (
@@ -212,5 +325,13 @@ class ServerMetrics:
         return "\n".join(lines)
 
     def render_json(self, **snapshot_kwargs) -> str:
-        """Single-line JSON rendering of :meth:`snapshot` (the STATS wire reply)."""
+        """Single-line JSON rendering of :meth:`snapshot` (the ``stats json`` wire reply)."""
         return json.dumps(self.snapshot(**snapshot_kwargs), sort_keys=True)
+
+    def render_prometheus(self, **snapshot_kwargs) -> str:
+        """Prometheus text-exposition rendering of :meth:`snapshot`.
+
+        Served by the async front end's ``GET /metrics`` admin endpoint; see
+        :func:`render_prometheus_text` for the format details.
+        """
+        return render_prometheus_text(self.snapshot(**snapshot_kwargs))

@@ -1,18 +1,27 @@
-"""Shared parsing for the query wire/CLI protocol.
+"""Shared parsing and reply formatting for the query wire/CLI protocol.
 
-Both query front ends — the one-shot ``repro-pll query`` command and the
-line protocol spoken by the server's stdio/TCP sessions — accept the same
-pair syntax (``s t`` or ``s,t``).  Mutation lines (``add a b``,
+The query front ends — the one-shot ``repro-pll query`` command, the
+threaded server's stdio/TCP sessions and the asyncio front end — accept the
+same pair syntax (``s t`` or ``s,t``).  Mutation lines (``add a b``,
 ``remove a b``, ``publish``) use the same vocabulary in the live protocol
-and in ``--mutations`` replay files.  This module is the single home for
-that parsing so the surfaces cannot drift apart.
+and in ``--mutations`` replay files, and every front end renders replies
+through the formatters here.  This module is the single home for that
+parsing and formatting so the surfaces cannot drift apart.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Tuple
 
-__all__ = ["MAX_VERTEX_ID", "is_mutation", "parse_pair", "parse_mutation"]
+__all__ = [
+    "MAX_VERTEX_ID",
+    "format_distance_line",
+    "format_mutation_ack",
+    "format_publish_ack",
+    "is_mutation",
+    "parse_pair",
+    "parse_mutation",
+]
 
 #: Largest vertex id representable in the int64 arrays queries are built from.
 MAX_VERTEX_ID = 2**63 - 1
@@ -86,3 +95,19 @@ def parse_mutation(line: str) -> Tuple[str, Optional[Tuple[int, int]]]:
             raise ValueError("publish takes no arguments")
         return op, None
     return op, parse_pair(" ".join(parts[1:]))
+
+
+def format_distance_line(s: int, t: int, distance: float) -> str:
+    """Render one query reply line (``s<TAB>t<TAB>distance``, ``inf`` spelled out)."""
+    rendered = "inf" if distance == float("inf") else f"{distance:g}"
+    return f"{s}\t{t}\t{rendered}"
+
+
+def format_mutation_ack(op: str, a: int, b: int, pending: int) -> str:
+    """Render the acknowledgement for an applied ``add``/``remove`` mutation."""
+    return f"ok {op} ({a}, {b}); {pending} updates pending publish"
+
+
+def format_publish_ack(version: int) -> str:
+    """Render the acknowledgement for a published snapshot."""
+    return f"ok published version={version}"

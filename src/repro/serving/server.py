@@ -17,11 +17,15 @@ vectorised engine is fast at:
 
 Two thin front ends speak a line protocol (``s t`` or ``s,t`` per query;
 ``add a b`` / ``remove a b`` to mutate the shadow graph and ``publish`` to
-hot-swap the mutations in; ``STATS`` for a JSON metrics line; ``QUIT`` to
-end the session): :func:`serve_stdio` for pipes/interactive use and
-:func:`serve_tcp` for network clients (stdlib ``socketserver``, one thread
-per connection).  :func:`replay_mutations` drives the same mutation
-vocabulary from a file (the ``--mutations`` serve option).
+hot-swap the mutations in; ``STATS`` / ``STATS JSON`` for a JSON metrics
+line; ``QUIT`` to end the session): :func:`serve_stdio` for
+pipes/interactive use and :func:`serve_tcp` for network clients (stdlib
+``socketserver``, one thread per connection — see
+:class:`~repro.serving.aio.AsyncQueryFrontend` for the event-loop front end
+that multiplexes thousands of connections instead).  :func:`replay_mutations`
+drives the same mutation vocabulary from a file (the ``--mutations`` serve
+option), and :func:`warm_cache` replays a query log into the hot-pair cache
+before a listener starts accepting traffic (the ``--warm`` serve option).
 """
 
 from __future__ import annotations
@@ -44,18 +48,27 @@ from repro.errors import (
     ServingError,
     VertexError,
 )
-from repro.serving.cache import LRUCache
+from repro.serving.cache import LRUCache, cached_query_batch
 from repro.serving.engine import BatchQueryEngine
 from repro.serving.metrics import ServerMetrics
-from repro.serving.protocol import is_mutation, parse_mutation, parse_pair
+from repro.serving.protocol import (
+    format_distance_line,
+    format_mutation_ack,
+    format_publish_ack,
+    is_mutation,
+    parse_mutation,
+    parse_pair,
+)
 from repro.serving.snapshot import SnapshotManager
 
 __all__ = [
     "QueryRequest",
     "QueryServer",
+    "read_pairs_file",
     "replay_mutations",
     "serve_stdio",
     "serve_tcp",
+    "warm_cache",
 ]
 
 
@@ -286,14 +299,21 @@ class QueryServer:
         """Synchronous batch query."""
         return self.submit_pairs(pairs).wait(timeout)
 
-    def metrics_snapshot(self) -> dict:
-        """Serving statistics including cache, snapshot version and queue depth."""
+    def _metrics_kwargs(self) -> dict:
         manager = self.snapshot_manager
-        return self.metrics.snapshot(
+        return dict(
             cache_stats=self.cache.stats if self.cache is not None else None,
             snapshot_version=manager.version if manager is not None else None,
             queue_depth=self._queue.qsize(),
         )
+
+    def metrics_snapshot(self) -> dict:
+        """Serving statistics including cache, snapshot version and queue depth."""
+        return self.metrics.snapshot(**self._metrics_kwargs())
+
+    def metrics_json(self) -> str:
+        """Single-line JSON metrics (the ``stats json`` wire reply)."""
+        return self.metrics.render_json(**self._metrics_kwargs())
 
     # ------------------------------------------------------------------ #
     # Mutations (hot-swap write path)
@@ -331,7 +351,7 @@ class QueryServer:
         """
         if op == "publish":
             snapshot = self.publish()
-            return f"ok published version={snapshot.version}"
+            return format_publish_ack(snapshot.version)
         if endpoints is None:
             raise ValueError(f"mutation {op!r} requires edge endpoints")
         a, b = endpoints
@@ -342,7 +362,7 @@ class QueryServer:
         else:
             raise ValueError(f"unknown mutation {op!r}")
         pending = self._require_manager().pending_updates
-        return f"ok {op} ({a}, {b}); {pending} updates pending publish"
+        return format_mutation_ack(op, a, b, pending)
 
     # ------------------------------------------------------------------ #
     # Worker
@@ -392,14 +412,7 @@ class QueryServer:
     def _evaluate(
         self, engine: BatchQueryEngine, sources: np.ndarray, targets: np.ndarray
     ) -> np.ndarray:
-        if self.cache is None:
-            return engine.query_batch(sources, targets)
-        distances, missing = self.cache.lookup_batch(sources, targets)
-        if missing.any():
-            computed = engine.query_batch(sources[missing], targets[missing])
-            distances[missing] = computed
-            self.cache.store_batch(sources[missing], targets[missing], computed)
-        return distances
+        return cached_query_batch(engine, self.cache, sources, targets)
 
     def _process_batch(self, batch: list) -> None:
         start = time.perf_counter()
@@ -474,11 +487,11 @@ def _handle_line(server: QueryServer, line: str) -> Optional[str]:
     stripped = line.strip()
     if not stripped:
         return ""
-    command = stripped.upper()
+    command = " ".join(stripped.upper().split())
     if command in ("QUIT", "EXIT"):
         return None
-    if command == "STATS":
-        return json.dumps(server.metrics_snapshot(), sort_keys=True)
+    if command in ("STATS JSON", "STATS"):
+        return server.metrics_json()
     if is_mutation(stripped):
         try:
             op, endpoints = parse_mutation(stripped)
@@ -503,8 +516,7 @@ def _handle_line(server: QueryServer, line: str) -> Optional[str]:
     # a traceback that kills the session.  Genuine engine bugs still raise.
     except (AdmissionError, ServingError, VertexError, TimeoutError) as exc:
         return f"error: {exc}"
-    rendered = "inf" if distance == float("inf") else f"{distance:g}"
-    return f"{s}\t{t}\t{rendered}"
+    return format_distance_line(s, t, distance)
 
 
 def replay_mutations(server: QueryServer, lines: Iterable[str]) -> dict:
@@ -546,6 +558,68 @@ def replay_mutations(server: QueryServer, lines: Iterable[str]) -> dict:
         server.apply_mutation("publish")
         counts["published"] += 1
     return counts
+
+
+def read_pairs_file(path) -> np.ndarray:
+    """Read a query-pair file (one ``s t`` / ``s,t`` pair per line) into an array.
+
+    Blank lines and ``#`` comments are skipped — the format is the natural
+    dump of a query log.  Returns an ``(n, 2)`` int64 array.
+
+    Raises
+    ------
+    ValueError
+        On an unparsable line (prefixed with its 1-based line number).
+    OSError
+        When the file cannot be read.
+    """
+    pairs = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            stripped = raw.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            try:
+                pairs.append(parse_pair(stripped))
+            except ValueError as exc:
+                raise ValueError(f"pairs line {line_number}: {exc}") from None
+    return np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+
+
+def warm_cache(engine, cache: LRUCache, pairs, *, batch_size: int = 8192) -> dict:
+    """Replay query pairs through ``engine`` to populate the hot-pair ``cache``.
+
+    Run before a listener starts accepting connections (the serve ``--warm``
+    option), so the first real clients hit a warm cache instead of paying the
+    cold misses themselves.  The replay goes through the same
+    probe-compute-store path as live traffic: duplicated pairs in the log hit
+    the cache, so the returned ``hit_rate`` is the rate a workload shaped
+    like the log can expect (and the warm hits/misses are counted in
+    ``cache.stats``, which keeps the serving metrics honest about how the
+    cache got warm).
+
+    ``engine`` is anything with ``query_batch`` — a
+    :class:`~repro.serving.engine.BatchQueryEngine` or a
+    :class:`~repro.serving.sharded.ShardedQueryEngine`.  Returns a summary
+    dict: ``pairs``, ``hits``, ``misses``, ``hit_rate``, ``cached`` (entries
+    now resident) and ``seconds``.
+    """
+    pair_array = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+    start = time.perf_counter()
+    misses_before = cache.stats.misses
+    for offset in range(0, pair_array.shape[0], int(batch_size)):
+        chunk = pair_array[offset: offset + int(batch_size)]
+        cached_query_batch(engine, cache, chunk[:, 0], chunk[:, 1])
+    num_pairs = int(pair_array.shape[0])
+    hits = num_pairs - (cache.stats.misses - misses_before)
+    return {
+        "pairs": num_pairs,
+        "hits": hits,
+        "misses": num_pairs - hits,
+        "hit_rate": hits / num_pairs if num_pairs else 0.0,
+        "cached": len(cache),
+        "seconds": time.perf_counter() - start,
+    }
 
 
 def serve_stdio(

@@ -22,6 +22,14 @@ persistent pool of *worker processes* instead:
   against the generation it was dispatched with, generations are retired
   refcounted (:class:`~repro.core.storage.SharedGeneration`), and a worker
   attaching a newer generation drops its mappings of the old one.
+* The pool is **self-healing**: a worker dying (OOM kill, segfault, stray
+  ``SIGKILL``) breaks a ``ProcessPoolExecutor`` permanently, so the engine
+  catches :class:`~concurrent.futures.process.BrokenProcessPool` — from a
+  query dispatch or from a :meth:`ShardedQueryEngine.ping` health probe —
+  rebuilds the pool, and retries; fresh workers re-attach the current
+  generation by name on their first shard.  Respawns are counted in
+  :class:`~repro.serving.metrics.ServerMetrics` so the dashboard shows a
+  flapping pool.
 
 The engine is duck-type compatible with
 :class:`~repro.serving.engine.BatchQueryEngine` (``query_batch`` /
@@ -34,8 +42,9 @@ from __future__ import annotations
 import os
 import threading
 import time
-from concurrent.futures import ProcessPoolExecutor, wait
-from typing import Dict, Optional, Sequence, Tuple, Union
+from concurrent.futures import CancelledError, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -159,6 +168,8 @@ class ShardedQueryEngine:
         self._stats_lock = threading.Lock()
         self._worker_seconds: Dict[int, float] = {}
         self._closed = False
+        self._respawn_lock = threading.Lock()
+        self._num_respawns = 0
 
         self._manager: Optional[SnapshotManager] = None
         self._static_snapshot: Optional[IndexSnapshot] = None
@@ -193,20 +204,19 @@ class ShardedQueryEngine:
             )
 
         try:
-            self._pool = ProcessPoolExecutor(max_workers=self._num_workers)
-            # Fork the whole pool now (see _worker_warmup).
-            wait(
-                [
-                    self._pool.submit(_worker_warmup, 0.05)
-                    for _ in range(self._num_workers)
-                ]
-            )
+            self._pool = self._create_pool()
         except BaseException:
             # Pool creation failing (fork EAGAIN, memory pressure) must not
             # strand the generation this engine just exported.
             if self._own_generation is not None:
                 self._own_generation.retire()
             raise
+
+    def _create_pool(self) -> ProcessPoolExecutor:
+        """Fork a fully warmed pool (see :func:`_worker_warmup`)."""
+        pool = ProcessPoolExecutor(max_workers=self._num_workers)
+        wait([pool.submit(_worker_warmup, 0.05) for _ in range(self._num_workers)])
+        return pool
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -242,11 +252,79 @@ class ShardedQueryEngine:
         with self._stats_lock:
             return dict(self._worker_seconds)
 
+    @property
+    def num_respawns(self) -> int:
+        """How many times the worker pool has been rebuilt after breaking."""
+        return self._num_respawns
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has torn the engine down."""
+        return self._closed
+
     def _current_snapshot(self) -> IndexSnapshot:
         if self._manager is not None:
             return self._manager.current
         assert self._static_snapshot is not None
         return self._static_snapshot
+
+    # ------------------------------------------------------------------ #
+    # Worker health
+    # ------------------------------------------------------------------ #
+
+    def _respawn_pool(self, broken: ProcessPoolExecutor) -> None:
+        """Replace ``broken`` with a freshly forked pool (once per breakage).
+
+        Concurrent callers may observe the same broken pool; the identity
+        check under the lock makes sure only the first rebuilds it — the
+        rest return immediately and retry on the replacement.  Fresh workers
+        carry no attachment cache, so their first shard re-attaches the
+        current generation by name (:func:`_attached_index`).
+        """
+        with self._respawn_lock:
+            if self._pool is not broken or self._closed:
+                return
+            broken.shutdown(wait=False, cancel_futures=True)
+            self._pool = self._create_pool()
+            self._num_respawns += 1
+        if self._metrics is not None:
+            self._metrics.observe_worker_respawn()
+
+    def ping(self) -> List[int]:
+        """Probe every pool worker; respawn the pool if it is broken.
+
+        Dispatches one occupy-a-worker task per pool slot (the same trick as
+        the construction warm-up, so the probes land on distinct workers) and
+        returns the responding pids.  A dead worker surfaces as
+        :class:`BrokenProcessPool`; the pool is rebuilt once and re-probed,
+        so a successful return always describes a healthy pool.  Intended to
+        be called periodically (the async front end does) as well as ad hoc.
+        """
+        if self._closed:
+            raise ServingError("sharded engine has been closed")
+        for attempt in (0, 1):
+            pool = self._pool
+            try:
+                futures = [
+                    pool.submit(_worker_warmup, 0.02)
+                    for _ in range(self._num_workers)
+                ]
+                return sorted(
+                    {future.result(timeout=self._shard_timeout) for future in futures}
+                )
+            except BrokenProcessPool:
+                if attempt:
+                    raise ServingError(
+                        "sharded worker pool broke again immediately after a "
+                        "respawn"
+                    ) from None
+                self._respawn_pool(pool)
+            except (RuntimeError, CancelledError):
+                # A concurrent caller respawned the pool underneath this
+                # probe (see query_batch); re-probe the replacement.
+                if pool is self._pool or attempt:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -263,7 +341,9 @@ class ShardedQueryEngine:
 
         Bit-identical to the single-process engine: the batch is split into
         contiguous shards, each answered by a worker process against the
-        current shared-memory generation, and re-concatenated in order.
+        current shared-memory generation, and re-concatenated in order.  A
+        batch that lands on a broken pool (a worker died) respawns the pool
+        and retries once on the fresh workers.
         """
         if self._closed:
             raise ServingError("sharded engine has been closed")
@@ -274,37 +354,61 @@ class ShardedQueryEngine:
         start = time.perf_counter()
         num_pairs = int(sources.shape[0])
 
-        snapshot, generation = self._acquire_snapshot()
-        try:
-            validate_vertex_ids(sources, snapshot.engine.num_vertices)
-            validate_vertex_ids(targets, snapshot.engine.num_vertices)
-            num_shards = min(
-                self._num_workers, -(-num_pairs // self._min_shard_size)
-            )
-            if num_pairs <= self._local_threshold or num_shards <= 1:
-                result = snapshot.engine.query_batch(sources, targets)
-                self._record(num_pairs, time.perf_counter() - start, [])
-                return result
-            futures = [
-                self._pool.submit(
-                    _worker_query_shard, generation.name, shard_s, shard_t
+        for attempt in (0, 1):
+            pool = self._pool
+            snapshot, generation = self._acquire_snapshot()
+            try:
+                validate_vertex_ids(sources, snapshot.engine.num_vertices)
+                validate_vertex_ids(targets, snapshot.engine.num_vertices)
+                num_shards = min(
+                    self._num_workers, -(-num_pairs // self._min_shard_size)
                 )
-                for shard_s, shard_t in zip(
-                    np.array_split(sources, num_shards),
-                    np.array_split(targets, num_shards),
-                )
-            ]
-            shards = []
-            worker_timings = []
-            for future in futures:
-                pid, seconds, distances = future.result(timeout=self._shard_timeout)
-                worker_timings.append((pid, int(distances.shape[0]), seconds))
-                shards.append(distances)
-        finally:
-            generation.release()
-        result = np.concatenate(shards)
-        self._record(num_pairs, time.perf_counter() - start, worker_timings)
-        return result
+                if num_pairs <= self._local_threshold or num_shards <= 1:
+                    result = snapshot.engine.query_batch(sources, targets)
+                    self._record(num_pairs, time.perf_counter() - start, [])
+                    return result
+                try:
+                    futures = [
+                        pool.submit(
+                            _worker_query_shard, generation.name, shard_s, shard_t
+                        )
+                        for shard_s, shard_t in zip(
+                            np.array_split(sources, num_shards),
+                            np.array_split(targets, num_shards),
+                        )
+                    ]
+                    shards = []
+                    worker_timings = []
+                    for future in futures:
+                        pid, seconds, distances = future.result(
+                            timeout=self._shard_timeout
+                        )
+                        worker_timings.append(
+                            (pid, int(distances.shape[0]), seconds)
+                        )
+                        shards.append(distances)
+                except BrokenProcessPool:
+                    if attempt:
+                        raise ServingError(
+                            "sharded worker pool broke again immediately "
+                            "after a respawn"
+                        ) from None
+                    self._respawn_pool(pool)
+                    continue
+                except (RuntimeError, CancelledError):
+                    # Submitting to — or awaiting futures of — a pool a
+                    # concurrent caller (another batch, a health ping) already
+                    # shut down and respawned; retry on the replacement.  If
+                    # the pool was not replaced, the error is genuine.
+                    if pool is self._pool or attempt:
+                        raise
+                    continue
+            finally:
+                generation.release()
+            result = np.concatenate(shards)
+            self._record(num_pairs, time.perf_counter() - start, worker_timings)
+            return result
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def _acquire_snapshot(self) -> Tuple[IndexSnapshot, SharedGeneration]:
         """Grab the current snapshot with its generation pinned for reading.
@@ -349,10 +453,14 @@ class ShardedQueryEngine:
         manager's to retire (call its ``close``); this only tears down what
         the engine itself created.
         """
-        if self._closed:
-            return
-        self._closed = True
-        self._pool.shutdown(wait=True, cancel_futures=True)
+        # The lock serialises close against a concurrent respawn, so the pool
+        # being shut down is always the live one.
+        with self._respawn_lock:
+            if self._closed:
+                return
+            self._closed = True
+            pool = self._pool
+        pool.shutdown(wait=True, cancel_futures=True)
         if self._own_generation is not None:
             self._own_generation.retire()
 

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -224,6 +226,136 @@ class TestServeCommand:
             "--mutations", str(tmp_path / "nope.txt"),
         ]) == 2
         assert "error:" in capsys.readouterr().err
+
+    def test_serve_async_requires_port(self, index_path, capsys):
+        assert main(["serve", str(index_path), "--async"]) == 2
+        assert "requires --port" in capsys.readouterr().err
+
+    def test_serve_http_port_requires_async(self, index_path, capsys):
+        assert main(["serve", str(index_path), "--http-port", "0"]) == 2
+        assert "--async" in capsys.readouterr().err
+
+    def test_serve_warm_requires_cache(self, index_path, tmp_path, capsys):
+        warm_path = tmp_path / "warm.txt"
+        warm_path.write_text("0 5\n")
+        assert main([
+            "serve", str(index_path),
+            "--warm", str(warm_path),
+            "--cache-size", "0",
+        ]) == 2
+        assert "--cache-size" in capsys.readouterr().err
+
+    def test_serve_warm_missing_file(self, index_path, tmp_path, capsys):
+        assert main([
+            "serve", str(index_path), "--warm", str(tmp_path / "nope.txt")
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_warm_replays_before_listening(
+        self, index_path, tmp_path, capsys, monkeypatch
+    ):
+        import io
+
+        warm_path = tmp_path / "warm.txt"
+        warm_path.write_text("# hot pairs\n0 5\n0,5\n3 7\n")
+        monkeypatch.setattr("sys.stdin", io.StringIO("0 5\nQUIT\n"))
+        assert main(["serve", str(index_path), "--warm", str(warm_path)]) == 0
+        captured = capsys.readouterr()
+        assert "warmed cache from" in captured.err
+        assert "3 pairs replayed" in captured.err
+        # The served query hits the warmed cache.
+        assert captured.out.splitlines()[0].startswith("0\t5\t")
+
+    def test_serve_async_session_over_subprocess(self, tmp_path):
+        """End to end: --async serves TCP + HTTP admin plane, SIGTERM drains."""
+        import json
+        import os
+        import re
+        import signal
+        import socket
+        import subprocess
+        import sys as _sys
+
+        edge_path = tmp_path / "g.txt"
+        edge_path.write_text("0 1\n1 2\n2 3\n")
+        # Warm the (0, 3) pair at version 1 (distance 3), then replay a
+        # mutation file whose publish makes it 1 — the served answer must be
+        # the post-replay one, not the stale warmed entry.
+        warm_path = tmp_path / "warm.txt"
+        warm_path.write_text("0 3\n")
+        mutations_path = tmp_path / "muts.txt"
+        mutations_path.write_text("add 0 3\npublish\n")
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [
+                _sys.executable, "-m", "repro.cli", "serve",
+                "--edge-list", str(edge_path),
+                "--async", "--port", "0", "--http-port", "0",
+                "--warm", str(warm_path),
+                "--mutations", str(mutations_path),
+            ],
+            env=env,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            port = http_port = None
+            for _ in range(50):
+                line = proc.stderr.readline()
+                match = re.search(r"listening on 127\.0\.0\.1:(\d+) \(async\)", line)
+                if match:
+                    port = int(match.group(1))
+                match = re.search(r"http://127\.0\.0\.1:(\d+)", line)
+                if match:
+                    http_port = int(match.group(1))
+                    break
+            assert port is not None and http_port is not None
+
+            with socket.create_connection(("127.0.0.1", port), timeout=10) as conn:
+                conn.settimeout(10)
+                conn.sendall(b"0 3\nremove 0 3\npublish\n0 3\n")
+                data = b""
+                while data.count(b"\n") < 4:
+                    chunk = conn.recv(4096)
+                    if not chunk:
+                        break
+                    data += chunk
+                replies = data.decode().splitlines()
+                # Post-replay distance, not the stale warmed version-1 entry.
+                assert replies[0] == "0\t3\t1"
+                assert replies[1].startswith("ok remove")
+                assert replies[2] == "ok published version=3"
+                assert replies[3] == "0\t3\t3"
+
+                with socket.create_connection(
+                    ("127.0.0.1", http_port), timeout=10
+                ) as admin:
+                    admin.settimeout(10)
+                    admin.sendall(
+                        b"GET /healthz HTTP/1.1\r\nHost: t\r\n"
+                        b"Connection: close\r\n\r\n"
+                    )
+                    raw = b""
+                    while True:
+                        chunk = admin.recv(4096)
+                        if not chunk:
+                            break
+                        raw += chunk
+                health = json.loads(raw.partition(b"\r\n\r\n")[2])
+                assert health["status"] == "ok"
+                assert health["snapshot_version"] == 3
+
+                # Graceful drain: the open connection sees EOF, exit code 0.
+                proc.send_signal(signal.SIGTERM)
+                assert conn.recv(4096) == b""
+            assert proc.wait(timeout=30) == 0
+            assert "served" in proc.stderr.read()
+        finally:
+            if proc.poll() is None:  # pragma: no cover - only on test failure
+                proc.kill()
+                proc.wait(timeout=10)
 
 
 class TestDatasetsCommand:

@@ -6,8 +6,9 @@ import json
 
 import pytest
 
-from repro.serving import LatencyWindow, ServerMetrics
+from repro.serving import LatencyWindow, ServerMetrics, render_prometheus_text
 from repro.serving.cache import CacheStats
+from repro.serving.metrics import PROMETHEUS_COUNTERS, _prometheus_number
 
 
 class TestLatencyWindow:
@@ -83,3 +84,68 @@ class TestServerMetrics:
         assert "qps" in text and "latency_p50_ms" in text
         parsed = json.loads(metrics.render_json())
         assert parsed["num_queries"] == 1
+
+    def test_worker_respawns_counted(self):
+        metrics = ServerMetrics()
+        assert metrics.snapshot()["num_worker_respawns"] == 0
+        metrics.observe_worker_respawn()
+        metrics.observe_worker_respawn()
+        assert metrics.snapshot()["num_worker_respawns"] == 2
+
+
+class TestPrometheusRendering:
+    def test_number_formatting(self):
+        assert _prometheus_number(3) == "3"
+        assert _prometheus_number(2.0) == "2"
+        assert _prometheus_number(0.5) == "0.5"
+        assert _prometheus_number(float("inf")) == "+Inf"
+        assert _prometheus_number(float("-inf")) == "-Inf"
+        assert _prometheus_number(float("nan")) == "NaN"
+
+    def test_exposition_shape_and_types(self):
+        metrics = ServerMetrics()
+        metrics.observe_batch(num_queries=5, num_requests=2, seconds=0.002)
+        metrics.observe_rejection()
+        body = metrics.render_prometheus(
+            cache_stats=CacheStats(hits=3, misses=1), snapshot_version=7
+        )
+        assert body.endswith("\n")
+        lines = body.splitlines()
+        samples = {}
+        types = {}
+        for line in lines:
+            if line.startswith("# TYPE "):
+                _, _, name, kind = line.split(" ", 3)
+                types[name] = kind
+            elif line.startswith("# HELP "):
+                continue
+            else:
+                name, _, value = line.partition(" ")
+                samples[name] = float(value)
+        # Every sample is announced with HELP/TYPE and parses as a float.
+        for name in samples:
+            assert name.split("{", 1)[0] in types
+        assert samples["repro_pll_num_queries"] == 5.0
+        assert samples["repro_pll_num_rejected"] == 1.0
+        assert samples["repro_pll_cache_hit_rate"] == 0.75
+        assert samples["repro_pll_snapshot_version"] == 7.0
+        assert types["repro_pll_num_queries"] == "counter"
+        assert types["repro_pll_qps"] == "gauge"
+
+    def test_workers_become_labelled_series(self):
+        metrics = ServerMetrics()
+        metrics.observe_shard(1234, num_queries=10, seconds=0.001)
+        metrics.observe_shard(5678, num_queries=4, seconds=0.002)
+        body = metrics.render_prometheus()
+        assert 'repro_pll_worker_queries{worker="1234"} 10' in body
+        assert 'repro_pll_worker_queries{worker="5678"} 4' in body
+        assert "# TYPE repro_pll_worker_busy_seconds gauge" in body
+
+    def test_non_numeric_values_are_skipped(self):
+        body = render_prometheus_text({"name": "server-1", "num_queries": 2})
+        assert "server-1" not in body
+        assert "repro_pll_num_queries 2" in body
+
+    def test_counters_declared_counter(self):
+        for key in ("num_queries", "num_errors", "num_worker_respawns"):
+            assert key in PROMETHEUS_COUNTERS

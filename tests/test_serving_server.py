@@ -146,6 +146,18 @@ class TestWireProtocol:
         assert lines[4].startswith("error: vertex 9999")
         assert handled == 6  # QUIT ends the session without being counted
 
+    def test_stats_json_command_reaches_render_json(self, engine):
+        """``stats json`` (any casing/spacing) answers with the JSON metrics line."""
+        with QueryServer(engine, cache=LRUCache(16)) as server:
+            in_stream = io.StringIO("0 5\nstats json\nSTATS  JSON\nQUIT\n")
+            out_stream = io.StringIO()
+            serve_stdio(server, in_stream, out_stream)
+        lines = out_stream.getvalue().splitlines()
+        for line in lines[1:]:
+            stats = json.loads(line)
+            assert stats["num_queries"] == 1.0
+            assert "cache_hit_rate" in stats
+
     def test_huge_vertex_id_does_not_kill_session(self, engine):
         with QueryServer(engine) as server:
             in_stream = io.StringIO(f"0 {10**30}\n0 5\nQUIT\n")
@@ -327,3 +339,53 @@ class TestReplayMutations:
         with QueryServer(engine) as server:
             with pytest.raises(ServingError):
                 replay_mutations(server, ["add 0 1"])
+
+
+class TestCacheWarming:
+    def test_warm_cache_populates_and_reports(self, engine):
+        from repro.serving import warm_cache
+
+        cache = LRUCache(64)
+        # A skewed log: the hot pair repeats across chunks, so the replay
+        # itself measures the hit rate such a workload will see.
+        pairs = [(0, 5)] * 6 + [(1, 7), (2, 9)]
+        stats = warm_cache(engine, cache, pairs, batch_size=2)
+        assert stats["pairs"] == 8
+        assert stats["cached"] == len(cache) == 3
+        assert stats["hits"] == 4  # chunk one computes (0,5); later chunks hit
+        assert stats["hit_rate"] == pytest.approx(0.5)
+        # A served query on a warmed pair is a pure cache hit.
+        hits_before = cache.stats.hits
+        with QueryServer(engine, cache=cache) as server:
+            assert server.distance(0, 5) == engine.index.distance(0, 5)
+        assert cache.stats.hits == hits_before + 1
+
+    def test_warm_cache_empty_log(self, engine):
+        from repro.serving import warm_cache
+
+        stats = warm_cache(engine, LRUCache(8), [])
+        assert stats["pairs"] == 0
+        assert stats["hit_rate"] == 0.0
+
+    def test_warm_cache_propagates_vertex_errors(self, engine):
+        from repro.errors import VertexError
+        from repro.serving import warm_cache
+
+        with pytest.raises(VertexError):
+            warm_cache(engine, LRUCache(8), [(0, 10**6)])
+
+    def test_read_pairs_file(self, tmp_path):
+        from repro.serving import read_pairs_file
+
+        path = tmp_path / "pairs.txt"
+        path.write_text("# hot pairs\n0 5\n\n1,7\n")
+        pairs = read_pairs_file(path)
+        assert pairs.tolist() == [[0, 5], [1, 7]]
+
+    def test_read_pairs_file_reports_line_number(self, tmp_path):
+        from repro.serving import read_pairs_file
+
+        path = tmp_path / "pairs.txt"
+        path.write_text("0 5\nnot-a-pair\n")
+        with pytest.raises(ValueError, match="line 2"):
+            read_pairs_file(path)

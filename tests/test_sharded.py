@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+import signal
 import threading
 import time
 from pathlib import Path
@@ -78,6 +80,58 @@ class TestShardedEngine:
         with pytest.raises(ServingError):
             engine.query_batch([0], [1])
         engine.close()  # idempotent
+
+
+class TestWorkerRespawn:
+    def test_dead_worker_respawns_and_batch_succeeds(self, small_social_graph):
+        """SIGKILLing a worker breaks the pool; the next batch must rebuild
+        it, re-attach the generation, and still answer correctly."""
+        index = PrunedLandmarkLabeling(num_bit_parallel_roots=2).build(
+            small_social_graph
+        )
+        metrics = ServerMetrics()
+        pairs = np.asarray(
+            sample_pairs(small_social_graph, 200, seed=11), dtype=np.int64
+        )
+        expected = index.distance_batch(pairs[:, 0], pairs[:, 1])
+        with ShardedQueryEngine(index, metrics=metrics, **WORKER_KWARGS) as engine:
+            before = engine.ping()
+            assert len(before) == 2
+            assert np.array_equal(
+                engine.query_batch(pairs[:, 0], pairs[:, 1]), expected
+            )
+            os.kill(before[0], signal.SIGKILL)
+            # The engine heals within the same call: pool rebuilt, fresh
+            # workers attach the generation by name, the batch retries.
+            result = engine.query_batch(pairs[:, 0], pairs[:, 1])
+            assert np.array_equal(result, expected)
+            assert engine.num_respawns == 1
+            after = engine.ping()
+            assert len(after) == 2
+            assert before[0] not in after
+        stats = metrics.snapshot()
+        assert stats["num_worker_respawns"] == 1
+
+    def test_ping_alone_heals_a_broken_pool(self, small_social_graph):
+        index = PrunedLandmarkLabeling().build(small_social_graph)
+        with ShardedQueryEngine(index, **WORKER_KWARGS) as engine:
+            victims = engine.ping()
+            for pid in victims:
+                os.kill(pid, signal.SIGKILL)
+            healed = engine.ping()
+            assert len(healed) == 2
+            assert not set(victims) & set(healed)
+            assert engine.num_respawns == 1
+            # And the healed pool serves.
+            assert engine.query_batch([0, 1], [5, 6]).shape == (2,)
+
+    def test_ping_rejected_after_close(self, path_graph):
+        engine = ShardedQueryEngine(
+            PrunedLandmarkLabeling().build(path_graph), **WORKER_KWARGS
+        )
+        engine.close()
+        with pytest.raises(ServingError):
+            engine.ping()
 
 
 class TestPublishWhileQuerying:
