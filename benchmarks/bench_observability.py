@@ -1,0 +1,175 @@
+"""Benchmark for the observability layer's instrumentation overhead.
+
+The tracing spans and fixed-bucket histograms are designed to be left on in
+production, so their cost has to be measured, not assumed.  This benchmark
+drives the same batched query workload through two :class:`QueryServer`
+configurations:
+
+* **instrumented** — a live :class:`TraceRecorder` (every request leaves a
+  stitched trace in the ring buffer) plus :class:`ServerMetrics` with the
+  end-to-end and per-stage histograms enabled,
+* **baseline** — :class:`NullTraceRecorder` (span recording compiled down to
+  one ``enabled`` check) plus :class:`ServerMetrics` with histograms off.
+
+Rounds are interleaved (baseline, instrumented, baseline, ...) and the best
+round per configuration is compared, so cache warm-up and CPU-frequency drift
+hit both sides equally.  The acceptance bar: instrumented throughput within
+**5 %** of baseline (relaxed at ``--smoke`` scale, where per-round noise on a
+sub-second workload dominates).
+
+Also runnable standalone: ``python benchmarks/bench_observability.py [--smoke]``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Dict
+
+import numpy as np
+
+from repro.core.index import PrunedLandmarkLabeling
+from repro.experiments.workloads import random_pairs
+from repro.generators import barabasi_albert_graph
+from repro.serving import (
+    BatchQueryEngine,
+    NullTraceRecorder,
+    QueryServer,
+    ServerMetrics,
+    TraceRecorder,
+)
+
+#: Maximum throughput regression the always-on instrumentation may cost.
+REQUIRED_OVERHEAD = 0.05
+#: Relaxed bar at smoke scale, where each round runs well under a second.
+SMOKE_OVERHEAD = 0.15
+
+
+def _measure_qps(
+    engine: BatchQueryEngine,
+    sources: np.ndarray,
+    targets: np.ndarray,
+    *,
+    batch_size: int,
+    instrumented: bool,
+) -> float:
+    """One round: serve the whole workload, return end-to-end queries/s."""
+    if instrumented:
+        tracer = TraceRecorder()
+        metrics = ServerMetrics()
+    else:
+        tracer = NullTraceRecorder()
+        metrics = ServerMetrics(histogram_buckets=None)
+    with QueryServer(
+        engine, max_batch_size=batch_size, metrics=metrics, tracer=tracer
+    ) as server:
+        start = time.perf_counter()
+        for begin in range(0, sources.shape[0], batch_size):
+            end = begin + batch_size
+            server.submit(sources[begin:end], targets[begin:end]).wait(120)
+        seconds = time.perf_counter() - start
+        if instrumented:
+            # The instrumented side must actually have instrumented: every
+            # request traced, every histogram fed — otherwise the comparison
+            # flatters a broken pipeline.
+            assert tracer.num_recorded == -(-sources.shape[0] // batch_size)
+            histograms = server.metrics_snapshot()["histograms"]
+            assert histograms["latency_seconds"]["count"] > 0
+            assert histograms["stage_kernel_seconds"]["count"] > 0
+    return sources.shape[0] / seconds
+
+
+def run_observability_benchmark(
+    *,
+    num_vertices: int = 10_000,
+    attach: int = 5,
+    num_queries: int = 200_000,
+    batch_size: int = 2_048,
+    rounds: int = 3,
+    seed: int = 29,
+) -> Dict[str, float]:
+    """Interleave baseline and instrumented rounds; compare the best of each."""
+    graph = barabasi_albert_graph(num_vertices, attach, seed=seed)
+    index = PrunedLandmarkLabeling(num_bit_parallel_roots=8).build(graph)
+    engine = BatchQueryEngine(index)
+    pairs = np.asarray(
+        random_pairs(num_vertices, num_queries, seed=seed + 1), dtype=np.int64
+    )
+    sources, targets = pairs[:, 0], pairs[:, 1]
+
+    baseline_qps = []
+    instrumented_qps = []
+    for _ in range(rounds):
+        baseline_qps.append(
+            _measure_qps(
+                engine, sources, targets, batch_size=batch_size, instrumented=False
+            )
+        )
+        instrumented_qps.append(
+            _measure_qps(
+                engine, sources, targets, batch_size=batch_size, instrumented=True
+            )
+        )
+
+    best_baseline = max(baseline_qps)
+    best_instrumented = max(instrumented_qps)
+    return {
+        "num_vertices": num_vertices,
+        "num_queries": num_queries,
+        "batch_size": batch_size,
+        "rounds": rounds,
+        "baseline_qps": best_baseline,
+        "instrumented_qps": best_instrumented,
+        "overhead": 1.0 - best_instrumented / best_baseline,
+    }
+
+
+def format_observability_report(results: Dict[str, float]) -> str:
+    """Human-readable overhead report."""
+    lines = [
+        "Observability overhead benchmark (tracing + histograms vs no-op)",
+        f"  workload: {results['num_queries']:,.0f} pairs on "
+        f"{results['num_vertices']:,.0f} vertices, "
+        f"batches of {results['batch_size']:,.0f}, "
+        f"best of {results['rounds']:.0f} interleaved rounds",
+        "",
+        f"  baseline (no-op recorder)   {results['baseline_qps']:12,.0f} queries/s",
+        f"  instrumented (traces+hist)  {results['instrumented_qps']:12,.0f} queries/s",
+        f"  overhead                    {results['overhead']:12.2%}",
+    ]
+    return "\n".join(lines)
+
+
+def _check(results: Dict[str, float], *, smoke: bool) -> None:
+    budget = SMOKE_OVERHEAD if smoke else REQUIRED_OVERHEAD
+    assert results["overhead"] <= budget, (
+        f"instrumentation overhead {results['overhead']:.1%} above the "
+        f"{budget:.0%} budget — tracing/histograms are no longer cheap "
+        "enough to leave on"
+    )
+
+
+def test_observability_overhead_within_budget(run_once, save_result, full_scale):
+    """Always-on tracing + histograms must cost <= 5% of serving throughput."""
+    kwargs = dict(num_queries=400_000) if full_scale else {}
+    results = run_once(run_observability_benchmark, **kwargs)
+    text = format_observability_report(results)
+    print("\n" + text)
+    save_result("observability", text)
+    _check(results, smoke=False)
+
+
+if __name__ == "__main__":
+    smoke = "--smoke" in sys.argv[1:]
+    if smoke:
+        report = run_observability_benchmark(
+            num_vertices=2_000, attach=3, num_queries=40_000, batch_size=1_024
+        )
+    else:
+        report = run_observability_benchmark()
+    print(format_observability_report(report))
+    try:
+        _check(report, smoke=smoke)
+    except AssertionError as exc:
+        raise SystemExit(f"FAIL: {exc}")
+    print("PASS" + (" (smoke scale)" if smoke else ""))

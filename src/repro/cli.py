@@ -131,8 +131,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "also bind an HTTP admin plane on this port (async mode only): "
-            "GET /metrics (Prometheus text exposition), GET /healthz, "
-            "POST /publish"
+            "GET /metrics (Prometheus text exposition incl. latency/stage "
+            "histograms), GET /healthz, POST /publish, GET /traces, "
+            "GET /debug/threads, GET /debug/profile?seconds=N"
+        ),
+    )
+    serve.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        help=(
+            "slow-query log threshold in milliseconds: requests whose "
+            "end-to-end latency meets it are kept in a dedicated trace ring "
+            "and logged as structured JSON slow_query events (default: off)"
+        ),
+    )
+    serve.add_argument(
+        "--log-json",
+        action="store_true",
+        help=(
+            "emit operational events (startup, listeners, replay/warm "
+            "summaries, worker respawns, publishes, shutdown) as one JSON "
+            "object per stderr line instead of human-readable text"
         ),
     )
     serve.add_argument(
@@ -307,6 +327,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         ServerMetrics,
         ShardedQueryEngine,
         SnapshotManager,
+        StructuredLogger,
+        TraceRecorder,
         replay_mutations,
         serve_stdio,
         serve_tcp,
@@ -342,6 +364,16 @@ def _command_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    # --log-json switches every operational announcement to one-JSON-object-
+    # per-line events; without it the human-readable lines below stay exactly
+    # as they were.  The slow-query log is always structured (it is meant for
+    # pipelines), so --slow-ms gets a JSON logger of its own if needed.
+    logger = StructuredLogger(component="cli") if args.log_json else None
+    slow_logger = None
+    if args.slow_ms is not None:
+        base = logger if logger is not None else StructuredLogger()
+        slow_logger = base.child("slow-query")
+    tracer = TraceRecorder(slow_threshold_ms=args.slow_ms, logger=slow_logger)
     sharded = args.workers > 1
     if args.edge_list is not None:
         try:
@@ -357,11 +389,18 @@ def _command_serve(args: argparse.Namespace) -> int:
         except SerializationError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        print(
-            f"index metadata: ordering={index.ordering} "
-            f"bit_parallel_roots={index.num_bit_parallel_roots}",
-            file=sys.stderr,
-        )
+        if logger is not None:
+            logger.event(
+                "index_loaded",
+                ordering=index.ordering,
+                bit_parallel_roots=index.num_bit_parallel_roots,
+            )
+        else:
+            print(
+                f"index metadata: ordering={index.ordering} "
+                f"bit_parallel_roots={index.num_bit_parallel_roots}",
+                file=sys.stderr,
+            )
         manager = SnapshotManager.from_index(index, shared=sharded)
         source = args.index
     cache = LRUCache(args.cache_size) if args.cache_size > 0 else None
@@ -389,21 +428,37 @@ def _command_serve(args: argparse.Namespace) -> int:
                 num_workers=args.workers,
                 min_shard_size=args.min_shard_size,
                 metrics=metrics,
+                logger=logger.child("sharded") if logger is not None else None,
             )
         backend = engine if engine is not None else manager
-        print(
-            f"serving {manager.current.engine.num_vertices} vertices from {source} "
-            f"(cache={args.cache_size}, batch={args.batch_size}, "
-            f"workers={args.workers}, writable={manager.writable}, "
-            f"frontend={'async' if args.use_async else 'threaded'})",
-            file=sys.stderr,
-        )
+        if logger is not None:
+            logger.event(
+                "serve_start",
+                source=source,
+                num_vertices=manager.current.engine.num_vertices,
+                cache_size=args.cache_size,
+                batch_size=args.batch_size,
+                workers=args.workers,
+                writable=manager.writable,
+                frontend="async" if args.use_async else "threaded",
+                slow_ms=args.slow_ms,
+            )
+        else:
+            print(
+                f"serving {manager.current.engine.num_vertices} vertices from {source} "
+                f"(cache={args.cache_size}, batch={args.batch_size}, "
+                f"workers={args.workers}, writable={manager.writable}, "
+                f"frontend={'async' if args.use_async else 'threaded'})",
+                file=sys.stderr,
+            )
         if args.warm is not None:
-            exit_code = _warm_serve_cache(args, backend, manager, cache)
+            exit_code = _warm_serve_cache(args, backend, manager, cache, logger)
             if exit_code != 0:
                 return exit_code
         if args.use_async:
-            return _run_async_serve(args, backend, manager, metrics, cache)
+            return _run_async_serve(
+                args, backend, manager, metrics, cache, tracer, logger
+            )
         server = QueryServer(
             backend,
             cache=cache,
@@ -411,8 +466,12 @@ def _command_serve(args: argparse.Namespace) -> int:
             batch_timeout=args.batch_timeout_ms / 1000.0,
             max_pending=args.max_pending,
             metrics=metrics,
+            tracer=tracer,
+            logger=logger.child("server") if logger is not None else None,
         )
-        return _run_serve_loop(args, server, manager, replay_mutations, serve_stdio, serve_tcp)
+        return _run_serve_loop(
+            args, server, manager, replay_mutations, serve_stdio, serve_tcp, logger
+        )
     finally:
         if engine is not None:
             engine.close()
@@ -421,7 +480,7 @@ def _command_serve(args: argparse.Namespace) -> int:
             signal.signal(signal.SIGTERM, previous_handler)
 
 
-def _warm_serve_cache(args, backend, manager, cache) -> int:
+def _warm_serve_cache(args, backend, manager, cache, logger=None) -> int:
     """Replay the ``--warm`` query log into the hot-pair cache (before listening)."""
     from repro.errors import ReproError
     from repro.serving import SnapshotManager, read_pairs_file, warm_cache
@@ -439,16 +498,19 @@ def _warm_serve_cache(args, backend, manager, cache) -> int:
     except ReproError as exc:
         print(f"error: cannot warm cache; {exc}", file=sys.stderr)
         return 2
-    print(
-        f"warmed cache from {args.warm}: {stats['pairs']} pairs replayed in "
-        f"{stats['seconds']:.2f}s, {stats['cached']} entries cached, replay "
-        f"hit rate {stats['hit_rate']:.1%}",
-        file=sys.stderr,
-    )
+    if logger is not None:
+        logger.event("cache_warmed", path=args.warm, **stats)
+    else:
+        print(
+            f"warmed cache from {args.warm}: {stats['pairs']} pairs replayed in "
+            f"{stats['seconds']:.2f}s, {stats['cached']} entries cached, replay "
+            f"hit rate {stats['hit_rate']:.1%}",
+            file=sys.stderr,
+        )
     return 0
 
 
-def _run_async_serve(args, backend, manager, metrics, cache) -> int:
+def _run_async_serve(args, backend, manager, metrics, cache, tracer=None, logger=None) -> int:
     """Serve through the asyncio front end until SIGTERM/SIGINT drains it."""
     import asyncio
 
@@ -467,6 +529,8 @@ def _run_async_serve(args, backend, manager, metrics, cache) -> int:
         max_pending=args.max_pending,
         metrics=metrics,
         health_check_interval=5.0 if args.workers > 1 else None,
+        tracer=tracer,
+        logger=logger.child("aio") if logger is not None else None,
     )
 
     if args.mutations is not None:
@@ -480,21 +544,35 @@ def _run_async_serve(args, backend, manager, metrics, cache) -> int:
         except (OSError, ValueError, ReproError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        print(
-            f"replayed {args.mutations}: {counts['added']} insertions, "
-            f"{counts['removed']} deletions, {counts['published']} "
-            f"publishes (now at version {manager.version})",
-            file=sys.stderr,
-        )
+        if logger is not None:
+            logger.event(
+                "mutations_replayed", path=args.mutations,
+                version=manager.version, **counts,
+            )
+        else:
+            print(
+                f"replayed {args.mutations}: {counts['added']} insertions, "
+                f"{counts['removed']} deletions, {counts['published']} "
+                f"publishes (now at version {manager.version})",
+                file=sys.stderr,
+            )
 
     def announce(front) -> None:
         host, port = front.tcp_address
+        http_address = front.http_address
+        if logger is not None:
+            event = {"host": host, "port": port, "frontend": "async"}
+            if http_address is not None:
+                event["http_host"], event["http_port"] = http_address
+            logger.event("listening", **event)
+            return
         print(f"listening on {host}:{port} (async)", file=sys.stderr)
-        if front.http_address is not None:
-            http_host, http_port = front.http_address
+        if http_address is not None:
+            http_host, http_port = http_address
             print(
                 f"admin plane on http://{http_host}:{http_port} "
-                "(GET /metrics, GET /healthz, POST /publish)",
+                "(GET /metrics, GET /healthz, POST /publish, GET /traces, "
+                "GET /debug/threads, GET /debug/profile)",
                 file=sys.stderr,
             )
         sys.stderr.flush()
@@ -508,17 +586,28 @@ def _run_async_serve(args, backend, manager, metrics, cache) -> int:
     except KeyboardInterrupt:  # pragma: no cover - non-main-thread loops only
         pass
     stats = frontend.metrics_snapshot()
-    print(
-        f"served {stats['num_queries']:.0f} queries in "
-        f"{stats['num_batches']:.0f} batches "
-        f"(p50 {stats['latency_p50_ms']:.3f} ms, "
-        f"p99 {stats['latency_p99_ms']:.3f} ms)",
-        file=sys.stderr,
-    )
+    if logger is not None:
+        logger.event(
+            "serve_done",
+            num_queries=stats["num_queries"],
+            num_batches=stats["num_batches"],
+            latency_p50_ms=stats["latency_p50_ms"],
+            latency_p99_ms=stats["latency_p99_ms"],
+        )
+    else:
+        print(
+            f"served {stats['num_queries']:.0f} queries in "
+            f"{stats['num_batches']:.0f} batches "
+            f"(p50 {stats['latency_p50_ms']:.3f} ms, "
+            f"p99 {stats['latency_p99_ms']:.3f} ms)",
+            file=sys.stderr,
+        )
     return 0
 
 
-def _run_serve_loop(args, server, manager, replay_mutations, serve_stdio, serve_tcp) -> int:
+def _run_serve_loop(
+    args, server, manager, replay_mutations, serve_stdio, serve_tcp, logger=None
+) -> int:
     from repro.errors import ReproError
 
     with server:
@@ -529,24 +618,36 @@ def _run_serve_loop(args, server, manager, replay_mutations, serve_stdio, serve_
             except (OSError, ValueError, ReproError) as exc:
                 print(f"error: {exc}", file=sys.stderr)
                 return 2
-            print(
-                f"replayed {args.mutations}: {counts['added']} insertions, "
-                f"{counts['removed']} deletions, {counts['published']} "
-                f"publishes (now at version {manager.version})",
-                file=sys.stderr,
-            )
+            if logger is not None:
+                logger.event(
+                    "mutations_replayed", path=args.mutations,
+                    version=manager.version, **counts,
+                )
+            else:
+                print(
+                    f"replayed {args.mutations}: {counts['added']} insertions, "
+                    f"{counts['removed']} deletions, {counts['published']} "
+                    f"publishes (now at version {manager.version})",
+                    file=sys.stderr,
+                )
         if args.port is None:
-            print(
-                "reading queries from stdin ('s t' or 's,t' per line; "
-                "add/remove a b and publish to mutate; STATS for metrics; "
-                "QUIT to exit)",
-                file=sys.stderr,
-            )
+            if logger is not None:
+                logger.event("listening", transport="stdio")
+            else:
+                print(
+                    "reading queries from stdin ('s t' or 's,t' per line; "
+                    "add/remove a b and publish to mutate; STATS for metrics; "
+                    "TRACES for recent traces; QUIT to exit)",
+                    file=sys.stderr,
+                )
             serve_stdio(server)
         else:
             tcp = serve_tcp(server, args.host, args.port)
             host, port = tcp.server_address[:2]
-            print(f"listening on {host}:{port}", file=sys.stderr)
+            if logger is not None:
+                logger.event("listening", host=host, port=port, frontend="threaded")
+            else:
+                print(f"listening on {host}:{port}", file=sys.stderr)
             try:
                 tcp.serve_forever()
             except KeyboardInterrupt:  # pragma: no cover - interactive only
@@ -555,13 +656,22 @@ def _run_serve_loop(args, server, manager, replay_mutations, serve_stdio, serve_
                 tcp.shutdown()
                 tcp.server_close()
         stats = server.metrics_snapshot()
-        print(
-            f"served {stats['num_queries']:.0f} queries in "
-            f"{stats['num_batches']:.0f} batches "
-            f"(p50 {stats['latency_p50_ms']:.3f} ms, "
-            f"p99 {stats['latency_p99_ms']:.3f} ms)",
-            file=sys.stderr,
-        )
+        if logger is not None:
+            logger.event(
+                "serve_done",
+                num_queries=stats["num_queries"],
+                num_batches=stats["num_batches"],
+                latency_p50_ms=stats["latency_p50_ms"],
+                latency_p99_ms=stats["latency_p99_ms"],
+            )
+        else:
+            print(
+                f"served {stats['num_queries']:.0f} queries in "
+                f"{stats['num_batches']:.0f} batches "
+                f"(p50 {stats['latency_p50_ms']:.3f} ms, "
+                f"p99 {stats['latency_p99_ms']:.3f} ms)",
+                file=sys.stderr,
+            )
     return 0
 
 

@@ -17,22 +17,30 @@ while the index is updated underneath it.
 * :mod:`~repro.serving.aio` — :class:`AsyncQueryFrontend`, the asyncio front
   end multiplexing thousands of connections on one event loop, with the
   HTTP admin plane (Prometheus ``/metrics``, ``/healthz``, ``/publish``)
-  and graceful drain.
+  plus the debug surface (``/traces``, ``/debug/threads``,
+  ``/debug/profile``) and graceful drain.
 * :mod:`~repro.serving.sharded` — :class:`ShardedQueryEngine`, the
   multi-process engine answering batch shards against named shared-memory
   snapshot generations (the GIL bypass for multi-core serving), with
   worker health checks and automatic pool respawn.
 * :mod:`~repro.serving.metrics` — :class:`ServerMetrics`: QPS, P50/P95/P99
-  latency, cache hit rate, per-worker shard accounting and the Prometheus
+  latency, true fixed-bucket latency/stage :class:`Histogram`\\ s, cache hit
+  rate, per-worker shard accounting, index-health gauges and the Prometheus
   text-exposition renderer.
+* :mod:`~repro.serving.tracing` — :class:`TraceRecorder` /
+  :class:`StructuredLogger`: per-request trace ids and spans, the
+  recent/slow trace ring buffers, the slow-query log and the JSON event
+  logger behind ``serve --slow-ms`` / ``--log-json``.
 """
 
 from repro.serving.aio import AsyncQueryFrontend
 from repro.serving.cache import CacheStats, LRUCache, cached_query_batch
 from repro.serving.engine import BatchQueryEngine, EngineStats
 from repro.serving.metrics import (
+    Histogram,
     LatencyWindow,
     ServerMetrics,
+    index_health_stats,
     render_prometheus_text,
 )
 from repro.serving.protocol import MAX_VERTEX_ID, parse_mutation, parse_pair
@@ -47,6 +55,14 @@ from repro.serving.server import (
 )
 from repro.serving.sharded import ShardedQueryEngine, default_worker_count
 from repro.serving.snapshot import IndexSnapshot, SnapshotManager
+from repro.serving.tracing import (
+    NullTraceRecorder,
+    Span,
+    StructuredLogger,
+    Trace,
+    TraceRecorder,
+    make_trace_id,
+)
 
 __all__ = [
     "AsyncQueryFrontend",
@@ -68,7 +84,15 @@ __all__ = [
     "warm_cache",
     "ServerMetrics",
     "LatencyWindow",
+    "Histogram",
+    "index_health_stats",
     "render_prometheus_text",
+    "TraceRecorder",
+    "NullTraceRecorder",
+    "Trace",
+    "Span",
+    "StructuredLogger",
+    "make_trace_id",
     "parse_pair",
     "parse_mutation",
     "MAX_VERTEX_ID",

@@ -20,11 +20,15 @@ all of them on a single event loop instead:
   (numpy label merges, or the sharded engine's cross-process fan-out) never
   blocks the loop, so accepts and reads keep flowing while a batch computes.
 * **HTTP/1.1 admin plane.**  A second listener answers ``GET /metrics``
-  (Prometheus text exposition rendered from
+  (Prometheus text exposition — counters, gauges, latency/stage histograms
+  and index-health gauges rendered from
   :class:`~repro.serving.metrics.ServerMetrics`), ``GET /healthz`` (JSON
-  liveness incl. snapshot version and connection count) and
-  ``POST /publish`` (hot-swap pending mutations) — curl-able, scrapeable,
-  no client library needed.
+  liveness incl. snapshot version and connection count), ``POST /publish``
+  (hot-swap pending mutations), and a debug surface: ``GET /traces``
+  (recent + slow request traces as JSON), ``GET /debug/threads``
+  (all-thread stack dump) and ``GET /debug/profile?seconds=N`` (cProfile
+  capture of the event loop, pstats text) — curl-able, scrapeable, no
+  client library needed.
 * **Graceful drain.**  ``SIGTERM``/``SIGINT`` (or :meth:`request_stop`) stop
   admissions, finish every in-flight batch, flush the replies, then close
   the connections — clients always see a final response or a clean EOF, and
@@ -44,11 +48,18 @@ The front end accepts the same backends as the threaded server — a
 from __future__ import annotations
 
 import asyncio
+import cProfile
+import io
 import json
+import pstats
 import signal
+import sys
+import threading
 import time
+import traceback
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Optional, Sequence, Tuple, Union
+from urllib.parse import parse_qs
 
 import numpy as np
 
@@ -62,18 +73,30 @@ from repro.errors import (
 )
 from repro.serving.cache import LRUCache, cached_query_batch
 from repro.serving.engine import BatchQueryEngine
-from repro.serving.metrics import ServerMetrics, render_prometheus_text
+from repro.serving.metrics import (
+    ServerMetrics,
+    index_health_stats,
+    render_prometheus_text,
+)
 from repro.serving.protocol import (
+    QUIT_COMMANDS,
+    STATS_COMMANDS,
+    TRACES_COMMAND,
     format_distance_line,
     format_mutation_ack,
     format_publish_ack,
     is_mutation,
+    normalize_command,
     parse_mutation,
     parse_pair,
 )
 from repro.serving.snapshot import SnapshotManager
+from repro.serving.tracing import StructuredLogger, TraceRecorder
 
 __all__ = ["AsyncQueryFrontend"]
+
+#: Hard cap on one ``/debug/profile`` capture, seconds.
+_MAX_PROFILE_SECONDS = 30.0
 
 _HTTP_REASONS = {
     200: "OK",
@@ -90,7 +113,7 @@ _MAX_HTTP_BODY = 1 << 16
 class _AsyncRequest:
     """One admitted unit of work: aligned id arrays plus the future to resolve."""
 
-    __slots__ = ("sources", "targets", "future", "created")
+    __slots__ = ("sources", "targets", "future", "created", "dequeued", "trace")
 
     def __init__(
         self,
@@ -102,6 +125,11 @@ class _AsyncRequest:
         self.targets = targets
         self.future = future
         self.created = time.perf_counter()
+        #: Stamped by the batcher coroutine when it pulls the request off the
+        #: queue; ``dequeued - created`` is the queue-wait stage of the trace.
+        self.dequeued = self.created
+        #: The request's open trace (``None`` when tracing is off).
+        self.trace = None
 
     def __len__(self) -> int:
         return int(self.sources.shape[0])
@@ -131,6 +159,15 @@ class AsyncQueryFrontend:
         Seconds between worker-pool health probes; only meaningful when the
         backend exposes ``ping`` (the sharded engine).  ``None`` disables the
         probe loop.
+    tracer:
+        :class:`~repro.serving.tracing.TraceRecorder` collecting per-request
+        traces, served on ``GET /traces`` and the ``TRACES`` wire command
+        (default: a fresh recorder; pass a
+        :class:`~repro.serving.tracing.NullTraceRecorder` to disable).
+    logger:
+        Optional :class:`~repro.serving.tracing.StructuredLogger` for
+        lifecycle events (``frontend_start`` / ``frontend_stop`` /
+        ``snapshot_publish``).
 
     All coroutine methods must run on the loop :meth:`start` was awaited on.
     Typical embedding::
@@ -156,9 +193,13 @@ class AsyncQueryFrontend:
         max_pending: int = 4096,
         metrics: Optional[ServerMetrics] = None,
         health_check_interval: Optional[float] = None,
+        tracer: Optional[TraceRecorder] = None,
+        logger: Optional[StructuredLogger] = None,
     ) -> None:
         self._backend = backend
         self.cache = cache
+        self.tracer = tracer if tracer is not None else TraceRecorder()
+        self.logger = logger
         self.max_batch_size = int(max_batch_size)
         self.batch_timeout = float(batch_timeout)
         self.max_pending = int(max_pending)
@@ -183,6 +224,8 @@ class AsyncQueryFrontend:
         self._pending = 0
         self._accepting = False
         self._running = False
+        #: One /debug/profile capture at a time (cProfile is process-global).
+        self._profiling = False
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -254,10 +297,19 @@ class AsyncQueryFrontend:
         )
 
     def metrics_snapshot(self) -> dict:
-        """Serving statistics including cache, snapshot version, queue depth
-        and the open-connection count."""
+        """Serving statistics including cache, snapshot version, queue depth,
+        the open-connection count and the index-health gauges (label entries,
+        bit-parallel roots, dirty vertices, generation identity/bytes)."""
         stats = self.metrics.snapshot(**self._metrics_kwargs())
         stats["num_connections"] = self.num_connections
+        try:
+            stats.update(
+                index_health_stats(self._current_engine(), self.snapshot_manager)
+            )
+        except Exception:
+            # Health introspection is best effort: a backend mid-teardown
+            # (closed sharded engine) must not take /metrics down with it.
+            pass
         return stats
 
     def metrics_json(self) -> str:
@@ -267,6 +319,10 @@ class AsyncQueryFrontend:
     def metrics_prometheus(self) -> str:
         """Prometheus text exposition of the current metrics (``GET /metrics``)."""
         return render_prometheus_text(self.metrics_snapshot())
+
+    def traces_json(self, *, limit: Optional[int] = 32) -> str:
+        """JSON trace dump (``GET /traces`` body and the ``TRACES`` wire reply)."""
+        return json.dumps(self.tracer.snapshot(limit=limit), sort_keys=True)
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -292,6 +348,13 @@ class AsyncQueryFrontend:
         self._batcher_task = asyncio.create_task(self._batcher_loop())
         if self._health_check_interval and hasattr(self._backend, "ping"):
             self._health_task = asyncio.create_task(self._health_loop())
+        if self.logger is not None:
+            self.logger.event(
+                "frontend_start",
+                max_batch_size=self.max_batch_size,
+                batch_timeout=self.batch_timeout,
+                max_pending=self.max_pending,
+            )
         return self
 
     async def stop(self) -> None:
@@ -348,6 +411,10 @@ class AsyncQueryFrontend:
         ):
             await asyncio.sleep(0.01)
         self._executor.shutdown(wait=True)
+        if self.logger is not None:
+            self.logger.event(
+                "frontend_stop", num_queries=self.metrics.num_queries
+            )
 
     def request_stop(self) -> None:
         """Ask :meth:`serve` to drain and return (signal-handler safe)."""
@@ -373,7 +440,8 @@ class AsyncQueryFrontend:
     async def start_http(
         self, host: str = "127.0.0.1", port: int = 0, *, backlog: int = 128
     ) -> asyncio.AbstractServer:
-        """Start the HTTP admin listener (``/metrics``, ``/healthz``, ``/publish``)."""
+        """Start the HTTP admin listener (``/metrics``, ``/healthz``,
+        ``/publish``, ``/traces``, ``/debug/threads``, ``/debug/profile``)."""
         server = await asyncio.start_server(
             self._handle_http, host, port, backlog=backlog
         )
@@ -467,7 +535,10 @@ class AsyncQueryFrontend:
         validate_vertex_ids(target_array, num_vertices)
         future: "asyncio.Future[np.ndarray]" = self._loop.create_future()
         self._pending += 1
-        self._queue.put_nowait(_AsyncRequest(source_array, target_array, future))
+        request = _AsyncRequest(source_array, target_array, future)
+        # Trace id minted at admission, before the request touches the queue.
+        request.trace = self.tracer.start(len(request))
+        self._queue.put_nowait(request)
         return future
 
     async def query_batch(
@@ -483,7 +554,12 @@ class AsyncQueryFrontend:
     async def publish(self):
         """Publish pending mutations as a new snapshot (off-loop); returns it."""
         manager = self._require_manager()
-        return await self._loop.run_in_executor(self._executor, manager.publish)
+        snapshot = await self._loop.run_in_executor(self._executor, manager.publish)
+        if self.logger is not None:
+            self.logger.event(
+                "snapshot_publish", version=snapshot.version, source=snapshot.source
+            )
+        return snapshot
 
     def _require_manager(self) -> SnapshotManager:
         manager = self.snapshot_manager
@@ -537,6 +613,7 @@ class AsyncQueryFrontend:
             if request is None:
                 self._queue.task_done()
                 return
+            request.dequeued = time.perf_counter()
             batch = [request]
             gathered = len(request)
             deadline = self._loop.time() + self.batch_timeout
@@ -553,6 +630,7 @@ class AsyncQueryFrontend:
                     self._queue.task_done()
                     stopping = True
                     break
+                more.dequeued = time.perf_counter()
                 batch.append(more)
                 gathered += len(more)
             await self._process_batch(batch)
@@ -560,10 +638,16 @@ class AsyncQueryFrontend:
                 return
 
     def _evaluate_sync(
-        self, engine: BatchQueryEngine, sources: np.ndarray, targets: np.ndarray
+        self,
+        engine: BatchQueryEngine,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        span_sink=None,
     ) -> np.ndarray:
         """Cache-fronted engine evaluation; runs on the executor thread."""
-        return cached_query_batch(engine, self.cache, sources, targets)
+        return cached_query_batch(
+            engine, self.cache, sources, targets, span_sink=span_sink
+        )
 
     @staticmethod
     def _complete(request: _AsyncRequest, result: np.ndarray) -> None:
@@ -577,14 +661,68 @@ class AsyncQueryFrontend:
         if not request.future.done():
             request.future.set_exception(error)
 
+    def _trace_batch(
+        self, batch, batch_spans, start: float, eval_done: float, completed: float
+    ) -> None:
+        """Stitch batch-shared spans into every request trace; feed histograms.
+
+        Mirrors :meth:`QueryServer._trace_batch`: per-request ``queue`` /
+        ``batch`` / ``reply`` spans plus the shared cache-probe and
+        kernel/shard spans from the engine dispatch.
+        """
+        num_pairs = sum(len(request) for request in batch)
+        reply_seconds = completed - eval_done
+        stage_queue = []
+        stage_batch = []
+        for request in batch:
+            queue_wait = max(request.dequeued - request.created, 0.0)
+            coalesce = max(start - request.dequeued, 0.0)
+            stage_queue.append(queue_wait)
+            stage_batch.append(coalesce)
+            trace = request.trace
+            if trace is not None:
+                trace.add_span("queue", queue_wait)
+                trace.add_span(
+                    "batch",
+                    coalesce,
+                    batch_pairs=num_pairs,
+                    batch_requests=len(batch),
+                )
+                trace.extend(batch_spans)
+                trace.add_span("reply", reply_seconds)
+                self.tracer.record(trace, completed - request.created)
+        if self.metrics.has_histograms:
+            stages = {"queue": stage_queue, "batch": stage_batch}
+            kernel_seconds = [
+                span.seconds for span in batch_spans if span.name in ("kernel", "shard")
+            ]
+            probe_seconds = [
+                span.seconds for span in batch_spans if span.name == "cache_probe"
+            ]
+            if kernel_seconds:
+                stages["kernel"] = kernel_seconds
+            if probe_seconds:
+                stages["cache_probe"] = probe_seconds
+            self.metrics.observe_stages(stages)
+
     async def _process_batch(self, batch) -> None:
         start = time.perf_counter()
+        # Shared span list for the whole batch (see QueryServer._process_batch);
+        # the executor thread appends to it, but only before the await
+        # completes, so the loop-side read below never races it.
+        want_spans = self.tracer.enabled or self.metrics.has_histograms
+        batch_spans = [] if want_spans else None
         try:
             engine = self._current_engine_and_invalidate()
             sources = np.concatenate([request.sources for request in batch])
             targets = np.concatenate([request.targets for request in batch])
             distances = await self._loop.run_in_executor(
-                self._executor, self._evaluate_sync, engine, sources, targets
+                self._executor,
+                self._evaluate_sync,
+                engine,
+                sources,
+                targets,
+                batch_spans,
             )
         except Exception:
             # Retry each request alone so one poisoned or oversized request
@@ -603,6 +741,11 @@ class AsyncQueryFrontend:
                 except Exception as single_exc:
                     self._fail(request, single_exc)
                     self.metrics.observe_error()
+                    self.tracer.record(
+                        request.trace,
+                        time.perf_counter() - request.created,
+                        status="error",
+                    )
                 else:
                     self._complete(request, result)
                     succeeded.append(request)
@@ -616,22 +759,29 @@ class AsyncQueryFrontend:
                         completed - request.created for request in succeeded
                     ],
                 )
+                for request in succeeded:
+                    self.tracer.record(
+                        request.trace, completed - request.created, status="retried"
+                    )
             return
         finally:
             for _ in batch:
                 self._queue.task_done()
             self._pending -= len(batch)
-        completed = time.perf_counter()
+        eval_done = time.perf_counter()
         offset = 0
         for request in batch:
             self._complete(request, distances[offset: offset + len(request)])
             offset += len(request)
+        completed = time.perf_counter()
         self.metrics.observe_batch(
             int(sources.shape[0]),
             len(batch),
             completed - start,
             request_latencies=[completed - request.created for request in batch],
         )
+        if want_spans:
+            self._trace_batch(batch, batch_spans, start, eval_done, completed)
 
     async def _health_loop(self) -> None:
         """Ping the sharded worker pool periodically; it respawns on breakage."""
@@ -664,11 +814,13 @@ class AsyncQueryFrontend:
         stripped = line.strip()
         if not stripped:
             return ""
-        command = " ".join(stripped.upper().split())
-        if command in ("QUIT", "EXIT"):
+        command = normalize_command(stripped)
+        if command in QUIT_COMMANDS:
             return None
-        if command in ("STATS JSON", "STATS"):
+        if command in STATS_COMMANDS:
             return self.metrics_json()
+        if command == TRACES_COMMAND:
+            return self.traces_json()
         if is_mutation(stripped):
             try:
                 op, endpoints = parse_mutation(stripped)
@@ -784,8 +936,8 @@ class AsyncQueryFrontend:
                 # The admin verbs take no body; read and discard a bounded
                 # amount so the reply is not mistaken for a pipelined response.
                 await reader.readexactly(min(content_length, _MAX_HTTP_BODY))
-            path = target.split("?", 1)[0]
-            await self._dispatch_http(writer, method, path)
+            path, _, query_string = target.partition("?")
+            await self._dispatch_http(writer, method, path, query_string)
         except ValueError:
             # StreamReader raises ValueError for a request/header line over
             # the stream limit (64 KiB); answer 400 best effort — the
@@ -813,9 +965,102 @@ class AsyncQueryFrontend:
             except Exception:
                 pass
 
+    def _debug_threads_text(self) -> str:
+        """All-thread stack dump (``GET /debug/threads``), plain text."""
+        names = {
+            thread.ident: thread.name for thread in threading.enumerate()
+        }
+        sections = []
+        for ident, frame in sorted(sys._current_frames().items()):
+            name = names.get(ident, "<unknown>")
+            stack = "".join(traceback.format_stack(frame))
+            sections.append(f"--- thread {ident} ({name}) ---\n{stack}")
+        return "\n".join(sections) or "no threads\n"
+
+    async def _debug_profile_text(self, seconds: float) -> str:
+        """Profile the event-loop thread for ``seconds`` (``GET /debug/profile``).
+
+        cProfile runs on the loop thread, so the capture covers exactly the
+        work the loop does — protocol parsing, batch coalescing, reply writes
+        — while executor/worker CPU time shows up as the time the loop spends
+        awaiting them.  Returns pstats text sorted by cumulative time.
+        """
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            await asyncio.sleep(seconds)
+        finally:
+            profiler.disable()
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.sort_stats("cumulative").print_stats(50)
+        return buffer.getvalue()
+
     async def _dispatch_http(
-        self, writer: asyncio.StreamWriter, method: str, path: str
+        self, writer: asyncio.StreamWriter, method: str, path: str, query: str = ""
     ) -> None:
+        if path == "/traces":
+            if method != "GET":
+                await self._http_respond(
+                    writer, 405, json.dumps({"error": "use GET"})
+                )
+                return
+            params = parse_qs(query)
+            try:
+                limit = int(params["limit"][0]) if "limit" in params else 32
+            except (ValueError, IndexError):
+                limit = 32
+            await self._http_respond(writer, 200, self.traces_json(limit=limit))
+            return
+        if path == "/debug/threads":
+            if method != "GET":
+                await self._http_respond(
+                    writer, 405, json.dumps({"error": "use GET"})
+                )
+                return
+            await self._http_respond(
+                writer,
+                200,
+                self._debug_threads_text(),
+                content_type="text/plain; charset=utf-8",
+            )
+            return
+        if path == "/debug/profile":
+            if method != "GET":
+                await self._http_respond(
+                    writer, 405, json.dumps({"error": "use GET"})
+                )
+                return
+            params = parse_qs(query)
+            try:
+                seconds = float(params["seconds"][0]) if "seconds" in params else 1.0
+            except (ValueError, IndexError):
+                await self._http_respond(
+                    writer, 400, json.dumps({"error": "seconds must be a number"})
+                )
+                return
+            if not seconds > 0:
+                await self._http_respond(
+                    writer, 400, json.dumps({"error": "seconds must be positive"})
+                )
+                return
+            seconds = min(seconds, _MAX_PROFILE_SECONDS)
+            if self._profiling:
+                await self._http_respond(
+                    writer,
+                    409,
+                    json.dumps({"error": "a profile capture is already running"}),
+                )
+                return
+            self._profiling = True
+            try:
+                text = await self._debug_profile_text(seconds)
+            finally:
+                self._profiling = False
+            await self._http_respond(
+                writer, 200, text, content_type="text/plain; charset=utf-8"
+            )
+            return
         if path == "/metrics":
             if method != "GET":
                 await self._http_respond(
@@ -870,6 +1115,16 @@ class AsyncQueryFrontend:
             writer,
             404,
             json.dumps(
-                {"error": f"unknown path {path!r}", "paths": ["/metrics", "/healthz", "/publish"]}
+                {
+                    "error": f"unknown path {path!r}",
+                    "paths": [
+                        "/metrics",
+                        "/healthz",
+                        "/publish",
+                        "/traces",
+                        "/debug/threads",
+                        "/debug/profile",
+                    ],
+                }
             ),
         )

@@ -15,16 +15,21 @@ the hit rate honestly.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.serving.tracing import Span
+
 __all__ = ["CacheStats", "LRUCache", "cached_query_batch"]
 
 
-def cached_query_batch(engine, cache: Optional["LRUCache"], sources, targets):
+def cached_query_batch(
+    engine, cache: Optional["LRUCache"], sources, targets, *, span_sink=None
+):
     """Answer one aligned batch through the hot-pair cache (probe-compute-store).
 
     The one evaluation path every cache-fronted surface shares — the threaded
@@ -32,12 +37,34 @@ def cached_query_batch(engine, cache: Optional["LRUCache"], sources, targets):
     for the whole batch, compute only the misses through
     ``engine.query_batch``, store them back, return the full distance array.
     With ``cache=None`` the engine answers directly.
+
+    ``span_sink`` (a list, or ``None``) collects tracing spans for the batch:
+    a ``cache_probe`` span covering the lookup, plus whatever the engine
+    appends (``kernel``, or one ``shard`` span per worker).  The engine only
+    receives the sink when it advertises ``accepts_span_sink``, so arbitrary
+    engine ducks keep working untraced.
     """
+    engine_kwargs = {}
+    if span_sink is not None and getattr(engine, "accepts_span_sink", False):
+        engine_kwargs["span_sink"] = span_sink
     if cache is None:
-        return engine.query_batch(sources, targets)
+        return engine.query_batch(sources, targets, **engine_kwargs)
+    probe_start = time.perf_counter()
     distances, missing = cache.lookup_batch(sources, targets)
+    if span_sink is not None:
+        num_missing = int(missing.sum())
+        span_sink.append(
+            Span(
+                "cache_probe",
+                time.perf_counter() - probe_start,
+                hits=len(sources) - num_missing,
+                misses=num_missing,
+            )
+        )
     if missing.any():
-        computed = engine.query_batch(sources[missing], targets[missing])
+        computed = engine.query_batch(
+            sources[missing], targets[missing], **engine_kwargs
+        )
         distances[missing] = computed
         cache.store_batch(sources[missing], targets[missing], computed)
     return distances

@@ -20,11 +20,12 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.index import PrunedLandmarkLabeling
+from repro.serving.tracing import Span
 
 __all__ = ["EngineStats", "BatchQueryEngine"]
 
@@ -104,6 +105,10 @@ class BatchQueryEngine:
     (3,)
     """
 
+    #: Duck-typed capability flag: callers (the cache layer, the batchers)
+    #: check this instead of isinstance so engine wrappers stay decoupled.
+    accepts_span_sink = True
+
     def __init__(
         self,
         index: PrunedLandmarkLabeling,
@@ -141,13 +146,18 @@ class BatchQueryEngine:
         return float(self.query_batch([s], [t])[0])
 
     def query_batch(
-        self, sources: Sequence[int], targets: Sequence[int]
+        self,
+        sources: Sequence[int],
+        targets: Sequence[int],
+        *,
+        span_sink: Optional[List[Span]] = None,
     ) -> np.ndarray:
         """Exact distances for aligned ``sources[i], targets[i]`` pairs.
 
         Bit-identical to a loop of ``index.distance`` calls, but evaluated in
         a handful of vectorised passes.  Each call is timed and recorded in
-        :attr:`stats`.
+        :attr:`stats`; when the caller passes a ``span_sink`` list, a
+        ``kernel`` tracing span for the evaluation is appended to it.
         """
         start = time.perf_counter()
         result = self._index.distance_batch(
@@ -158,6 +168,8 @@ class BatchQueryEngine:
             self._stats.observe(
                 int(result.shape[0]), elapsed, window=self._stats_window
             )
+        if span_sink is not None:
+            span_sink.append(Span("kernel", elapsed, pairs=int(result.shape[0])))
         return result
 
     def query_pairs(self, pairs: Iterable[Tuple[int, int]]) -> np.ndarray:

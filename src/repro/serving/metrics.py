@@ -1,11 +1,16 @@
-"""Serving metrics: QPS, latency percentiles, cache hit rate.
+"""Serving metrics: QPS, latency histograms and percentiles, cache hit rate.
 
 Production query services are judged by throughput and *tail* latency — the
 P99 a heavy user actually experiences — not by the mean.  This module keeps a
 bounded ring buffer of recent request latencies and derives the standard
 serving dashboard from it: queries per second, P50/P95/P99, batch shape and
-cache effectiveness.  Everything is stdlib + numpy and cheap enough to update
-on every batch.
+cache effectiveness.  On top of the point-in-time percentile gauges it keeps
+true fixed-bucket :class:`Histogram`\\ s — one for end-to-end latency, one per
+pipeline stage (queue wait, coalescing window, kernel, cache probe) — because
+gauges sampled at scrape time cannot be aggregated across instances or
+windows, while histogram ``_bucket``/``_sum``/``_count`` series can
+(``histogram_quantile`` in PromQL).  Everything is stdlib + numpy and cheap
+enough to update on every batch.
 
 Three renderings of the same snapshot cover every consumer: :meth:`ServerMetrics.render`
 (human-readable), :meth:`ServerMetrics.render_json` (the ``stats json`` wire
@@ -20,16 +25,46 @@ import json
 import math
 import threading
 import time
-from typing import Dict, Mapping, Optional, Sequence
+from bisect import bisect_left
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.serving.cache import CacheStats
 
-__all__ = ["LatencyWindow", "ServerMetrics", "render_prometheus_text"]
+__all__ = [
+    "Histogram",
+    "LatencyWindow",
+    "ServerMetrics",
+    "index_health_stats",
+    "render_prometheus_text",
+]
 
 #: Percentiles reported by default (the usual serving dashboard trio).
 DEFAULT_PERCENTILES = (50.0, 95.0, 99.0)
+
+#: Default latency histogram buckets in **seconds**: 100 µs to 2.5 s, roughly
+#: logarithmic — wide enough to cover a cache hit and a wedged shard alike.
+DEFAULT_LATENCY_BUCKETS = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+)
+
+#: Stage names tracked per request/batch; each becomes a
+#: ``<prefix>_stage_<name>_seconds`` histogram on ``/metrics``.
+STAGE_NAMES = ("queue", "batch", "kernel", "cache_probe")
 
 #: Snapshot keys that are monotonically increasing and therefore exposed with
 #: the Prometheus ``counter`` type; every other numeric key is a ``gauge``.
@@ -64,7 +99,77 @@ _PROMETHEUS_HELP = {
     "snapshot_version": "Version number of the currently served index snapshot.",
     "queue_depth": "Requests currently queued for batching.",
     "num_connections": "Open client connections on the async front end.",
+    "index_label_entries": "Total normal label entries in the served index.",
+    "index_bit_parallel_roots": "Bit-parallel BFS roots carried by the served index.",
+    "index_dirty_vertices": "Shadow-index vertices dirtied since the last publish.",
+    "generation_bytes": "Bytes of the shared-memory generation backing the snapshot.",
+    "latency_seconds": "End-to-end request latency (admission to reply).",
+    "stage_queue_seconds": "Time requests spend queued before the batcher dequeues them.",
+    "stage_batch_seconds": "Time requests spend in the coalescing window.",
+    "stage_kernel_seconds": "Engine evaluation time per batch (kernel or worker shards).",
+    "stage_cache_probe_seconds": "Hot-pair cache probe time per batch.",
 }
+
+
+class Histogram:
+    """Fixed-bucket histogram matching Prometheus semantics.
+
+    Buckets are upper bounds in seconds; an observation lands in the first
+    bucket whose bound is >= the value (plus the implicit ``+Inf`` bucket).
+    Counts are kept per bucket (non-cumulative) so :meth:`observe` is a bisect
+    and an increment; the cumulative ``_bucket`` series is derived at
+    :meth:`snapshot` time.  Not thread safe on its own — callers
+    (:class:`ServerMetrics`) hold their lock around it, the same contract as
+    :class:`LatencyWindow`.
+    """
+
+    __slots__ = ("_bounds", "_counts", "_sum", "_count")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b <= 0 for b in bounds):
+            raise ValueError("histogram bucket bounds must be positive")
+        self._bounds = bounds
+        # One slot per finite bucket plus the +Inf overflow slot.
+        self._counts = [0] * (len(bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        """Total observations."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values (seconds)."""
+        return self._sum
+
+    def observe(self, value: float) -> None:
+        """Record one observation (seconds)."""
+        self._counts[bisect_left(self._bounds, value)] += 1
+        self._sum += value
+        self._count += 1
+
+    def observe_many(self, values: Sequence[float]) -> None:
+        """Record several observations under one call."""
+        for value in values:
+            self.observe(value)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Cumulative-bucket view: ``{"buckets": [[le, cum], ...], "sum", "count"}``.
+
+        ``buckets`` covers the finite bounds only; the ``+Inf`` bucket is by
+        definition equal to ``count`` and is emitted by the renderer.
+        """
+        cumulative: List[List[float]] = []
+        running = 0
+        for bound, bucket_count in zip(self._bounds, self._counts):
+            running += bucket_count
+            cumulative.append([bound, running])
+        return {"buckets": cumulative, "sum": self._sum, "count": self._count}
 
 
 def _prometheus_number(value: float) -> str:
@@ -90,7 +195,11 @@ def render_prometheus_text(
     metric, all names prefixed with ``prefix``.  The nested per-worker
     breakdown (the ``workers`` key) becomes labelled series —
     ``<prefix>_worker_queries{worker="<pid>"}`` and friends — so a skewed or
-    respawned pool is visible to the scraper.  Non-numeric values are skipped.
+    respawned pool is visible to the scraper; the nested ``histograms`` key
+    becomes true histogram exposition (``_bucket`` series per ``le`` bound
+    plus ``_sum``/``_count``); a ``generation_name`` string becomes an
+    info-style gauge (``<prefix>_generation_info{name="..."} 1``).  Other
+    non-numeric values are skipped.
     """
     lines = []
 
@@ -100,8 +209,10 @@ def render_prometheus_text(
         lines.append(f"{name}{labels} {_prometheus_number(value)}")
 
     workers = stats.get("workers")
+    histograms = stats.get("histograms")
+    generation_name = stats.get("generation_name")
     for key in sorted(stats):
-        if key == "workers":
+        if key in ("workers", "histograms", "generation_name"):
             continue
         value = stats[key]
         if isinstance(value, bool) or not isinstance(value, (int, float)):
@@ -110,11 +221,39 @@ def render_prometheus_text(
         kind = "counter" if key in PROMETHEUS_COUNTERS else "gauge"
         help_text = _PROMETHEUS_HELP.get(key, f"Serving statistic {key}.")
         emit(name, value, kind, help_text)
+    if isinstance(generation_name, str) and generation_name:
+        emit(
+            f"{prefix}_generation_info",
+            1,
+            "gauge",
+            "Identity of the shared-memory generation backing the snapshot.",
+            labels=f'{{name="{generation_name}"}}',
+        )
+    if isinstance(histograms, Mapping):
+        for hist_key in sorted(histograms):
+            hist = histograms[hist_key]
+            if not isinstance(hist, Mapping):
+                continue
+            name = f"{prefix}_{hist_key}"
+            help_text = _PROMETHEUS_HELP.get(hist_key, f"Latency histogram {hist_key}.")
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} histogram")
+            for bound, cumulative in hist.get("buckets", ()):
+                lines.append(
+                    f'{name}_bucket{{le="{_prometheus_number(bound)}"}} '
+                    f"{_prometheus_number(cumulative)}"
+                )
+            count = hist.get("count", 0)
+            lines.append(f'{name}_bucket{{le="+Inf"}} {_prometheus_number(count)}')
+            lines.append(f"{name}_sum {_prometheus_number(hist.get('sum', 0.0))}")
+            lines.append(f"{name}_count {_prometheus_number(count)}")
     if isinstance(workers, Mapping) and workers:
         per_worker = {
             "num_shards": ("shards", "counter", "Batch shards evaluated by this worker."),
             "num_queries": ("queries", "counter", "Query pairs answered by this worker."),
-            "busy_seconds": ("busy_seconds", "gauge", "Cumulative evaluation seconds in this worker."),
+            # busy_seconds only ever accumulates — a counter, so PromQL
+            # rate() works on it (it was previously mistyped as a gauge).
+            "busy_seconds": ("busy_seconds", "counter", "Cumulative evaluation seconds in this worker."),
         }
         for field_name, (suffix, kind, help_text) in per_worker.items():
             name = f"{prefix}_worker_{suffix}"
@@ -171,9 +310,25 @@ class LatencyWindow:
 
 
 class ServerMetrics:
-    """Aggregated serving statistics, safe to update and read across threads."""
+    """Aggregated serving statistics, safe to update and read across threads.
 
-    def __init__(self, *, window: int = 8192) -> None:
+    Parameters
+    ----------
+    window:
+        Capacity of the recent-latency ring buffer behind the percentile
+        gauges.
+    histogram_buckets:
+        Bucket bounds (seconds) for the end-to-end and per-stage latency
+        histograms; ``None`` disables histograms entirely (the no-op
+        configuration the overhead benchmark measures against).
+    """
+
+    def __init__(
+        self,
+        *,
+        window: int = 8192,
+        histogram_buckets: Optional[Sequence[float]] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
         self._lock = threading.Lock()
         self._latencies = LatencyWindow(window)
         self._started = time.perf_counter()
@@ -184,9 +339,19 @@ class ServerMetrics:
         self._num_rejected = 0
         self._num_errors = 0
         self._num_worker_respawns = 0
+        self._histograms: Dict[str, Histogram] = {}
+        if histogram_buckets is not None:
+            self._histograms["latency_seconds"] = Histogram(histogram_buckets)
+            for stage in STAGE_NAMES:
+                self._histograms[f"stage_{stage}_seconds"] = Histogram(histogram_buckets)
         # Per-worker shard accounting for the multi-process engine, keyed by
         # worker id (pid); empty for single-process serving.
         self._workers: Dict[str, Dict[str, float]] = {}
+
+    @property
+    def has_histograms(self) -> bool:
+        """Whether latency histograms are being collected (hot-path guard)."""
+        return bool(self._histograms)
 
     # ------------------------------------------------------------------ #
     # Recording
@@ -213,11 +378,36 @@ class ServerMetrics:
             self._num_queries += num_queries
             self._num_requests += num_requests
             self._busy_seconds += seconds
+            latency_histogram = self._histograms.get("latency_seconds")
             if request_latencies:
                 for latency in request_latencies:
                     self._latencies.record(latency)
+                    if latency_histogram is not None:
+                        latency_histogram.observe(latency)
             else:
                 self._latencies.record(seconds)
+                if latency_histogram is not None:
+                    latency_histogram.observe(seconds)
+
+    def observe_stages(self, stage_seconds: Mapping[str, Sequence[float]]) -> None:
+        """Record per-stage durations into the stage histograms.
+
+        ``stage_seconds`` maps stage names (see :data:`STAGE_NAMES`) to the
+        durations observed for one batch — per-request values for the queue
+        and coalescing stages, one per-batch value for the kernel and cache
+        probe.  One lock acquisition covers the whole batch; unknown stages
+        are ignored so callers need no histogram-configuration knowledge.
+        No-op when histograms are disabled.
+        """
+        if not self._histograms:
+            return
+        with self._lock:
+            for stage, values in stage_seconds.items():
+                histogram = self._histograms.get(f"stage_{stage}_seconds")
+                if histogram is None:
+                    continue
+                for value in values:
+                    histogram.observe(value)
 
     def observe_shard(
         self, worker: object, num_queries: int, seconds: float
@@ -260,7 +450,12 @@ class ServerMetrics:
     @property
     def num_queries(self) -> int:
         """Total queries answered so far."""
-        return self._num_queries
+        # Same locking discipline as snapshot(): the counter is written under
+        # the lock, so it must be read under it too (a bare read could see a
+        # torn/stale value on free-threaded builds and pessimistic memory
+        # models, and was inconsistent with every other accessor).
+        with self._lock:
+            return self._num_queries
 
     def snapshot(
         self,
@@ -305,6 +500,11 @@ class ServerMetrics:
                     worker: dict(counters)
                     for worker, counters in self._workers.items()
                 }
+            if self._histograms:
+                stats["histograms"] = {
+                    name: histogram.snapshot()
+                    for name, histogram in self._histograms.items()
+                }
         if cache_stats is not None:
             for name, value in cache_stats.as_dict().items():
                 stats[f"cache_{name}"] = value
@@ -315,13 +515,41 @@ class ServerMetrics:
         return stats
 
     def render(self, **snapshot_kwargs) -> str:
-        """Human-readable multi-line rendering of :meth:`snapshot`."""
+        """Human-readable multi-line rendering of :meth:`snapshot`.
+
+        Scalar statistics come first; the per-worker breakdown (if any) is
+        formatted as an aligned sub-table rather than a raw dict repr, and
+        histograms are summarised one line each (count/sum) instead of
+        dumping every bucket.
+        """
         stats = self.snapshot(**snapshot_kwargs)
+        workers = stats.pop("workers", None)
+        histograms = stats.pop("histograms", None)
         lines = ["serving metrics"]
         for key in sorted(stats):
             value = stats[key]
             rendered = f"{value:.4f}" if isinstance(value, float) else str(value)
             lines.append(f"  {key:24s} {rendered}")
+        if histograms:
+            lines.append("  histograms")
+            for name in sorted(histograms):
+                hist = histograms[name]
+                lines.append(
+                    f"    {name:26s} count={hist['count']:<10d} "
+                    f"sum={hist['sum']:.4f}s"
+                )
+        if workers:
+            lines.append("  workers")
+            header = f"    {'worker':>10s} {'shards':>8s} {'queries':>10s} {'busy_s':>10s}"
+            lines.append(header)
+            for worker in sorted(workers):
+                counters = workers[worker]
+                lines.append(
+                    f"    {worker:>10s} "
+                    f"{int(counters.get('num_shards', 0)):>8d} "
+                    f"{int(counters.get('num_queries', 0)):>10d} "
+                    f"{counters.get('busy_seconds', 0.0):>10.4f}"
+                )
         return "\n".join(lines)
 
     def render_json(self, **snapshot_kwargs) -> str:
@@ -335,3 +563,46 @@ class ServerMetrics:
         :func:`render_prometheus_text` for the format details.
         """
         return render_prometheus_text(self.snapshot(**snapshot_kwargs))
+
+
+def index_health_stats(engine, manager=None) -> Dict[str, object]:
+    """Index-health gauges for the metrics endpoint, duck-typed off ``engine``.
+
+    Inspects whatever the serving stack currently holds — a
+    :class:`~repro.serving.engine.BatchQueryEngine`, a
+    :class:`~repro.serving.sharded.ShardedQueryEngine`, or ``None`` — plus an
+    optional :class:`~repro.serving.snapshot.SnapshotManager`, and reports:
+
+    * ``index_label_entries`` — total normal label entries in the served index,
+    * ``index_bit_parallel_roots`` — bit-parallel BFS roots it carries,
+    * ``index_dirty_vertices`` — shadow vertices dirtied since the last publish,
+    * ``generation_name`` / ``generation_bytes`` — identity and size of the
+      shared-memory generation backing the snapshot (shared deployments only).
+
+    Everything is best-effort ``getattr`` so the helper works against any
+    engine shape (and quietly reports less for engines that expose less);
+    values update as snapshots are published, so graphing them shows index
+    growth and publish churn over time.
+    """
+    stats: Dict[str, object] = {}
+    index = getattr(engine, "index", None)
+    if index is None and manager is not None:
+        index = getattr(getattr(manager, "current", None), "index", None)
+    if index is not None:
+        label_set = getattr(index, "label_set", None)
+        if label_set is not None:
+            stats["index_label_entries"] = int(label_set.total_entries())
+        bit_parallel = getattr(index, "bit_parallel_labels", None)
+        if bit_parallel is not None:
+            stats["index_bit_parallel_roots"] = int(bit_parallel.num_roots)
+    if manager is not None:
+        dirty = getattr(manager, "dirty_vertex_count", None)
+        if dirty is not None:
+            stats["index_dirty_vertices"] = int(dirty)
+        generation = getattr(getattr(manager, "current", None), "generation", None)
+        if generation is not None:
+            stats["generation_name"] = generation.name
+            backend = getattr(generation, "backend", None)
+            if backend is not None:
+                stats["generation_bytes"] = int(backend.nbytes())
+    return stats

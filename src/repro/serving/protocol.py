@@ -15,16 +15,39 @@ from typing import Optional, Tuple
 
 __all__ = [
     "MAX_VERTEX_ID",
+    "QUIT_COMMANDS",
+    "STATS_COMMANDS",
+    "TRACES_COMMAND",
     "format_distance_line",
     "format_mutation_ack",
     "format_publish_ack",
     "is_mutation",
+    "normalize_command",
     "parse_pair",
     "parse_mutation",
 ]
 
 #: Largest vertex id representable in the int64 arrays queries are built from.
 MAX_VERTEX_ID = 2**63 - 1
+
+#: Session-ending command spellings (case-insensitive, whitespace-normalised).
+QUIT_COMMANDS = frozenset({"QUIT", "EXIT"})
+
+#: Metrics-snapshot command spellings; both reply with the JSON metrics line.
+STATS_COMMANDS = frozenset({"STATS", "STATS JSON"})
+
+#: Recent/slow trace dump command; replies with the trace-ring JSON payload.
+TRACES_COMMAND = "TRACES"
+
+
+def normalize_command(line: str) -> str:
+    """Canonicalise one protocol line for command matching.
+
+    Uppercases and collapses internal whitespace, so ``"stats   json"``
+    matches :data:`STATS_COMMANDS`.  Both front ends (threaded and asyncio)
+    normalise through here so their command vocabularies cannot drift.
+    """
+    return " ".join(line.strip().upper().split())
 
 
 def parse_pair(token: str) -> Tuple[int, int]:

@@ -18,7 +18,8 @@ vectorised engine is fast at:
 Two thin front ends speak a line protocol (``s t`` or ``s,t`` per query;
 ``add a b`` / ``remove a b`` to mutate the shadow graph and ``publish`` to
 hot-swap the mutations in; ``STATS`` / ``STATS JSON`` for a JSON metrics
-line; ``QUIT`` to end the session): :func:`serve_stdio` for
+line; ``TRACES`` for the recent/slow trace rings as JSON; ``QUIT`` to end
+the session): :func:`serve_stdio` for
 pipes/interactive use and :func:`serve_tcp` for network clients (stdlib
 ``socketserver``, one thread per connection — see
 :class:`~repro.serving.aio.AsyncQueryFrontend` for the event-loop front end
@@ -52,14 +53,19 @@ from repro.serving.cache import LRUCache, cached_query_batch
 from repro.serving.engine import BatchQueryEngine
 from repro.serving.metrics import ServerMetrics
 from repro.serving.protocol import (
+    QUIT_COMMANDS,
+    STATS_COMMANDS,
+    TRACES_COMMAND,
     format_distance_line,
     format_mutation_ack,
     format_publish_ack,
     is_mutation,
+    normalize_command,
     parse_mutation,
     parse_pair,
 )
 from repro.serving.snapshot import SnapshotManager
+from repro.serving.tracing import StructuredLogger, TraceRecorder
 
 __all__ = [
     "QueryRequest",
@@ -75,7 +81,16 @@ __all__ = [
 class QueryRequest:
     """One submitted unit of work: aligned source/target arrays plus a result slot."""
 
-    __slots__ = ("sources", "targets", "result", "error", "created", "_done")
+    __slots__ = (
+        "sources",
+        "targets",
+        "result",
+        "error",
+        "created",
+        "dequeued",
+        "trace",
+        "_done",
+    )
 
     def __init__(self, sources: np.ndarray, targets: np.ndarray) -> None:
         self.sources = sources
@@ -84,6 +99,11 @@ class QueryRequest:
         self.error: Optional[BaseException] = None
         #: Submission time; completion minus this is the client-observed latency.
         self.created = time.perf_counter()
+        #: Stamped by the batcher when it pulls the request off the queue;
+        #: ``dequeued - created`` is the queue-wait stage of the trace.
+        self.dequeued = self.created
+        #: The request's open trace (``None`` when tracing is off).
+        self.trace = None
         self._done = threading.Event()
 
     def __len__(self) -> int:
@@ -135,6 +155,14 @@ class QueryServer:
         partial batch (the latency/throughput knob).
     max_pending:
         Admission-control bound on queued requests.
+    tracer:
+        :class:`~repro.serving.tracing.TraceRecorder` collecting per-request
+        traces (default: a fresh recorder).  Pass a
+        :class:`~repro.serving.tracing.NullTraceRecorder` to switch tracing
+        off entirely.
+    logger:
+        Optional :class:`~repro.serving.tracing.StructuredLogger` for
+        lifecycle events (``server_start`` / ``server_stop``).
 
     Use as a context manager (``with QueryServer(engine) as server: ...``) or
     call :meth:`start` / :meth:`stop` explicitly.
@@ -149,9 +177,13 @@ class QueryServer:
         batch_timeout: float = 0.002,
         max_pending: int = 4096,
         metrics: Optional[ServerMetrics] = None,
+        tracer: Optional[TraceRecorder] = None,
+        logger: Optional[StructuredLogger] = None,
     ) -> None:
         self._backend = backend
         self.cache = cache
+        self.tracer = tracer if tracer is not None else TraceRecorder()
+        self.logger = logger
         # Cached distances are only valid for one index version; the worker
         # clears the cache whenever the backing snapshot version changes.
         manager = self.snapshot_manager
@@ -181,6 +213,13 @@ class QueryServer:
             target=self._worker_loop, name="repro-pll-query-worker", daemon=True
         )
         self._worker.start()
+        if self.logger is not None:
+            self.logger.event(
+                "server_start",
+                max_batch_size=self.max_batch_size,
+                batch_timeout=self.batch_timeout,
+                max_pending=self.max_pending,
+            )
         return self
 
     def stop(self, *, drain: bool = True) -> None:
@@ -199,6 +238,10 @@ class QueryServer:
             self._worker.join(timeout=5.0)
             self._worker = None
         self._fail_stragglers()
+        if self.logger is not None:
+            self.logger.event(
+                "server_stop", num_queries=self.metrics.num_queries
+            )
 
     def _fail_stragglers(self) -> None:
         """Fail anything still queued so no client blocks forever.
@@ -276,6 +319,9 @@ class QueryServer:
         validate_vertex_ids(source_array, num_vertices)
         validate_vertex_ids(target_array, num_vertices)
         request = QueryRequest(source_array, target_array)
+        # Trace id minted at admission: the request is correlatable from the
+        # moment it exists, before it ever touches the batching queue.
+        request.trace = self.tracer.start(len(request))
         self._queue.put(request)
         if not self._running:
             self._fail_stragglers()
@@ -314,6 +360,10 @@ class QueryServer:
     def metrics_json(self) -> str:
         """Single-line JSON metrics (the ``stats json`` wire reply)."""
         return self.metrics.render_json(**self._metrics_kwargs())
+
+    def traces_json(self, *, limit: Optional[int] = 32) -> str:
+        """Single-line JSON trace dump (the ``TRACES`` wire reply)."""
+        return json.dumps(self.tracer.snapshot(limit=limit), sort_keys=True)
 
     # ------------------------------------------------------------------ #
     # Mutations (hot-swap write path)
@@ -374,9 +424,10 @@ class QueryServer:
             first = self._queue.get(timeout=0.05)
         except queue.Empty:
             return []
+        first.dequeued = time.perf_counter()
         batch = [first]
         gathered = len(first)
-        deadline = time.perf_counter() + self.batch_timeout
+        deadline = first.dequeued + self.batch_timeout
         while gathered < self.max_batch_size:
             remaining = deadline - time.perf_counter()
             if remaining <= 0:
@@ -385,6 +436,7 @@ class QueryServer:
                 request = self._queue.get(timeout=remaining)
             except queue.Empty:
                 break
+            request.dequeued = time.perf_counter()
             batch.append(request)
             gathered += len(request)
         return batch
@@ -410,17 +462,75 @@ class QueryServer:
         return self._backend
 
     def _evaluate(
-        self, engine: BatchQueryEngine, sources: np.ndarray, targets: np.ndarray
+        self,
+        engine: BatchQueryEngine,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        span_sink=None,
     ) -> np.ndarray:
-        return cached_query_batch(engine, self.cache, sources, targets)
+        return cached_query_batch(
+            engine, self.cache, sources, targets, span_sink=span_sink
+        )
+
+    def _trace_batch(
+        self, batch: list, batch_spans, start: float, eval_done: float, completed: float
+    ) -> None:
+        """Stitch the batch-shared spans into every request trace and file them.
+
+        Each request gets its own ``queue``/``batch``/``reply`` spans (those
+        durations differ per request) plus the *shared* cache-probe and
+        kernel/shard span objects — every request in the batch rode the same
+        engine call, so they share those spans by construction.  The same
+        stage durations feed the per-stage histograms in one call.
+        """
+        num_pairs = sum(len(request) for request in batch)
+        reply_seconds = completed - eval_done
+        stage_queue = []
+        stage_batch = []
+        for request in batch:
+            queue_wait = max(request.dequeued - request.created, 0.0)
+            coalesce = max(start - request.dequeued, 0.0)
+            stage_queue.append(queue_wait)
+            stage_batch.append(coalesce)
+            trace = request.trace
+            if trace is not None:
+                trace.add_span("queue", queue_wait)
+                trace.add_span(
+                    "batch",
+                    coalesce,
+                    batch_pairs=num_pairs,
+                    batch_requests=len(batch),
+                )
+                trace.extend(batch_spans)
+                trace.add_span("reply", reply_seconds)
+                self.tracer.record(trace, completed - request.created)
+        if self.metrics.has_histograms:
+            stages = {"queue": stage_queue, "batch": stage_batch}
+            kernel_seconds = [
+                span.seconds for span in batch_spans if span.name in ("kernel", "shard")
+            ]
+            probe_seconds = [
+                span.seconds for span in batch_spans if span.name == "cache_probe"
+            ]
+            if kernel_seconds:
+                stages["kernel"] = kernel_seconds
+            if probe_seconds:
+                stages["cache_probe"] = probe_seconds
+            self.metrics.observe_stages(stages)
 
     def _process_batch(self, batch: list) -> None:
         start = time.perf_counter()
+        # One span list for the whole batch: the cache probe and engine
+        # evaluation happen once per batch, so their spans are shared by
+        # every request trace in it.  Skipped entirely when neither tracing
+        # nor stage histograms want the data.
+        want_spans = self.tracer.enabled or self.metrics.has_histograms
+        batch_spans = [] if want_spans else None
         try:
             engine = self._current_engine_and_invalidate()
             sources = np.concatenate([request.sources for request in batch])
             targets = np.concatenate([request.targets for request in batch])
-            distances = self._evaluate(engine, sources, targets)
+            distances = self._evaluate(engine, sources, targets, batch_spans)
         except Exception:
             # Retry each request alone so one poisoned or oversized request
             # (e.g. ids stale after a hot swap to a smaller index) cannot
@@ -439,6 +549,11 @@ class QueryServer:
                 except Exception as single_exc:
                     request._fail(single_exc)
                     self.metrics.observe_error()
+                    self.tracer.record(
+                        request.trace,
+                        time.perf_counter() - request.created,
+                        status="error",
+                    )
             if succeeded:
                 completed = time.perf_counter()
                 self.metrics.observe_batch(
@@ -449,21 +564,28 @@ class QueryServer:
                         completed - request.created for request in succeeded
                     ],
                 )
+                for request in succeeded:
+                    self.tracer.record(
+                        request.trace, completed - request.created, status="retried"
+                    )
             return
         finally:
             for _ in batch:
                 self._queue.task_done()
-        completed = time.perf_counter()
+        eval_done = time.perf_counter()
         offset = 0
         for request in batch:
             request._complete(distances[offset: offset + len(request)])
             offset += len(request)
+        completed = time.perf_counter()
         self.metrics.observe_batch(
             int(sources.shape[0]),
             len(batch),
             completed - start,
             request_latencies=[completed - request.created for request in batch],
         )
+        if want_spans:
+            self._trace_batch(batch, batch_spans, start, eval_done, completed)
 
     def _worker_loop(self) -> None:
         while self._running:
@@ -487,11 +609,13 @@ def _handle_line(server: QueryServer, line: str) -> Optional[str]:
     stripped = line.strip()
     if not stripped:
         return ""
-    command = " ".join(stripped.upper().split())
-    if command in ("QUIT", "EXIT"):
+    command = normalize_command(stripped)
+    if command in QUIT_COMMANDS:
         return None
-    if command in ("STATS JSON", "STATS"):
+    if command in STATS_COMMANDS:
         return server.metrics_json()
+    if command == TRACES_COMMAND:
+        return server.traces_json()
     if is_mutation(stripped):
         try:
             op, endpoints = parse_mutation(stripped)

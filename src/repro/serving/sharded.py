@@ -55,6 +55,7 @@ from repro.errors import ServingError
 from repro.serving.engine import BatchQueryEngine, EngineStats
 from repro.serving.metrics import ServerMetrics
 from repro.serving.snapshot import IndexSnapshot, SnapshotManager
+from repro.serving.tracing import Span, StructuredLogger
 
 __all__ = ["ShardedQueryEngine", "default_worker_count"]
 
@@ -142,10 +143,17 @@ class ShardedQueryEngine:
     metrics:
         Optional :class:`~repro.serving.metrics.ServerMetrics`; per-worker
         shard timings are folded into it (``observe_shard``).
+    logger:
+        Optional :class:`~repro.serving.tracing.StructuredLogger`; pool
+        respawns are emitted as ``worker_pool_respawn`` events.
 
     Use as a context manager or call :meth:`close` to shut the pool down and
     release engine-owned generations.
     """
+
+    #: Duck-typed capability flag (see :class:`BatchQueryEngine`): the cache
+    #: layer and batchers pass ``span_sink`` only to engines advertising it.
+    accepts_span_sink = True
 
     def __init__(
         self,
@@ -156,6 +164,7 @@ class ShardedQueryEngine:
         local_threshold: int = 64,
         shard_timeout: Optional[float] = 60.0,
         metrics: Optional[ServerMetrics] = None,
+        logger: Optional[StructuredLogger] = None,
     ) -> None:
         self._num_workers = int(num_workers) if num_workers else default_worker_count()
         if self._num_workers < 1:
@@ -164,6 +173,7 @@ class ShardedQueryEngine:
         self._local_threshold = int(local_threshold)
         self._shard_timeout = shard_timeout
         self._metrics = metrics
+        self._logger = logger
         self._stats = EngineStats()
         self._stats_lock = threading.Lock()
         self._worker_seconds: Dict[int, float] = {}
@@ -287,8 +297,15 @@ class ShardedQueryEngine:
             broken.shutdown(wait=False, cancel_futures=True)
             self._pool = self._create_pool()
             self._num_respawns += 1
+            num_respawns = self._num_respawns
         if self._metrics is not None:
             self._metrics.observe_worker_respawn()
+        if self._logger is not None:
+            self._logger.event(
+                "worker_pool_respawn",
+                num_respawns=num_respawns,
+                num_workers=self._num_workers,
+            )
 
     def ping(self) -> List[int]:
         """Probe every pool worker; respawn the pool if it is broken.
@@ -335,7 +352,11 @@ class ShardedQueryEngine:
         return float(self.query_batch([s], [t])[0])
 
     def query_batch(
-        self, sources: Sequence[int], targets: Sequence[int]
+        self,
+        sources: Sequence[int],
+        targets: Sequence[int],
+        *,
+        span_sink: Optional[List[Span]] = None,
     ) -> np.ndarray:
         """Exact distances for aligned ``sources[i], targets[i]`` pairs.
 
@@ -344,6 +365,12 @@ class ShardedQueryEngine:
         current shared-memory generation, and re-concatenated in order.  A
         batch that lands on a broken pool (a worker died) respawns the pool
         and retries once on the fresh workers.
+
+        When the caller passes a ``span_sink`` list, the worker-side shard
+        timings come back stitched into it as one ``shard`` span per worker
+        dispatch (attributes: worker pid, shard pair count) — or a single
+        ``kernel`` span when the batch was answered inline — so a parent
+        request trace shows exactly where a sharded batch spent its time.
         """
         if self._closed:
             raise ServingError("sharded engine has been closed")
@@ -364,7 +391,9 @@ class ShardedQueryEngine:
                     self._num_workers, -(-num_pairs // self._min_shard_size)
                 )
                 if num_pairs <= self._local_threshold or num_shards <= 1:
-                    result = snapshot.engine.query_batch(sources, targets)
+                    result = snapshot.engine.query_batch(
+                        sources, targets, span_sink=span_sink
+                    )
                     self._record(num_pairs, time.perf_counter() - start, [])
                     return result
                 try:
@@ -406,6 +435,11 @@ class ShardedQueryEngine:
             finally:
                 generation.release()
             result = np.concatenate(shards)
+            if span_sink is not None:
+                for pid, shard_pairs, shard_seconds in worker_timings:
+                    span_sink.append(
+                        Span("shard", shard_seconds, worker=pid, pairs=shard_pairs)
+                    )
             self._record(num_pairs, time.perf_counter() - start, worker_timings)
             return result
         raise AssertionError("unreachable")  # pragma: no cover

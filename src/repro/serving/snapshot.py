@@ -249,6 +249,19 @@ class SnapshotManager:
         """Edge insertions applied to the shadow but not yet published."""
         return self._pending_updates
 
+    @property
+    def dirty_vertex_count(self) -> int:
+        """Shadow vertices whose labels changed since the last publish.
+
+        Zero for read-only managers (no shadow) and for lazily-built shadows
+        that have not been materialised yet — the observability surface must
+        never trigger the expensive shadow construction.
+        """
+        shadow = self._shadow
+        if shadow is None:
+            return 0
+        return len(shadow.dirty_vertices)
+
     def _require_shadow(self) -> DynamicPrunedLandmarkLabeling:
         with self._write_lock:
             if self._shadow is None and self._shadow_factory is not None:

@@ -266,6 +266,47 @@ class TestServeCommand:
         # The served query hits the warmed cache.
         assert captured.out.splitlines()[0].startswith("0\t5\t")
 
+    def test_serve_log_json_and_slow_query_log(self, index_path, capsys, monkeypatch):
+        import io
+        import json
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("0 5\nTRACES\nQUIT\n"))
+        assert main([
+            "serve", str(index_path), "--log-json", "--slow-ms", "0"
+        ]) == 0
+        captured = capsys.readouterr()
+        # Every stderr line is one JSON event — no human-readable prose left.
+        events = [json.loads(line) for line in captured.err.splitlines() if line]
+        names = [event["event"] for event in events]
+        assert "serve_start" in names
+        assert "listening" in names
+        assert "serve_done" in names
+        # --slow-ms 0 makes every request slow; the slow log fired.
+        slow = [e for e in events if e["event"] == "slow_query"]
+        assert slow and slow[0]["component"] == "slow-query"
+        assert "trace_id" in slow[0]
+        # The TRACES wire command serves the ring over stdio too.
+        payload = json.loads(captured.out.splitlines()[1])
+        assert payload["num_recorded"] == 1
+        assert payload["slow_threshold_ms"] == 0.0
+
+    def test_serve_slow_ms_without_log_json_keeps_human_messages(
+        self, index_path, capsys, monkeypatch
+    ):
+        import io
+        import json
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("0 5\nQUIT\n"))
+        assert main(["serve", str(index_path), "--slow-ms", "0"]) == 0
+        captured = capsys.readouterr()
+        assert "serving" in captured.err  # human announcements stay
+        slow_lines = [
+            json.loads(line)
+            for line in captured.err.splitlines()
+            if line.startswith("{")
+        ]
+        assert any(event["event"] == "slow_query" for event in slow_lines)
+
     def test_serve_async_session_over_subprocess(self, tmp_path):
         """End to end: --async serves TCP + HTTP admin plane, SIGTERM drains."""
         import json

@@ -461,3 +461,177 @@ class TestServeOrchestration:
         lines, observed = run(scenario())
         assert lines[0].startswith("0\t5\t")
         assert observed["http"] is not None
+
+
+class TestTracesAndDebugSurface:
+    def test_traces_endpoint_returns_recorded_traces(self, engine):
+        async def scenario():
+            frontend = AsyncQueryFrontend(engine)
+            await frontend.start()
+            await frontend.start_tcp()
+            await frontend.start_http()
+            host, port = frontend.tcp_address
+            http_host, http_port = frontend.http_address
+            await _send_lines(host, port, "0 5\n1 7\nQUIT\n")
+            all_traces = await _http_request(http_host, http_port, "GET", "/traces")
+            limited = await _http_request(
+                http_host, http_port, "GET", "/traces?limit=1"
+            )
+            wire = await _send_lines(host, port, "TRACES\nQUIT\n")
+            await frontend.stop()
+            return all_traces, limited, wire
+
+        (status, body), (lim_status, lim_body), wire = run(scenario())
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["num_recorded"] == 2
+        assert len(payload["recent"]) == 2
+        names = [s["name"] for s in payload["recent"][0]["spans"]]
+        for expected in ("queue", "batch", "kernel", "reply"):
+            assert expected in names
+        assert lim_status == 200
+        assert len(json.loads(lim_body)["recent"]) == 1
+        # The wire TRACES command serves the same payload shape.
+        assert json.loads(wire[0])["num_recorded"] == 2
+
+    def test_sharded_query_trace_stitches_worker_spans(self, small_social_graph):
+        """The acceptance path: a query answered by the multi-process engine
+        leaves one trace showing queue, batch and per-worker shard spans."""
+        manager = SnapshotManager.from_graph(small_social_graph, shared=True)
+        engine = ShardedQueryEngine(
+            manager, num_workers=2, min_shard_size=4, local_threshold=0
+        )
+
+        async def scenario():
+            frontend = AsyncQueryFrontend(engine, batch_timeout=0.005)
+            await frontend.start()
+            await frontend.start_http()
+            http_host, http_port = frontend.http_address
+            # One 16-pair request: big enough that the sharded engine fans it
+            # out across both workers instead of answering inline.
+            pairs = sample_pairs(small_social_graph, 16, seed=11)
+            await frontend.submit([s for s, _ in pairs], [t for _, t in pairs])
+            traces = await _http_request(http_host, http_port, "GET", "/traces")
+            await frontend.stop()
+            return traces
+
+        try:
+            status, body = run(scenario())
+        finally:
+            engine.close()
+            manager.close()
+
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["num_recorded"] >= 1
+        # At least one trace fanned out across the pool: its shard spans name
+        # the worker pids that served it, stitched under the parent trace id.
+        stitched = [
+            trace
+            for trace in payload["recent"]
+            if [s for s in trace["spans"] if s["name"] == "shard"]
+        ]
+        assert stitched, "no trace carried worker shard spans"
+        trace = stitched[0]
+        span_names = [s["name"] for s in trace["spans"]]
+        assert "queue" in span_names and "batch" in span_names
+        shard_spans = [s for s in trace["spans"] if s["name"] == "shard"]
+        workers = {span["worker"] for span in shard_spans}
+        assert len(workers) >= 2  # both pool workers contributed
+        for span in shard_spans:
+            assert span["pairs"] >= 1 and span["ms"] >= 0.0
+
+    def test_debug_threads_dumps_all_stacks(self, engine):
+        async def scenario():
+            frontend = AsyncQueryFrontend(engine)
+            await frontend.start()
+            await frontend.start_http()
+            http_host, http_port = frontend.http_address
+            result = await _http_request(
+                http_host, http_port, "GET", "/debug/threads"
+            )
+            await frontend.stop()
+            return result
+
+        status, body = run(scenario())
+        assert status == 200
+        assert "--- thread" in body
+        assert "MainThread" in body
+        # The dump shows real stack frames, not just thread names.
+        assert "File \"" in body
+
+    def test_debug_profile_returns_pstats_report(self, engine):
+        async def scenario():
+            frontend = AsyncQueryFrontend(engine)
+            await frontend.start()
+            await frontend.start_http()
+            http_host, http_port = frontend.http_address
+            ok = await _http_request(
+                http_host, http_port, "GET", "/debug/profile?seconds=0.05"
+            )
+            bad = await _http_request(
+                http_host, http_port, "GET", "/debug/profile?seconds=bogus"
+            )
+            negative = await _http_request(
+                http_host, http_port, "GET", "/debug/profile?seconds=-1"
+            )
+            await frontend.stop()
+            return ok, bad, negative
+
+        ok, bad, negative = run(scenario())
+        assert ok[0] == 200
+        assert "cumulative" in ok[1]  # the pstats sort header
+        assert bad[0] == 400
+        assert negative[0] == 400
+
+    def test_debug_profile_concurrent_runs_conflict(self, engine):
+        async def scenario():
+            frontend = AsyncQueryFrontend(engine)
+            await frontend.start()
+            await frontend.start_http()
+            http_host, http_port = frontend.http_address
+            first = asyncio.create_task(
+                _http_request(
+                    http_host, http_port, "GET", "/debug/profile?seconds=0.3"
+                )
+            )
+            await asyncio.sleep(0.1)  # first profile is mid-flight
+            second = await _http_request(
+                http_host, http_port, "GET", "/debug/profile?seconds=0.05"
+            )
+            first_result = await first
+            await frontend.stop()
+            return first_result, second
+
+        first, second = run(scenario())
+        assert first[0] == 200
+        assert second[0] == 409
+
+    def test_metrics_exposes_index_health_and_histograms(self, small_social_graph):
+        async def scenario():
+            manager = SnapshotManager.from_graph(small_social_graph, shared=True)
+            frontend = AsyncQueryFrontend(manager)
+            await frontend.start()
+            await frontend.start_tcp()
+            await frontend.start_http()
+            host, port = frontend.tcp_address
+            http_host, http_port = frontend.http_address
+            await _send_lines(host, port, "0 5\nadd 0 199\nQUIT\n")
+            status, body = await _http_request(http_host, http_port, "GET", "/metrics")
+            await frontend.stop()
+            manager.close()
+            return status, body
+
+        status, body = run(scenario())
+        assert status == 200
+        assert "repro_pll_index_label_entries " in body
+        assert "repro_pll_index_bit_parallel_roots " in body
+        # One pending shadow mutation since the last publish.
+        assert "repro_pll_index_dirty_vertices 1" in body
+        assert "repro_pll_generation_bytes " in body
+        assert 'repro_pll_generation_info{name="' in body
+        # True histogram series for end-to-end latency and every stage.
+        assert "# TYPE repro_pll_latency_seconds histogram" in body
+        assert 'repro_pll_latency_seconds_bucket{le="+Inf"} 1' in body
+        for stage in ("queue", "batch", "kernel", "cache_probe"):
+            assert f"# TYPE repro_pll_stage_{stage}_seconds histogram" in body

@@ -1,14 +1,38 @@
-"""Tests for the serving metrics: latency window, percentiles, snapshots."""
+"""Tests for the serving metrics: latency window, percentiles, histograms."""
 
 from __future__ import annotations
 
 import json
+import sys
+from pathlib import Path
 
 import pytest
 
-from repro.serving import LatencyWindow, ServerMetrics, render_prometheus_text
+from repro.serving import (
+    Histogram,
+    LatencyWindow,
+    ServerMetrics,
+    index_health_stats,
+    render_prometheus_text,
+)
 from repro.serving.cache import CacheStats
-from repro.serving.metrics import PROMETHEUS_COUNTERS, _prometheus_number
+from repro.serving.metrics import (
+    PROMETHEUS_COUNTERS,
+    STAGE_NAMES,
+    _prometheus_number,
+)
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+from bench_async import validate_prometheus_exposition  # noqa: E402
+
+
+def _strip_histogram_suffix(name: str) -> str:
+    """Reduce a histogram sample name to the metric name TYPE announces."""
+    base = name.split("{", 1)[0]
+    for suffix in ("_bucket", "_sum", "_count"):
+        if base.endswith(suffix):
+            return base[: -len(suffix)]
+    return base
 
 
 class TestLatencyWindow:
@@ -122,15 +146,19 @@ class TestPrometheusRendering:
             else:
                 name, _, value = line.partition(" ")
                 samples[name] = float(value)
-        # Every sample is announced with HELP/TYPE and parses as a float.
+        # Every sample is announced with HELP/TYPE and parses as a float;
+        # histogram samples (_bucket/_sum/_count) are announced under the
+        # base metric name, per the exposition format.
         for name in samples:
-            assert name.split("{", 1)[0] in types
+            base = name.split("{", 1)[0]
+            assert base in types or _strip_histogram_suffix(name) in types
         assert samples["repro_pll_num_queries"] == 5.0
         assert samples["repro_pll_num_rejected"] == 1.0
         assert samples["repro_pll_cache_hit_rate"] == 0.75
         assert samples["repro_pll_snapshot_version"] == 7.0
         assert types["repro_pll_num_queries"] == "counter"
         assert types["repro_pll_qps"] == "gauge"
+        assert types["repro_pll_latency_seconds"] == "histogram"
 
     def test_workers_become_labelled_series(self):
         metrics = ServerMetrics()
@@ -139,7 +167,10 @@ class TestPrometheusRendering:
         body = metrics.render_prometheus()
         assert 'repro_pll_worker_queries{worker="1234"} 10' in body
         assert 'repro_pll_worker_queries{worker="5678"} 4' in body
-        assert "# TYPE repro_pll_worker_busy_seconds gauge" in body
+        # busy_seconds only accumulates, so it must be typed counter (PromQL
+        # rate() refuses gauges).
+        assert "# TYPE repro_pll_worker_busy_seconds counter" in body
+        assert "# TYPE repro_pll_worker_queries counter" in body
 
     def test_non_numeric_values_are_skipped(self):
         body = render_prometheus_text({"name": "server-1", "num_queries": 2})
@@ -149,3 +180,156 @@ class TestPrometheusRendering:
     def test_counters_declared_counter(self):
         for key in ("num_queries", "num_errors", "num_worker_respawns"):
             assert key in PROMETHEUS_COUNTERS
+
+    def test_generation_info_labelled_gauge(self):
+        body = render_prometheus_text(
+            {"generation_name": "gen-3f2a", "generation_bytes": 4096}
+        )
+        assert 'repro_pll_generation_info{name="gen-3f2a"} 1' in body
+        assert "repro_pll_generation_bytes 4096" in body
+
+    def test_full_body_passes_exposition_grammar(self):
+        metrics = ServerMetrics()
+        metrics.observe_batch(
+            num_queries=8,
+            num_requests=4,
+            seconds=0.002,
+            request_latencies=[0.001, 0.003, 0.02, 1.7],
+        )
+        metrics.observe_stages(
+            {"queue": [0.0001, 0.0002], "kernel": [0.002], "cache_probe": [0.00005]}
+        )
+        metrics.observe_shard(4321, num_queries=8, seconds=0.002)
+        body = metrics.render_prometheus(
+            cache_stats=CacheStats(hits=1, misses=3), snapshot_version=2
+        )
+        samples = validate_prometheus_exposition(body)
+        assert samples["repro_pll_num_queries"] == 8.0
+        assert samples["repro_pll_latency_seconds_count"] == 4.0
+
+
+class TestHistogram:
+    def test_bucket_validation(self):
+        with pytest.raises(ValueError):
+            Histogram([])
+        with pytest.raises(ValueError):
+            Histogram([0.0, 1.0])
+        with pytest.raises(ValueError):
+            Histogram([-0.5, 1.0])
+
+    def test_bounds_are_sorted(self):
+        histogram = Histogram([1.0, 0.1, 0.5])
+        histogram.observe(0.3)
+        snap = histogram.snapshot()
+        assert [b for b, _ in snap["buckets"]] == [0.1, 0.5, 1.0]
+        assert [c for _, c in snap["buckets"]] == [0, 1, 1]
+
+    def test_cumulative_buckets_monotone_and_inf_equals_count(self):
+        histogram = Histogram()
+        values = [0.00005, 0.0004, 0.0004, 0.007, 0.3, 99.0]
+        histogram.observe_many(values)
+        snap = histogram.snapshot()
+        cumulative = [c for _, c in snap["buckets"]]
+        assert cumulative == sorted(cumulative)
+        # 99.0 overflows every finite bucket: the last finite cumulative is
+        # one short of count, and the implicit +Inf bucket equals count.
+        assert cumulative[-1] == len(values) - 1
+        assert snap["count"] == len(values)
+        assert snap["sum"] == pytest.approx(sum(values))
+
+    def test_boundary_value_lands_in_its_bucket(self):
+        histogram = Histogram([0.001, 0.01])
+        histogram.observe(0.001)  # le="0.001" is inclusive
+        snap = histogram.snapshot()
+        assert snap["buckets"][0][1] == 1
+
+    def test_exposition_bucket_series(self):
+        metrics = ServerMetrics(histogram_buckets=(0.001, 0.01, 0.1))
+        metrics.observe_batch(
+            num_queries=3,
+            num_requests=3,
+            seconds=0.001,
+            request_latencies=[0.0005, 0.05, 2.0],
+        )
+        body = metrics.render_prometheus()
+        assert 'repro_pll_latency_seconds_bucket{le="0.001"} 1' in body
+        assert 'repro_pll_latency_seconds_bucket{le="0.1"} 2' in body
+        assert 'repro_pll_latency_seconds_bucket{le="+Inf"} 3' in body
+        assert "repro_pll_latency_seconds_count 3" in body
+        assert "repro_pll_latency_seconds_sum 2.0505" in body
+
+    def test_stage_histograms_present_and_fed(self):
+        metrics = ServerMetrics()
+        metrics.observe_stages({stage: [0.001] for stage in STAGE_NAMES})
+        metrics.observe_stages({"unknown_stage": [1.0]})  # silently ignored
+        histograms = metrics.snapshot()["histograms"]
+        for stage in STAGE_NAMES:
+            assert histograms[f"stage_{stage}_seconds"]["count"] == 1
+        body = metrics.render_prometheus()
+        for stage in STAGE_NAMES:
+            assert f"# TYPE repro_pll_stage_{stage}_seconds histogram" in body
+
+    def test_histograms_disabled(self):
+        metrics = ServerMetrics(histogram_buckets=None)
+        assert not metrics.has_histograms
+        metrics.observe_batch(num_queries=1, num_requests=1, seconds=0.001)
+        metrics.observe_stages({"queue": [0.001]})
+        assert "histograms" not in metrics.snapshot()
+        assert "_bucket" not in metrics.render_prometheus()
+
+
+class TestRenderFormatting:
+    def test_num_queries_property(self):
+        metrics = ServerMetrics()
+        assert metrics.num_queries == 0
+        metrics.observe_batch(num_queries=7, num_requests=2, seconds=0.001)
+        assert metrics.num_queries == 7
+
+    def test_render_workers_aligned_table(self):
+        metrics = ServerMetrics()
+        metrics.observe_shard(1234, num_queries=10, seconds=0.5)
+        metrics.observe_shard(98765, num_queries=4, seconds=0.25)
+        text = metrics.render()
+        assert "{" not in text  # no raw dict repr
+        lines = text.splitlines()
+        header_idx = lines.index("  workers") + 1
+        header = lines[header_idx]
+        assert header.split() == ["worker", "shards", "queries", "busy_s"]
+        rows = lines[header_idx + 1 : header_idx + 3]
+        assert rows[0].split() == ["1234", "1", "10", "0.5000"]
+        assert rows[1].split() == ["98765", "1", "4", "0.2500"]
+        # Columns line up: every value ends at its header's column.
+        for row in rows:
+            assert len(row) == len(header)
+
+    def test_render_histograms_summarised(self):
+        metrics = ServerMetrics()
+        metrics.observe_batch(num_queries=1, num_requests=1, seconds=0.001)
+        text = metrics.render()
+        assert "  histograms" in text
+        assert "latency_seconds" in text
+        assert "count=1" in text
+        assert "buckets" not in text  # summary line, not a bucket dump
+
+
+class TestIndexHealthStats:
+    def test_none_engine_reports_nothing(self):
+        assert index_health_stats(None) == {}
+
+    def test_duck_typed_engine(self):
+        class FakeLabels:
+            def total_entries(self):
+                return 42
+
+        class FakeBitParallel:
+            num_roots = 3
+
+        class FakeIndex:
+            label_set = FakeLabels()
+            bit_parallel_labels = FakeBitParallel()
+
+        class FakeEngine:
+            index = FakeIndex()
+
+        stats = index_health_stats(FakeEngine())
+        assert stats == {"index_label_entries": 42, "index_bit_parallel_roots": 3}

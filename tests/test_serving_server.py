@@ -389,3 +389,87 @@ class TestCacheWarming:
         path.write_text("0 5\nnot-a-pair\n")
         with pytest.raises(ValueError, match="line 2"):
             read_pairs_file(path)
+
+
+class TestServerTracing:
+    def test_requests_leave_stitched_traces(self, engine):
+        from repro.serving import TraceRecorder
+
+        tracer = TraceRecorder()
+        with QueryServer(engine, cache=LRUCache(16), tracer=tracer) as server:
+            server.distance(0, 5)
+        assert tracer.num_recorded == 1
+        trace = tracer.recent()[0]
+        assert trace["status"] == "ok"
+        assert trace["num_pairs"] == 1
+        assert trace["total_ms"] > 0.0
+        names = [span["name"] for span in trace["spans"]]
+        for expected in ("queue", "batch", "cache_probe", "kernel", "reply"):
+            assert expected in names
+        kernel = next(s for s in trace["spans"] if s["name"] == "kernel")
+        assert kernel["pairs"] == 1
+
+    def test_coalesced_batch_shares_kernel_span(self, engine):
+        from repro.serving import TraceRecorder
+
+        tracer = TraceRecorder()
+        with QueryServer(engine, batch_timeout=0.05, tracer=tracer) as server:
+            requests = [server.submit([i], [7 - i]) for i in range(4)]
+            for request in requests:
+                request.wait(10)
+        traces = tracer.recent()
+        assert len(traces) == 4
+        ids = {t["trace_id"] for t in traces}
+        assert len(ids) == 4  # each request has its own trace id
+        # At least one kernel span covers more pairs than its own request —
+        # evidence the batch-level span was stitched into each member trace.
+        kernel_pairs = [
+            span["pairs"]
+            for trace in traces
+            for span in trace["spans"]
+            if span["name"] == "kernel"
+        ]
+        assert max(kernel_pairs) > 1
+
+    def test_null_tracer_records_nothing_but_serves(self, engine):
+        from repro.serving import NullTraceRecorder
+
+        tracer = NullTraceRecorder()
+        with QueryServer(engine, tracer=tracer) as server:
+            assert server.distance(0, 5) == engine.index.distance(0, 5)
+        assert tracer.num_recorded == 0
+
+    def test_stage_histograms_fed_from_server_path(self, engine):
+        from repro.serving import NullTraceRecorder
+
+        # Even with tracing off, the stage histograms must fill.
+        with QueryServer(engine, cache=LRUCache(16), tracer=NullTraceRecorder()) as server:
+            server.distance(0, 5)
+            histograms = server.metrics_snapshot()["histograms"]
+        assert histograms["latency_seconds"]["count"] == 1
+        for stage in ("queue", "batch", "kernel", "cache_probe"):
+            assert histograms[f"stage_{stage}_seconds"]["count"] == 1
+
+    def test_traces_wire_command(self, engine):
+        with QueryServer(engine) as server:
+            in_stream = io.StringIO("0 5\nTRACES\ntraces\nQUIT\n")
+            out_stream = io.StringIO()
+            serve_stdio(server, in_stream, out_stream)
+        lines = out_stream.getvalue().splitlines()
+        for line in lines[1:]:
+            payload = json.loads(line)
+            assert payload["num_recorded"] >= 1
+            assert payload["recent"][0]["num_pairs"] == 1
+            span_names = [s["name"] for s in payload["recent"][0]["spans"]]
+            assert "kernel" in span_names
+
+    def test_structured_logger_start_stop_events(self, engine):
+        from repro.serving import StructuredLogger
+
+        stream = io.StringIO()
+        server = QueryServer(engine, logger=StructuredLogger(stream, component="server"))
+        with server:
+            server.distance(0, 5)
+        events = [json.loads(line)["event"] for line in stream.getvalue().splitlines()]
+        assert events[0] == "server_start"
+        assert events[-1] == "server_stop"
