@@ -1,0 +1,114 @@
+"""Baseline files: grandfathered findings that do not fail the build.
+
+A baseline is a committed JSON file listing fingerprints of known findings.
+``repro-pll lint`` exits non-zero only for findings *not* in the baseline, so
+a new rule can land before every legacy violation is fixed — while still
+catching regressions from that day forward.  ``--write-baseline`` regenerates
+the file from the current tree; the workflow is: add the rule, write the
+baseline, burn the baseline down to empty in follow-up commits.
+
+Matching is by fingerprint (rule + path + symbol + message — see
+:meth:`repro.analysis.base.Finding.fingerprint`) and is *multiset* matching:
+one baseline entry absorbs at most one live finding, so duplicating a
+grandfathered violation still fails the build.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from .base import Finding
+
+__all__ = [
+    "BaselineError",
+    "DEFAULT_BASELINE_NAME",
+    "apply_baseline",
+    "load_baseline",
+    "write_baseline",
+]
+
+#: File name probed for in the current directory when ``--baseline`` is not
+#: given.
+DEFAULT_BASELINE_NAME = "reprolint-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+class BaselineError(Exception):
+    """Raised for unreadable or structurally invalid baseline files."""
+
+
+def load_baseline(path: Union[str, Path]) -> Counter:
+    """Load a baseline file into a fingerprint multiset."""
+    try:
+        raw = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    try:
+        payload = json.loads(raw)
+    except ValueError as exc:
+        raise BaselineError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != _FORMAT_VERSION:
+        raise BaselineError(
+            f"baseline {path} has unsupported structure (expected version {_FORMAT_VERSION})"
+        )
+    entries = payload.get("findings", [])
+    if not isinstance(entries, list):
+        raise BaselineError(f"baseline {path}: 'findings' must be a list")
+    fingerprints: Counter = Counter()
+    for entry in entries:
+        if not isinstance(entry, dict) or "fingerprint" not in entry:
+            raise BaselineError(f"baseline {path}: each finding needs a 'fingerprint'")
+        fingerprints[str(entry["fingerprint"])] += 1
+    return fingerprints
+
+
+def write_baseline(path: Union[str, Path], findings: Sequence[Finding]) -> None:
+    """Write ``findings`` as the new baseline (sorted, human-diffable)."""
+    entries: List[Dict[str, object]] = [
+        {
+            "rule": finding.rule,
+            "path": finding.path,
+            "symbol": finding.symbol,
+            "message": finding.message,
+            "fingerprint": finding.fingerprint,
+        }
+        for finding in sorted(findings, key=Finding.sort_key)
+    ]
+    payload = {"version": _FORMAT_VERSION, "findings": entries}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def apply_baseline(
+    findings: Sequence[Finding], fingerprints: Counter
+) -> Tuple[List[Finding], int]:
+    """Split findings into the full annotated list and the count of new ones.
+
+    Returns ``(annotated, num_new)`` where ``annotated`` carries every finding
+    with ``baselined`` set appropriately.  Each baseline fingerprint absorbs
+    at most as many findings as it was recorded times.
+    """
+    remaining = Counter(fingerprints)
+    annotated: List[Finding] = []
+    num_new = 0
+    for finding in findings:
+        if remaining.get(finding.fingerprint, 0) > 0:
+            remaining[finding.fingerprint] -= 1
+            annotated.append(
+                Finding(
+                    rule=finding.rule,
+                    path=finding.path,
+                    line=finding.line,
+                    col=finding.col,
+                    message=finding.message,
+                    symbol=finding.symbol,
+                    baselined=True,
+                )
+            )
+        else:
+            annotated.append(finding)
+            num_new += 1
+    return annotated, num_new

@@ -1,0 +1,94 @@
+"""Text and JSON renderings of a lint run.
+
+The text reporter is the human / CI-log format (one ``path:line:col: RLnnn``
+line per finding plus a summary); the JSON reporter is the machine format the
+tests pin a schema for, and what tooling (dashboards, pre-commit wrappers)
+should consume.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .base import Finding, Rule
+
+__all__ = ["LintReport", "render_text", "render_json"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run, before rendering.
+
+    ``findings`` holds every unsuppressed finding (baselined ones included,
+    flagged via :attr:`Finding.baselined`); suppressed findings are only
+    counted.  ``errors`` are file-level failures (unreadable, unparsable) —
+    they fail the run regardless of baseline.
+    """
+
+    findings: List[Finding] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+    rules: List[Rule] = field(default_factory=list)
+    num_files: int = 0
+    num_suppressed: int = 0
+    num_new: int = 0
+
+    @property
+    def num_baselined(self) -> int:
+        return sum(1 for finding in self.findings if finding.baselined)
+
+    @property
+    def ok(self) -> bool:
+        return self.num_new == 0 and not self.errors
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "files": self.num_files,
+            "findings": len(self.findings),
+            "new": self.num_new,
+            "baselined": self.num_baselined,
+            "suppressed": self.num_suppressed,
+            "errors": len(self.errors),
+        }
+
+
+def render_text(report: LintReport, *, show_baselined: bool = False) -> str:
+    """The human-readable rendering (what CI logs show)."""
+    lines: List[str] = []
+    for error in report.errors:
+        lines.append(f"error: {error}")
+    for finding in sorted(report.findings, key=Finding.sort_key):
+        if finding.baselined and not show_baselined:
+            continue
+        suffix = "  [baselined]" if finding.baselined else ""
+        where = f"{finding.path}:{finding.line}:{finding.col + 1}"
+        symbol = f" ({finding.symbol})" if finding.symbol else ""
+        lines.append(f"{where}: {finding.rule} {finding.message}{symbol}{suffix}")
+    summary = report.summary()
+    lines.append(
+        "{files} file(s): {findings} finding(s) — {new} new, {baselined} baselined, "
+        "{suppressed} suppressed, {errors} error(s)".format(**summary)
+    )
+    return "\n".join(lines) + "\n"
+
+
+def render_json(report: LintReport) -> str:
+    """The machine-readable rendering (schema pinned by the test suite)."""
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "ok": report.ok,
+        "summary": report.summary(),
+        "rules": {
+            rule.id: {"name": rule.name, "description": rule.description}
+            for rule in report.rules
+        },
+        "findings": [
+            finding.as_dict()
+            for finding in sorted(report.findings, key=Finding.sort_key)
+        ],
+        "errors": list(report.errors),
+    }
+    return json.dumps(payload, indent=2, sort_keys=False) + "\n"

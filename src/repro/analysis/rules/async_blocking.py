@@ -1,0 +1,149 @@
+"""RL002 — no blocking calls on the event loop.
+
+One ``time.sleep`` or synchronous file read inside an ``async def`` stalls
+*every* connection the asyncio front end is serving — the whole point of the
+PR 4 architecture is that the loop thread never waits.  Blocking work must be
+pushed through ``loop.run_in_executor`` (or ``asyncio.to_thread``).
+
+Detection is lexical, over the bodies of ``async def`` functions only:
+
+* known blocking callables: ``time.sleep``, builtin/``io.open``,
+  ``os.system`` / ``os.popen`` / ``os.wait*``, anything under ``subprocess.``,
+  ``socket.create_connection``;
+* blocking-by-shape method calls, whatever the receiver:
+  ``.read_text/.write_text/.read_bytes/.write_bytes`` (pathlib I/O),
+  ``.result(...)`` **with arguments** (a ``concurrent.futures`` timed wait —
+  a bare ``.result()`` on a completed asyncio future is the sanctioned way to
+  fetch its value and stays legal), zero-argument ``.join()`` (thread /
+  process / queue joins; ``str.join`` always takes an iterable), and
+  ``.shutdown(wait=True)`` (executor teardown that parks the loop).
+
+Nested ``def``/``lambda`` bodies are exempt: a synchronous closure is exactly
+what gets handed *to* ``run_in_executor``, so blocking calls inside one are
+the fix, not the bug.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from ..base import Finding, ModuleContext, Rule, register_rule
+
+__all__ = ["AsyncBlockingRule"]
+
+_BLOCKING_CALLS = {
+    "time.sleep",
+    "open",
+    "io.open",
+    "os.system",
+    "os.popen",
+    "os.wait",
+    "os.waitpid",
+    "socket.create_connection",
+}
+
+_BLOCKING_PREFIXES = ("subprocess.",)
+
+_BLOCKING_IO_METHODS = {"read_text", "write_text", "read_bytes", "write_bytes"}
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` -> "a.b.c" for Name/Attribute chains, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_true(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and node.value is True
+
+
+@register_rule
+class AsyncBlockingRule(Rule):
+    id = "RL002"
+    name = "blocking-call-in-async"
+    description = (
+        "no time.sleep, blocking file/socket I/O, subprocess, timed Future.result() "
+        "or executor shutdown(wait=True) inside `async def` bodies"
+    )
+    rationale = (
+        "a single blocking call on the event loop stalls every connection the "
+        "asyncio front end is serving; blocking work belongs in run_in_executor"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_async_body(ctx, node)
+
+    def _check_async_body(
+        self, ctx: ModuleContext, func: ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        for stmt in func.body:
+            yield from self._walk(ctx, stmt, func.name)
+
+    def _walk(self, ctx: ModuleContext, node: ast.AST, symbol: str) -> Iterator[Finding]:
+        if isinstance(node, (ast.FunctionDef, ast.Lambda)):
+            # Synchronous closures run off-loop (run_in_executor targets).
+            return
+        if isinstance(node, ast.AsyncFunctionDef):
+            # A nested coroutine is its own async body; ast.walk in check()
+            # already visits it independently.
+            return
+        if isinstance(node, ast.Await):
+            # A directly-awaited call yields to the loop by construction
+            # (``await queue.join()``); only its arguments need checking.
+            if isinstance(node.value, ast.Call):
+                for child in ast.iter_child_nodes(node.value):
+                    yield from self._walk(ctx, child, symbol)
+                return
+        if isinstance(node, ast.Call):
+            message = self._blocking_reason(node)
+            if message is not None:
+                yield self.finding(ctx, node, message, symbol=symbol)
+        for child in ast.iter_child_nodes(node):
+            yield from self._walk(ctx, child, symbol)
+
+    def _blocking_reason(self, call: ast.Call) -> Optional[str]:
+        dotted = _dotted_name(call.func)
+        if dotted is not None:
+            if dotted in _BLOCKING_CALLS or dotted.startswith(_BLOCKING_PREFIXES):
+                return (
+                    f"blocking call {dotted}() on the event loop; "
+                    "route it through run_in_executor"
+                )
+        if not isinstance(call.func, ast.Attribute):
+            return None
+        method = call.func.attr
+        if method in _BLOCKING_IO_METHODS:
+            return (
+                f"blocking file I/O .{method}() on the event loop; "
+                "route it through run_in_executor"
+            )
+        if method == "result" and (call.args or call.keywords):
+            return (
+                "timed Future.result() blocks the event loop; await the future "
+                "or use asyncio.wait_for"
+            )
+        if method == "join" and not call.args and not call.keywords:
+            return (
+                "bare .join() blocks the event loop waiting on a thread/queue; "
+                "route it through run_in_executor"
+            )
+        if method == "shutdown":
+            wait_true = any(
+                keyword.arg == "wait" and _is_true(keyword.value)
+                for keyword in call.keywords
+            ) or (call.args and _is_true(call.args[0]))
+            if wait_true:
+                return (
+                    "executor .shutdown(wait=True) blocks the event loop; "
+                    "run it in an executor thread"
+                )
+        return None

@@ -1,0 +1,199 @@
+"""RL003 — shared-memory segments must have an owner on every path.
+
+A ``multiprocessing.shared_memory.SharedMemory`` allocation is a kernel
+object: drop the handle without ``close()``/``unlink()`` and the segment
+outlives the process in ``/dev/shm`` (the resource tracker then spams
+warnings, or worse, a respawning worker pool slowly fills the host).  PR 3's
+``SharedGeneration`` exists precisely to give each published generation a
+refcounted owner.
+
+The rule inspects every ``SharedMemory(...)`` construction and accepts it
+only when the handle demonstrably reaches an owner:
+
+* used directly as a context manager (``with SharedMemory(...) as shm:``);
+* returned directly (the caller owns it — ``_attach_segment`` style);
+* stored onto ``self`` (``self._segments[field] = ...``), i.e. registered
+  with an object whose lifecycle methods own the close;
+* bound to a local that is then (a) closed/unlinked inside a ``finally``
+  block of the enclosing function, (b) used as a context manager, (c) passed
+  to a ``SharedGeneration``, or (d) escapes — returned, yielded, or stored
+  onto ``self``.
+
+Everything else is a potential leak on the exception path and gets flagged.
+The analysis is per-function and lexical — it does not chase the handle
+through arbitrary helper calls, which is the point: keep segment ownership
+locally obvious.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set
+
+from ..base import Finding, ModuleContext, Rule, register_rule
+
+__all__ = ["ShmLifecycleRule"]
+
+_CLEANUP_METHODS = {"close", "unlink"}
+
+
+def _is_shared_memory_call(call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id == "SharedMemory"
+    if isinstance(func, ast.Attribute):
+        return func.attr == "SharedMemory"
+    return False
+
+
+def _is_self_store_target(target: ast.AST) -> bool:
+    """``self.x`` / ``self.x[k]`` / ``self.x.y`` style targets."""
+    node = target
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return True
+        node = node.value
+    return False
+
+
+def _name_used_in(node: ast.AST, name: str) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and child.id == name:
+            return True
+    return False
+
+
+class _FunctionIndex:
+    """Lexical facts about one function body, queried per allocation."""
+
+    def __init__(self, func: ast.AST) -> None:
+        self.func = func
+        #: nodes lexically inside any ``finally`` block of the function.
+        self.finally_nodes: Set[int] = set()
+        for node in ast.walk(func):
+            if isinstance(node, (ast.Try,)):
+                for stmt in node.finalbody:
+                    for inner in ast.walk(stmt):
+                        self.finally_nodes.add(id(inner))
+
+    def local_reaches_owner(self, name: str) -> bool:
+        for node in ast.walk(self.func):
+            # (a) name.close() / name.unlink() inside a finally block.
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _CLEANUP_METHODS
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == name
+                and id(node) in self.finally_nodes
+            ):
+                return True
+            # (b) used as (part of) a context manager expression.
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if _name_used_in(item.context_expr, name):
+                        return True
+            # (c) handed to a SharedGeneration (refcounted owner).
+            if isinstance(node, ast.Call):
+                callee = node.func
+                callee_name = (
+                    callee.id
+                    if isinstance(callee, ast.Name)
+                    else callee.attr
+                    if isinstance(callee, ast.Attribute)
+                    else ""
+                )
+                if "SharedGeneration" in callee_name and any(
+                    _name_used_in(arg, name) for arg in node.args
+                ):
+                    return True
+            # (d) escapes: returned/yielded, or stored onto self.
+            if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+                value = node.value
+                if value is not None and _name_used_in(value, name):
+                    return True
+            if isinstance(node, ast.Assign):
+                if any(_is_self_store_target(target) for target in node.targets):
+                    if _name_used_in(node.value, name):
+                        return True
+        return False
+
+
+@register_rule
+class ShmLifecycleRule(Rule):
+    id = "RL003"
+    name = "shm-lifecycle"
+    description = (
+        "every shared_memory.SharedMemory(...) allocation must reach close()/unlink() "
+        "on all paths: try/finally, context manager, self storage, or SharedGeneration"
+    )
+    rationale = (
+        "a dropped SharedMemory handle leaks a /dev/shm segment past process exit; "
+        "segment ownership must be locally obvious"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        parents: Dict[int, ast.AST] = {}
+        for node in ast.walk(ctx.tree):
+            for child in ast.iter_child_nodes(node):
+                parents[id(child)] = node
+
+        indexes: Dict[int, _FunctionIndex] = {}
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call) and _is_shared_memory_call(node)):
+                continue
+            if self._allocation_owned(node, parents):
+                continue
+            scope = self._enclosing_scope(node, parents)
+            local = self._bound_local(node, parents)
+            if local is not None:
+                if id(scope) not in indexes:
+                    indexes[id(scope)] = _FunctionIndex(scope)
+                if indexes[id(scope)].local_reaches_owner(local):
+                    continue
+            yield self.finding(
+                ctx,
+                node,
+                "SharedMemory allocation may leak: no close()/unlink() on all "
+                "paths (use try/finally, a with-block, store it on self, or "
+                "register it with a SharedGeneration)",
+                symbol=getattr(scope, "name", "<module>"),
+            )
+
+    def _enclosing_scope(self, node: ast.AST, parents: Dict[int, ast.AST]) -> ast.AST:
+        """Innermost enclosing function (module tree for top-level code)."""
+        current = parents.get(id(node))
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)):
+                return current
+            current = parents.get(id(current))
+        return node
+
+    def _allocation_owned(self, call: ast.Call, parents: Dict[int, ast.AST]) -> bool:
+        parent = parents.get(id(call))
+        # with SharedMemory(...) as shm: — the with-block owns close().
+        if isinstance(parent, ast.withitem):
+            return True
+        # return SharedMemory(...) — ownership transfers to the caller.
+        if isinstance(parent, (ast.Return, ast.Yield)):
+            return True
+        # self._segments[...] = SharedMemory(...) — registered on the object.
+        if isinstance(parent, ast.Assign) and any(
+            _is_self_store_target(target) for target in parent.targets
+        ):
+            return True
+        return False
+
+    def _bound_local(self, call: ast.Call, parents: Dict[int, ast.AST]) -> Optional[str]:
+        parent = parents.get(id(call))
+        if isinstance(parent, ast.Assign) and len(parent.targets) == 1:
+            target = parent.targets[0]
+            if isinstance(target, ast.Name):
+                return target.id
+        if isinstance(parent, ast.AnnAssign) and isinstance(parent.target, ast.Name):
+            return parent.target.id
+        return None

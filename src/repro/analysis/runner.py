@@ -1,0 +1,131 @@
+"""File walking and rule execution — the engine behind ``repro-pll lint``."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from .base import Finding, ModuleContext, Rule, all_rules
+from .reporters import LintReport
+
+__all__ = ["check_source", "iter_python_files", "run_lint"]
+
+#: Directory names never descended into.
+_SKIP_DIRS = {"__pycache__", ".git", ".hg", ".mypy_cache", ".ruff_cache", "build", "dist"}
+
+
+def iter_python_files(paths: Sequence[Union[str, Path]]) -> Iterator[Path]:
+    """Yield ``.py`` files under ``paths`` (files listed directly always pass)."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    name
+                    for name in dirnames
+                    if name not in _SKIP_DIRS and not name.startswith(".")
+                )
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        yield Path(dirpath) / filename
+        else:
+            yield path
+
+
+def display_path(path: Path) -> str:
+    """Repo-relative posix path when possible — what findings and the baseline embed.
+
+    Fingerprints must be identical no matter which directory the tool is
+    invoked from, so the path is relativised against the working directory
+    when the file lives under it, and left as given otherwise.
+    """
+    resolved = path.resolve()
+    try:
+        rel = resolved.relative_to(Path.cwd().resolve())
+    except ValueError:
+        rel = path
+    return rel.as_posix()
+
+
+def check_source(
+    source: str,
+    path: str,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint one in-memory module under a virtual ``path`` (the test entry point).
+
+    ``path`` drives the location-scoped rules (RL004 only looks at the wire
+    front ends, RL005 only at ``core/`` and ``serving/``), so fixtures choose
+    it to opt in or out of a rule.
+    """
+    ctx = ModuleContext.parse(path, source)
+    active = list(rules) if rules is not None else all_rules()
+    findings: List[Finding] = []
+    for rule in active:
+        if not rule.applies_to(ctx):
+            continue
+        for finding in rule.check(ctx):
+            if not ctx.is_suppressed(finding.rule, finding.line):
+                findings.append(finding)
+    return sorted(findings, key=Finding.sort_key)
+
+
+def _lint_file(path: Path, rules: Sequence[Rule]) -> Tuple[List[Finding], Optional[str], int]:
+    """Returns ``(findings, error, num_suppressed)`` for one file."""
+    shown = display_path(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return [], f"{shown}: cannot read: {exc}", 0
+    try:
+        ctx = ModuleContext.parse(shown, source)
+    except SyntaxError as exc:
+        return [], f"{shown}: cannot parse: {exc.msg} (line {exc.lineno})", 0
+
+    findings: List[Finding] = []
+    num_suppressed = 0
+    for rule in rules:
+        if not rule.applies_to(ctx):
+            continue
+        for finding in rule.check(ctx):
+            if ctx.is_suppressed(finding.rule, finding.line):
+                num_suppressed += 1
+            else:
+                findings.append(finding)
+    return findings, None, num_suppressed
+
+
+def run_lint(
+    paths: Sequence[Union[str, Path]],
+    *,
+    rules: Optional[Sequence[Rule]] = None,
+    baseline: Optional[Iterable[str]] = None,
+) -> LintReport:
+    """Lint ``paths`` and return an un-rendered :class:`LintReport`.
+
+    ``baseline`` is an iterable (or Counter) of grandfathered fingerprints;
+    findings it absorbs are kept in the report but marked ``baselined`` and do
+    not count as new.
+    """
+    from collections import Counter
+
+    from .baseline import apply_baseline
+
+    active = list(rules) if rules is not None else all_rules()
+    report = LintReport(rules=active)
+    collected: List[Finding] = []
+    for path in iter_python_files(paths):
+        findings, error, num_suppressed = _lint_file(path, active)
+        report.num_files += 1
+        report.num_suppressed += num_suppressed
+        if error is not None:
+            report.errors.append(error)
+        collected.extend(findings)
+
+    collected.sort(key=Finding.sort_key)
+    fingerprints = Counter(baseline) if baseline is not None else Counter()
+    annotated, num_new = apply_baseline(collected, fingerprints)
+    report.findings = annotated
+    report.num_new = num_new
+    return report

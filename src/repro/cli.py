@@ -1,6 +1,6 @@
 """Command-line interface: ``repro-pll``.
 
-Five sub-commands cover the common workflows:
+Six sub-commands cover the common workflows:
 
 ``repro-pll build``
     Read an edge list, build a pruned-landmark-labeling index and save it.
@@ -14,6 +14,9 @@ Five sub-commands cover the common workflows:
 ``repro-pll experiment``
     Regenerate any of the paper's tables and figures and print them as text
     (optionally also writing CSV files).
+``repro-pll lint``
+    Run reprolint, the project-specific static-analysis suite that enforces
+    the serving stack's concurrency/lifecycle/protocol invariants.
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro._version import __version__
+from repro.analysis.cli import add_lint_arguments, run_lint_command
 
 __all__ = ["main", "build_parser"]
 
@@ -210,6 +214,17 @@ def build_parser() -> argparse.ArgumentParser:
     datasets.add_argument(
         "--size-class", choices=["small", "large"], default=None, help="filter by size"
     )
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run reprolint, the project-specific static-analysis suite",
+        description=(
+            "Check the codebase against the serving stack's concurrency, "
+            "lifecycle and protocol invariants (rules RL001-RL005); see the "
+            "README 'Static analysis' section for the catalogue."
+        ),
+    )
+    add_lint_arguments(lint)
 
     experiment = subparsers.add_parser(
         "experiment", help="regenerate one of the paper's tables or figures"
@@ -770,6 +785,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_datasets(args)
     if args.command == "experiment":
         return _command_experiment(args)
+    if args.command == "lint":
+        return run_lint_command(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

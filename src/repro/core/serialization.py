@@ -29,7 +29,7 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Callable, Dict, Optional, Tuple, Union
+from typing import Callable, Dict, Tuple, Union
 
 import numpy as np
 
@@ -301,8 +301,12 @@ def load_index(path: PathLike, *, mmap: bool = False) -> PrunedLandmarkLabeling:
                     has_kernel=FIELD_KERNEL_KEYS in backend.fields(),
                     backend=backend,
                 )
-            # Heap load from a raw file: copy the views out, drop the map.
-            arrays = {field: np.array(backend.get(field)) for field in backend.fields()}
+            # Heap load from a raw file: copy the views out (dtype-preserving
+            # — the raw layout's dtypes are the contract), drop the map.
+            arrays = {}
+            for field in backend.fields():
+                view = backend.get(field)
+                arrays[field] = np.array(view, dtype=view.dtype)
             backend.close()
             return index_from_arrays(
                 arrays.__getitem__,

@@ -10,7 +10,7 @@ registry used by the built-in synthetic stand-ins.
 from __future__ import annotations
 
 import os
-from typing import Optional, Union
+from typing import Union
 
 from repro.datasets.registry import DATASETS, DatasetSpec, load_dataset
 from repro.errors import DatasetError

@@ -22,13 +22,12 @@ almost every vertex).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import lru_cache
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 from repro.errors import DatasetError
 from repro.generators import (
-    barabasi_albert_graph,
     configuration_model_graph,
     dense_hub_graph,
     forest_fire_graph,

@@ -26,11 +26,6 @@ from repro.experiments.harness import (
     measure_method,
     run_comparison,
 )
-from repro.experiments.scaling import (
-    ScalingPoint,
-    format_scaling,
-    run_scaling,
-)
 from repro.experiments.reporting import (
     format_bytes,
     format_measurements,
@@ -38,6 +33,11 @@ from repro.experiments.reporting import (
     format_seconds,
     format_table,
     write_csv,
+)
+from repro.experiments.scaling import (
+    ScalingPoint,
+    format_scaling,
+    run_scaling,
 )
 from repro.experiments.table1 import format_table1, run_table1
 from repro.experiments.table3 import default_methods, format_table3, run_table3

@@ -18,8 +18,6 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
 from repro.baselines.landmark import LandmarkOracle
 from repro.core.index import PrunedLandmarkLabeling
 from repro.core.pruned import build_naive_labels, build_pruned_labels

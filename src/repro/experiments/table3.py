@@ -10,7 +10,7 @@ the baselines' configured limits rather than a 24-hour timeout.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.baselines.hub_labeling import HierarchicalHubLabeling
 from repro.baselines.online import BidirectionalBFSOracle, OnlineBFSOracle

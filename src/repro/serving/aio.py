@@ -79,11 +79,16 @@ from repro.serving.metrics import (
     render_prometheus_text,
 )
 from repro.serving.protocol import (
+    OP_ADD,
+    OP_PUBLISH,
+    OP_REMOVE,
     QUIT_COMMANDS,
     STATS_COMMANDS,
     TRACES_COMMAND,
     format_distance_line,
+    format_error,
     format_mutation_ack,
+    format_parse_error,
     format_publish_ack,
     is_mutation,
     normalize_command,
@@ -91,7 +96,7 @@ from repro.serving.protocol import (
     parse_pair,
 )
 from repro.serving.snapshot import SnapshotManager
-from repro.serving.tracing import StructuredLogger, TraceRecorder
+from repro.serving.tracing import StructuredLogger, Trace, TraceRecorder
 
 __all__ = ["AsyncQueryFrontend"]
 
@@ -129,7 +134,7 @@ class _AsyncRequest:
         #: queue; ``dequeued - created`` is the queue-wait stage of the trace.
         self.dequeued = self.created
         #: The request's open trace (``None`` when tracing is off).
-        self.trace = None
+        self.trace: Optional[Trace] = None
 
     def __len__(self) -> int:
         return int(self.sources.shape[0])
@@ -410,7 +415,9 @@ class AsyncQueryFrontend:
             and self._loop.time() < deadline
         ):
             await asyncio.sleep(0.01)
-        self._executor.shutdown(wait=True)
+        # Executor teardown joins its worker threads (wait=True default) —
+        # run it off-loop so a slow in-flight publish cannot stall the drain.
+        await self._loop.run_in_executor(None, self._executor.shutdown)
         if self.logger is not None:
             self.logger.event(
                 "frontend_stop", num_queries=self.metrics.num_queries
@@ -588,15 +595,15 @@ class AsyncQueryFrontend:
     def _apply_mutation_sync(
         manager: SnapshotManager, op: str, endpoints: Optional[Tuple[int, int]]
     ) -> str:
-        if op == "publish":
+        if op == OP_PUBLISH:
             snapshot = manager.publish()
             return format_publish_ack(snapshot.version)
         if endpoints is None:
             raise ValueError(f"mutation {op!r} requires edge endpoints")
         a, b = endpoints
-        if op == "add":
+        if op == OP_ADD:
             manager.insert_edge(a, b)
-        elif op == "remove":
+        elif op == OP_REMOVE:
             manager.remove_edge(a, b)
         else:
             raise ValueError(f"unknown mutation {op!r}")
@@ -825,22 +832,22 @@ class AsyncQueryFrontend:
             try:
                 op, endpoints = parse_mutation(stripped)
             except ValueError as exc:
-                return f"error: cannot parse mutation {stripped!r}; {exc}"
+                return format_parse_error("mutation", stripped, exc)
             try:
                 return await self.apply_mutation(op, endpoints)
             except (ServingError, GraphError, IndexBuildError) as exc:
-                return f"error: {exc}"
+                return format_error(exc)
         try:
             s, t = parse_pair(stripped)
         except ValueError as exc:
-            return f"error: cannot parse query {stripped!r}; {exc}"
+            return format_parse_error("query", stripped, exc)
         try:
             distance = float((await self.submit([s], [t]))[0])
         # Same client-attributable tuple as the threaded server's handler:
         # TimeoutError covers a wedged sharded worker surfacing through the
         # batch retry — answer an error line, never kill the session.
         except (AdmissionError, ServingError, VertexError, TimeoutError) as exc:
-            return f"error: {exc}"
+            return format_error(exc)
         return format_distance_line(s, t, distance)
 
     async def _handle_connection(

@@ -26,7 +26,7 @@ import math
 import threading
 import time
 from bisect import bisect_left
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -311,6 +311,19 @@ class LatencyWindow:
 
 class ServerMetrics:
     """Aggregated serving statistics, safe to update and read across threads.
+
+    Lock discipline (checked by reprolint RL001) — all mutable state belongs
+    to ``_lock``, including the two containers only ever touched through
+    method calls, which the checker cannot infer from writes:
+
+        _latencies: guarded-by _lock
+        _workers: guarded-by _lock
+
+    ``_histograms`` is deliberately *not* guarded: the dict is fully built in
+    ``__init__`` and never mutated afterwards, so the hot-path reads
+    (:attr:`has_histograms`, the :meth:`observe_stages` early-out) are safe
+    without the lock; only the ``Histogram`` objects inside it mutate, under
+    ``_lock``.
 
     Parameters
     ----------

@@ -15,11 +15,16 @@ from typing import Optional, Tuple
 
 __all__ = [
     "MAX_VERTEX_ID",
+    "OP_ADD",
+    "OP_PUBLISH",
+    "OP_REMOVE",
     "QUIT_COMMANDS",
     "STATS_COMMANDS",
     "TRACES_COMMAND",
     "format_distance_line",
+    "format_error",
     "format_mutation_ack",
+    "format_parse_error",
     "format_publish_ack",
     "is_mutation",
     "normalize_command",
@@ -29,6 +34,13 @@ __all__ = [
 
 #: Largest vertex id representable in the int64 arrays queries are built from.
 MAX_VERTEX_ID = 2**63 - 1
+
+#: Canonical mutation operation names — what :func:`parse_mutation` returns
+#: and what every front end dispatches on.  Front ends must compare against
+#: these constants, never re-spell the strings (enforced by reprolint RL004).
+OP_ADD = "add"
+OP_REMOVE = "remove"
+OP_PUBLISH = "publish"
 
 #: Session-ending command spellings (case-insensitive, whitespace-normalised).
 QUIT_COMMANDS = frozenset({"QUIT", "EXIT"})
@@ -73,11 +85,11 @@ def parse_pair(token: str) -> Tuple[int, int]:
 
 #: Accepted spellings for each mutation operation.
 _MUTATION_ALIASES = {
-    "add": "add",
-    "insert": "add",
-    "remove": "remove",
-    "delete": "remove",
-    "publish": "publish",
+    "add": OP_ADD,
+    "insert": OP_ADD,
+    "remove": OP_REMOVE,
+    "delete": OP_REMOVE,
+    "publish": OP_PUBLISH,
 }
 
 
@@ -113,7 +125,7 @@ def parse_mutation(line: str) -> Tuple[str, Optional[Tuple[int, int]]]:
         raise ValueError(
             f"unknown mutation {parts[0]!r}; expected add, remove or publish"
         )
-    if op == "publish":
+    if op == OP_PUBLISH:
         if len(parts) != 1:
             raise ValueError("publish takes no arguments")
         return op, None
@@ -134,3 +146,22 @@ def format_mutation_ack(op: str, a: int, b: int, pending: int) -> str:
 def format_publish_ack(version: int) -> str:
     """Render the acknowledgement for a published snapshot."""
     return f"ok published version={version}"
+
+
+def format_error(reason: object) -> str:
+    """Render an error reply line (``error: <reason>``).
+
+    ``reason`` is typically a caught exception; front ends must route every
+    wire error through here (or :func:`format_parse_error`) so the reply
+    shape stays identical across the stdio, threaded and asyncio surfaces.
+    """
+    return f"error: {reason}"
+
+
+def format_parse_error(kind: str, line: str, reason: object) -> str:
+    """Render the reply for an unparsable ``query``/``mutation`` line.
+
+    The offending input is echoed back ``repr``-quoted so clients (and the
+    equality tests) see exactly which bytes were rejected.
+    """
+    return f"error: cannot parse {kind} {line!r}; {reason}"

@@ -53,11 +53,16 @@ from repro.serving.cache import LRUCache, cached_query_batch
 from repro.serving.engine import BatchQueryEngine
 from repro.serving.metrics import ServerMetrics
 from repro.serving.protocol import (
+    OP_ADD,
+    OP_PUBLISH,
+    OP_REMOVE,
     QUIT_COMMANDS,
     STATS_COMMANDS,
     TRACES_COMMAND,
     format_distance_line,
+    format_error,
     format_mutation_ack,
+    format_parse_error,
     format_publish_ack,
     is_mutation,
     normalize_command,
@@ -65,7 +70,7 @@ from repro.serving.protocol import (
     parse_pair,
 )
 from repro.serving.snapshot import SnapshotManager
-from repro.serving.tracing import StructuredLogger, TraceRecorder
+from repro.serving.tracing import StructuredLogger, Trace, TraceRecorder
 
 __all__ = [
     "QueryRequest",
@@ -103,7 +108,7 @@ class QueryRequest:
         #: ``dequeued - created`` is the queue-wait stage of the trace.
         self.dequeued = self.created
         #: The request's open trace (``None`` when tracing is off).
-        self.trace = None
+        self.trace: Optional[Trace] = None
         self._done = threading.Event()
 
     def __len__(self) -> int:
@@ -399,15 +404,15 @@ class QueryServer:
         ``--mutations`` file replay.  Returns a one-line human-readable
         acknowledgement.
         """
-        if op == "publish":
+        if op == OP_PUBLISH:
             snapshot = self.publish()
             return format_publish_ack(snapshot.version)
         if endpoints is None:
             raise ValueError(f"mutation {op!r} requires edge endpoints")
         a, b = endpoints
-        if op == "add":
+        if op == OP_ADD:
             self.insert_edge(a, b)
-        elif op == "remove":
+        elif op == OP_REMOVE:
             self.remove_edge(a, b)
         else:
             raise ValueError(f"unknown mutation {op!r}")
@@ -620,7 +625,7 @@ def _handle_line(server: QueryServer, line: str) -> Optional[str]:
         try:
             op, endpoints = parse_mutation(stripped)
         except ValueError as exc:
-            return f"error: cannot parse mutation {stripped!r}; {exc}"
+            return format_parse_error("mutation", stripped, exc)
         try:
             return server.apply_mutation(op, endpoints)
         # ServingError: no writable shadow behind this server; GraphError
@@ -628,18 +633,18 @@ def _handle_line(server: QueryServer, line: str) -> Optional[str]:
         # dynamic oracle.  All client-attributable, so answer with an error
         # line instead of killing the session.
         except (ServingError, GraphError, IndexBuildError) as exc:
-            return f"error: {exc}"
+            return format_error(exc)
     try:
         s, t = parse_pair(stripped)
     except ValueError as exc:
-        return f"error: cannot parse query {stripped!r}; {exc}"
+        return format_parse_error("query", stripped, exc)
     try:
         distance = server.distance(s, t)
     # ServingError covers a stopping server and TimeoutError a saturated one
     # — client-attributable failures answer with a protocol error line, never
     # a traceback that kills the session.  Genuine engine bugs still raise.
     except (AdmissionError, ServingError, VertexError, TimeoutError) as exc:
-        return f"error: {exc}"
+        return format_error(exc)
     return format_distance_line(s, t, distance)
 
 
@@ -671,15 +676,15 @@ def replay_mutations(server: QueryServer, lines: Iterable[str]) -> dict:
         except ValueError as exc:
             raise ValueError(f"mutations line {line_number}: {exc}") from None
         server.apply_mutation(op, endpoints)
-        if op == "add":
+        if op == OP_ADD:
             counts["added"] += 1
-        elif op == "remove":
+        elif op == OP_REMOVE:
             counts["removed"] += 1
         else:
             counts["published"] += 1
     manager = server.snapshot_manager
     if manager is not None and manager.pending_updates > 0:
-        server.apply_mutation("publish")
+        server.apply_mutation(OP_PUBLISH)
         counts["published"] += 1
     return counts
 

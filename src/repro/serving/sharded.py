@@ -265,12 +265,14 @@ class ShardedQueryEngine:
     @property
     def num_respawns(self) -> int:
         """How many times the worker pool has been rebuilt after breaking."""
-        return self._num_respawns
+        with self._respawn_lock:
+            return self._num_respawns
 
     @property
     def closed(self) -> bool:
         """Whether :meth:`close` has torn the engine down."""
-        return self._closed
+        with self._respawn_lock:
+            return self._closed
 
     def _current_snapshot(self) -> IndexSnapshot:
         if self._manager is not None:
@@ -317,10 +319,13 @@ class ShardedQueryEngine:
         so a successful return always describes a healthy pool.  Intended to
         be called periodically (the async front end does) as well as ad hoc.
         """
-        if self._closed:
+        if self.closed:
             raise ServingError("sharded engine has been closed")
         for attempt in (0, 1):
-            pool = self._pool
+            # Optimistic unlocked pool grab: taking _respawn_lock here would
+            # serialise every probe behind a pool rebuild; instead a stale
+            # handle surfaces as BrokenProcessPool/RuntimeError and retries.
+            pool = self._pool  # reprolint: disable=RL001
             try:
                 futures = [
                     pool.submit(_worker_warmup, 0.02)
@@ -338,8 +343,9 @@ class ShardedQueryEngine:
                 self._respawn_pool(pool)
             except (RuntimeError, CancelledError):
                 # A concurrent caller respawned the pool underneath this
-                # probe (see query_batch); re-probe the replacement.
-                if pool is self._pool or attempt:
+                # probe (see query_batch); re-probe the replacement.  The
+                # unlocked identity check is the optimistic-retry protocol.
+                if pool is self._pool or attempt:  # reprolint: disable=RL001
                     raise
         raise AssertionError("unreachable")  # pragma: no cover
 
@@ -372,7 +378,7 @@ class ShardedQueryEngine:
         ``kernel`` span when the batch was answered inline — so a parent
         request trace shows exactly where a sharded batch spent its time.
         """
-        if self._closed:
+        if self.closed:
             raise ServingError("sharded engine has been closed")
         sources = np.atleast_1d(np.asarray(sources, dtype=np.int64))
         targets = np.atleast_1d(np.asarray(targets, dtype=np.int64))
@@ -382,7 +388,10 @@ class ShardedQueryEngine:
         num_pairs = int(sources.shape[0])
 
         for attempt in (0, 1):
-            pool = self._pool
+            # Same optimistic-retry protocol as ping(): never serialise the
+            # hot batch path behind _respawn_lock; a stale pool handle fails
+            # fast and the loop retries on the replacement.
+            pool = self._pool  # reprolint: disable=RL001
             snapshot, generation = self._acquire_snapshot()
             try:
                 validate_vertex_ids(sources, snapshot.engine.num_vertices)
@@ -428,8 +437,9 @@ class ShardedQueryEngine:
                     # Submitting to — or awaiting futures of — a pool a
                     # concurrent caller (another batch, a health ping) already
                     # shut down and respawned; retry on the replacement.  If
-                    # the pool was not replaced, the error is genuine.
-                    if pool is self._pool or attempt:
+                    # the pool was not replaced, the error is genuine.  The
+                    # unlocked identity check is the optimistic-retry protocol.
+                    if pool is self._pool or attempt:  # reprolint: disable=RL001
                         raise
                     continue
             finally:

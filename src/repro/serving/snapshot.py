@@ -242,12 +242,14 @@ class SnapshotManager:
     @property
     def writable(self) -> bool:
         """Whether the manager has (or can build) a shadow accepting insertions."""
-        return self._shadow is not None or self._shadow_factory is not None
+        with self._write_lock:
+            return self._shadow is not None or self._shadow_factory is not None
 
     @property
     def pending_updates(self) -> int:
         """Edge insertions applied to the shadow but not yet published."""
-        return self._pending_updates
+        with self._write_lock:
+            return self._pending_updates
 
     @property
     def dirty_vertex_count(self) -> int:
@@ -257,7 +259,8 @@ class SnapshotManager:
         that have not been materialised yet — the observability surface must
         never trigger the expensive shadow construction.
         """
-        shadow = self._shadow
+        with self._write_lock:
+            shadow = self._shadow
         if shadow is None:
             return 0
         return len(shadow.dirty_vertices)

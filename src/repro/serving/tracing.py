@@ -40,7 +40,7 @@ import sys
 import threading
 import time
 from collections import deque
-from typing import Dict, IO, Iterable, List, Optional
+from typing import IO, Dict, Iterable, List, Optional
 
 __all__ = [
     "Span",
@@ -209,6 +209,12 @@ class TraceRecorder:
         with self._lock:
             return self._num_recorded
 
+    @property
+    def num_slow(self) -> int:
+        """Total traces that crossed the slow threshold (monotonic)."""
+        with self._lock:
+            return self._num_slow
+
     def recent(self, limit: Optional[int] = None) -> List[Dict[str, object]]:
         """Most recent traces as dicts, newest first."""
         with self._lock:
@@ -232,7 +238,7 @@ class TraceRecorder:
         return {
             "slow_threshold_ms": self.slow_threshold_ms,
             "num_recorded": self.num_recorded,
-            "num_slow": self._num_slow,
+            "num_slow": self.num_slow,
             "recent": self.recent(limit),
             "slow": self.slow(limit),
         }

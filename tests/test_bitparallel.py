@@ -15,7 +15,6 @@ from repro.core.bitparallel import (
     select_bit_parallel_roots,
 )
 from repro.errors import IndexBuildError
-from repro.graph.csr import Graph
 from repro.graph.ordering import degree_order
 from repro.graph.traversal import UNREACHABLE, bfs_distances
 from tests.conftest import random_test_graphs

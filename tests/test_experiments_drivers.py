@@ -9,16 +9,15 @@ suite uses at full scale.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
+from repro.datasets import load_dataset
 from repro.experiments import (
     format_ablation,
-    format_scaling,
-    run_scaling,
     format_figure2,
     format_figure3,
     format_figure4,
     format_figure5,
+    format_scaling,
     format_table1,
     format_table3,
     format_table4,
@@ -30,13 +29,13 @@ from repro.experiments import (
     run_figure3,
     run_figure4,
     run_figure5,
+    run_scaling,
     run_table1,
     run_table3,
     run_table4,
     run_table5,
     theorem43_check,
 )
-from repro.datasets import load_dataset
 
 
 class TestTableDrivers:

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.graph.components import (
     component_sizes,
     connected_components,

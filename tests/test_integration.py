@@ -9,7 +9,6 @@ push the result through the experiment harness.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro import (
     DynamicPrunedLandmarkLabeling,

@@ -6,7 +6,6 @@ import asyncio
 import json
 from pathlib import Path
 
-import numpy as np
 import pytest
 
 from repro.core.index import PrunedLandmarkLabeling

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core.index import PrunedLandmarkLabeling
 from repro.core.stats import collect_index_stats, label_size_percentiles
 
