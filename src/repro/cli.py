@@ -209,6 +209,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=512,
         help="target query pairs per worker shard (multi-process mode only)",
     )
+    serve.add_argument(
+        "--kernel",
+        choices=["auto", "numpy", "narrow", "numba"],
+        default=None,
+        help=(
+            "batch-kernel backend: auto picks the fastest available "
+            "(numba > narrow > numpy); an explicit name pins it and makes a "
+            "missing backend a startup error instead of a silent fallback "
+            "(overrides the REPRO_KERNEL environment variable)"
+        ),
+    )
 
     datasets = subparsers.add_parser("datasets", help="list the built-in datasets")
     datasets.add_argument(
@@ -220,7 +231,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run reprolint, the project-specific static-analysis suite",
         description=(
             "Check the codebase against the serving stack's concurrency, "
-            "lifecycle and protocol invariants (rules RL001-RL005); see the "
+            "lifecycle and protocol invariants (rules RL001-RL006); see the "
             "README 'Static analysis' section for the catalogue."
         ),
     )
@@ -333,6 +344,26 @@ def _command_query(args: argparse.Namespace) -> int:
 
 
 def _command_serve(args: argparse.Namespace) -> int:
+    from repro.core.kernels import KernelUnavailableError, set_default_kernel
+
+    if args.kernel is None:
+        return _run_serve_command(args)
+    # Pin the batch-kernel preference for the whole serve lifetime, then put
+    # it back: tests drive main() in-process, so the module-level preference
+    # must not leak across calls.  An explicit backend name is strict — a
+    # host without that backend is a startup error, not a silent fallback.
+    try:
+        previous = set_default_kernel(args.kernel, strict=args.kernel != "auto")
+    except KernelUnavailableError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        return _run_serve_command(args)
+    finally:
+        set_default_kernel(previous)
+
+
+def _run_serve_command(args: argparse.Namespace) -> int:
     from repro.core.serialization import load_index
     from repro.errors import GraphError, ReproError, SerializationError
     from repro.graph.io import read_edge_list
@@ -446,7 +477,9 @@ def _command_serve(args: argparse.Namespace) -> int:
                 logger=logger.child("sharded") if logger is not None else None,
             )
         backend = engine if engine is not None else manager
+        kernel_info = manager.current.engine.kernel_info()
         if logger is not None:
+            logger.event("kernel_selected", **kernel_info)
             logger.event(
                 "serve_start",
                 source=source,
@@ -457,13 +490,15 @@ def _command_serve(args: argparse.Namespace) -> int:
                 writable=manager.writable,
                 frontend="async" if args.use_async else "threaded",
                 slow_ms=args.slow_ms,
+                kernel=kernel_info["selected"],
             )
         else:
             print(
                 f"serving {manager.current.engine.num_vertices} vertices from {source} "
                 f"(cache={args.cache_size}, batch={args.batch_size}, "
                 f"workers={args.workers}, writable={manager.writable}, "
-                f"frontend={'async' if args.use_async else 'threaded'})",
+                f"frontend={'async' if args.use_async else 'threaded'}, "
+                f"kernel={kernel_info['selected']})",
                 file=sys.stderr,
             )
         if args.warm is not None:

@@ -51,6 +51,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tup
 import numpy as np
 
 from repro.core.index import PrunedLandmarkLabeling
+from repro.core.kernels import select_kernel
 from repro.core.labels import LabelSet
 from repro.core.query import BatchQueryKernel
 from repro.core.storage import ArrayBackend
@@ -147,6 +148,10 @@ class DynamicPrunedLandmarkLabeling:
         self._temp_np = np.full(n, _TEMP_INF, dtype=np.int64)
         self._attached_root: Optional[int] = None
         self._np_touched: Optional[np.ndarray] = None
+        # Kernel backend class for the batched rooted probes of the repair
+        # path; re-selected per build so the process preference (``--kernel``
+        # / ``REPRO_KERNEL``) applies to mutations too.
+        self._probe_kernel = select_kernel()
         return self
 
     @property
@@ -249,7 +254,6 @@ class DynamicPrunedLandmarkLabeling:
             rooted_query = self._rooted_query
             return [rooted_query(vertex, max_rank) for vertex in vertices]
         sizes = np.fromiter(map(len, hub_lists), dtype=np.int64, count=count)
-        result = np.full(count, _TEMP_INF, dtype=np.int64)
         if self._np_touched is None:
             # First batch evaluation under this attach: mirror the root's
             # label into the numpy temp (one C-speed scatter).
@@ -270,19 +274,14 @@ class DynamicPrunedLandmarkLabeling:
             dtype=np.int64,
             count=total,
         )
-        contributions = flat_dists + self._temp_np[flat_hubs]
-        # Out-of-rank hubs and missing common hubs both collapse onto the
-        # sentinel so reduceat minima read "no qualifying hub" directly.
-        contributions = np.minimum(contributions, _TEMP_INF)
-        contributions[flat_hubs > max_rank] = _TEMP_INF
         starts = np.zeros(count, dtype=np.int64)
         np.cumsum(sizes[:-1], out=starts[1:])
-        # Empty label segments are excluded from the reduceat index list
-        # entirely (clipping would truncate the preceding window).
-        nonempty = sizes > 0
-        minima = np.minimum.reduceat(contributions, starts[nonempty])
-        result[np.flatnonzero(nonempty)] = minima
-        return result
+        # The segmented minimum itself runs on the selected kernel backend
+        # (numpy baseline, or the compiled loop when numba is available);
+        # every backend returns exactly _TEMP_INF where no hub qualifies.
+        return self._probe_kernel.rooted_probe(
+            flat_hubs, flat_dists, starts, sizes, self._temp_np, max_rank, _TEMP_INF
+        )
 
     def _query_prefix(self, s: int, t: int, max_rank: int) -> float:
         """Minimum label distance using only hubs of rank ``<= max_rank``."""

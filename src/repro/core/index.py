@@ -267,7 +267,10 @@ class PrunedLandmarkLabeling:
             ``float64`` exact distances (``inf`` for disconnected pairs).
         """
         self._require_built()
-        normal = self._labels.query_one_to_many(source, targets)
+        # Routed through the pluggable kernel layer (numpy baseline, narrow
+        # dtypes, or numba JIT — byte-identical); the kernel applies no
+        # source-zeroing, which happens below after the bit-parallel fold.
+        normal = self.prepare_batch_kernel().query_one_to_many(source, targets)
         if self._bit_parallel is not None and not self._bit_parallel.empty():
             target_array = (
                 None if targets is None else np.asarray(list(targets), dtype=np.int64)

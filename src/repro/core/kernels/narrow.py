@@ -1,0 +1,281 @@
+"""Cache-friendly narrow-dtype kernel (uint32 keys, uint8 distances).
+
+The baseline kernel's memory traffic is dominated by the ``int64`` key array
+it binary-searches and the ``float64``-width temporaries it sums into.  When
+the frozen index is small enough — ``n**2`` keys fit ``uint32`` and the
+diameter fits ``uint8`` (:data:`~repro.core.kernels.base.NARROW_MAX_DISTANCE`)
+— the same merge-join runs over arrays a quarter the width, which roughly
+quadruples the useful work per cache line.  The decision is made once per
+generation at ``freeze()`` time (:func:`~repro.core.kernels.base.plan_dtypes`)
+and recorded in the layout metadata, so attaching workers reuse the stored
+narrow arrays instead of re-deriving them.
+
+Two derived layouts are kept alongside the wide label arrays:
+
+* vertex-major: ``kernel_keys32`` / ``kernel_dists8`` — the narrow twins of
+  the ``int64`` key array and ``uint16`` distance array, used by the
+  pair merge-join (searchsorted) and the subset one-to-many evaluator.
+* hub-major: ``kernel_hub_indptr`` / ``kernel_hub_owners`` /
+  ``kernel_hub_dists8`` — every label entry regrouped by hub rank, so the
+  full one-to-many scan walks one contiguous block per source hub instead
+  of scattering through a rank-indexed temporary per target entry.
+
+All results are byte-identical to :class:`~repro.core.kernels.numpy_kernel.
+NumpyKernel`: the narrow sums are exact small integers, converted to the
+same ``float64`` values at the end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.kernels.base import (
+    CAP_NARROW_LAYOUT,
+    CAP_ONE_TO_MANY,
+    CAP_QUERY_PAIRS,
+    CAP_ROOTED_PROBE,
+    KernelData,
+    KernelUnavailableError,
+)
+from repro.core.kernels.numpy_kernel import NumpyKernel
+
+__all__ = [
+    "NarrowKernel",
+    "derive_narrow_fields",
+    "derive_hub_major_fields",
+    "FIELD_KERNEL_KEYS32",
+    "FIELD_KERNEL_DISTS8",
+    "FIELD_KERNEL_HUB_INDPTR",
+    "FIELD_KERNEL_HUB_OWNERS",
+    "FIELD_KERNEL_HUB_DISTS8",
+    "NARROW_FIELDS",
+]
+
+#: Backend field names of the narrow-layout arrays (shared with the raw and
+#: shared-memory snapshot exports; see :mod:`repro.core.storage`).
+FIELD_KERNEL_KEYS32 = "kernel_keys32"
+FIELD_KERNEL_DISTS8 = "kernel_dists8"
+FIELD_KERNEL_HUB_INDPTR = "kernel_hub_indptr"
+FIELD_KERNEL_HUB_OWNERS = "kernel_hub_owners"
+FIELD_KERNEL_HUB_DISTS8 = "kernel_hub_dists8"
+
+#: All narrow-layout field names, in storage order.
+NARROW_FIELDS = (
+    FIELD_KERNEL_KEYS32,
+    FIELD_KERNEL_DISTS8,
+    FIELD_KERNEL_HUB_INDPTR,
+    FIELD_KERNEL_HUB_OWNERS,
+    FIELD_KERNEL_HUB_DISTS8,
+)
+
+#: "No common hub" sentinel for narrow uint16 sums; real sums are bounded by
+#: ``2 * NARROW_MAX_DISTANCE = 508``.
+_NO_HUB_16 = np.uint16(np.iinfo(np.uint16).max)
+
+#: "Hub absent from the source label" sentinel for the uint16 scatter
+#: temporary: large enough to dominate every real sum, small enough that
+#: ``sentinel + NARROW_MAX_DISTANCE`` cannot wrap uint16 (0xFE00 + 254 < 2**16).
+_TEMP_SENTINEL_16 = np.uint16(0xFE00)
+
+
+def derive_vertex_major_fields(
+    keys: np.ndarray, dists: np.ndarray
+) -> Dict[str, np.ndarray]:
+    """Narrow twins of the vertex-major key/distance arrays (cheap astype)."""
+    return {
+        FIELD_KERNEL_KEYS32: keys.astype(np.uint32),
+        FIELD_KERNEL_DISTS8: dists.astype(np.uint8),
+    }
+
+
+def derive_hub_major_fields(
+    keys: np.ndarray,
+    hub_ranks: np.ndarray,
+    dists: np.ndarray,
+    stride: int,
+    num_vertices: int,
+) -> Dict[str, np.ndarray]:
+    """Regroup every label entry by hub rank into contiguous blocks.
+
+    A stable argsort on hub rank keeps owners ascending within each hub
+    block (entries are vertex-major on input), which makes the per-hub
+    scatter in :meth:`NarrowKernel.query_one_to_many` a gather over an
+    increasing index — the cache-friendly direction.
+    """
+    perm = np.argsort(hub_ranks, kind="stable")
+    hub_owners = (keys[perm] // np.int64(max(stride, 1))).astype(np.uint32)
+    hub_dists8 = dists.astype(np.uint8)[perm]
+    counts = np.bincount(hub_ranks, minlength=num_vertices)
+    hub_indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+    np.cumsum(counts, out=hub_indptr[1:])
+    return {
+        FIELD_KERNEL_HUB_INDPTR: hub_indptr,
+        FIELD_KERNEL_HUB_OWNERS: hub_owners,
+        FIELD_KERNEL_HUB_DISTS8: hub_dists8,
+    }
+
+
+def derive_narrow_fields(
+    keys: np.ndarray,
+    hub_ranks: np.ndarray,
+    dists: np.ndarray,
+    stride: int,
+    num_vertices: int,
+) -> Dict[str, np.ndarray]:
+    """All five narrow-layout arrays, ready to store alongside a generation."""
+    fields = derive_vertex_major_fields(keys, dists)
+    fields.update(
+        derive_hub_major_fields(keys, hub_ranks, dists, stride, num_vertices)
+    )
+    return fields
+
+
+class NarrowKernel(NumpyKernel):
+    """Narrow-dtype numpy kernel (inherits the baseline rooted probe)."""
+
+    name = "narrow"
+    capabilities = frozenset(
+        {CAP_QUERY_PAIRS, CAP_ONE_TO_MANY, CAP_ROOTED_PROBE, CAP_NARROW_LAYOUT}
+    )
+    priority = 10
+
+    @classmethod
+    def supports(cls, data: KernelData) -> bool:
+        """Narrow layout requires the per-generation dtype plan to allow it."""
+        return data.plan.narrow
+
+    def __init__(self, data: KernelData) -> None:
+        if not data.plan.narrow:
+            raise KernelUnavailableError(
+                "kernel 'narrow' requires a narrow dtype plan "
+                f"(max label distance {data.plan.max_distance} with "
+                f"{data.num_vertices} vertices does not fit uint8/uint32)"
+            )
+        super().__init__(data)
+        # Stored generations carry the narrow arrays (they are part of the
+        # per-generation layout); heap-built kernels derive the cheap
+        # vertex-major twins eagerly and the hub-major regrouping lazily on
+        # first full one-to-many scan (it costs an O(E log E) argsort).
+        if FIELD_KERNEL_KEYS32 not in data.narrow:
+            data.narrow.update(derive_vertex_major_fields(data.keys, data.dists))
+        self._keys32 = data.narrow[FIELD_KERNEL_KEYS32]
+        self._dists8 = data.narrow[FIELD_KERNEL_DISTS8]
+
+    def _hub_major(self) -> Dict[str, np.ndarray]:
+        """The hub-major arrays, deriving (idempotently) on first use."""
+        data = self._data
+        if FIELD_KERNEL_HUB_INDPTR not in data.narrow:
+            data.narrow.update(
+                derive_hub_major_fields(
+                    data.keys,
+                    data.hub_ranks,
+                    data.dists,
+                    int(data.stride),
+                    data.num_vertices,
+                )
+            )
+        return data.narrow
+
+    def query_pairs(self, sources: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Same merge-join as the baseline, over quarter-width arrays."""
+        data = self._data
+        sources = np.asarray(sources, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        if sources.shape != targets.shape:
+            raise ValueError("sources and targets must have the same length")
+        num_pairs = sources.shape[0]
+        result = np.full(num_pairs, np.inf, dtype=np.float64)
+        if num_pairs == 0:
+            return result
+
+        swap = data.sizes[targets] < data.sizes[sources]
+        probe_side = np.where(swap, sources, targets)
+        enum_side = np.where(swap, targets, sources)
+        enum_sizes = data.sizes[enum_side]
+        total = int(enum_sizes.sum())
+        if total == 0:
+            return result
+
+        group_starts = np.concatenate(([0], np.cumsum(enum_sizes)[:-1]))
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(group_starts, enum_sizes)
+        flat = np.repeat(data.indptr[enum_side], enum_sizes) + offsets
+        # uint16 sums cannot wrap: the narrow plan bounds each distance by
+        # NARROW_MAX_DISTANCE, so sums stay <= 508.
+        enum_dists = self._dists8[flat].astype(np.uint16)
+
+        # uint32 key arithmetic cannot wrap either: the plan guarantees
+        # owner * stride + hub_rank <= n**2 - 1 <= 2**32 - 1.
+        probe_keys = np.repeat(probe_side.astype(np.uint32), enum_sizes) * np.uint32(
+            data.stride
+        ) + data.hub_ranks[flat].astype(np.uint32)
+        positions = np.searchsorted(self._keys32, probe_keys)
+        positions = np.minimum(positions, self._keys32.shape[0] - 1)
+        matched = self._keys32[positions] == probe_keys
+        sums = np.where(matched, enum_dists + self._dists8[positions], _NO_HUB_16)
+
+        nonempty = enum_sizes > 0
+        minima = np.minimum.reduceat(sums, group_starts[nonempty])
+        found = minima < _NO_HUB_16
+        targets_of = np.flatnonzero(nonempty)[found]
+        result[targets_of] = minima[found].astype(np.float64)
+        return result
+
+    def query_one_to_many(
+        self, source: int, targets: Optional[Sequence[int]] = None
+    ) -> np.ndarray:
+        """Hub-major scan for full fan-out; narrow scatter for target subsets."""
+        data = self._data
+        s0, s1 = data.indptr[source], data.indptr[source + 1]
+        source_hubs = data.hub_ranks[s0:s1]
+        source_dists8 = self._dists8[s0:s1]
+
+        if targets is None:
+            # One contiguous block per source hub: every vertex whose label
+            # contains that hub is updated with a single gather/scatter over
+            # ascending owner ids.  Total work is sum over source hubs of the
+            # hub's block size — the same entry count the baseline touches,
+            # but sequentially instead of through a rank-indexed temporary.
+            narrow = self._hub_major()
+            hub_indptr = narrow[FIELD_KERNEL_HUB_INDPTR]
+            hub_owners = narrow[FIELD_KERNEL_HUB_OWNERS]
+            hub_dists8 = narrow[FIELD_KERNEL_HUB_DISTS8]
+            best16 = np.full(data.num_vertices, _NO_HUB_16, dtype=np.uint16)
+            for hub_rank, source_dist in zip(source_hubs, source_dists8):
+                b0, b1 = hub_indptr[hub_rank], hub_indptr[hub_rank + 1]
+                owners = hub_owners[b0:b1]
+                # Owners are unique within one hub block, so the fancy-index
+                # minimum cannot lose concurrent updates.
+                best16[owners] = np.minimum(
+                    best16[owners], hub_dists8[b0:b1] + np.uint16(source_dist)
+                )
+            result = np.full(data.num_vertices, np.inf, dtype=np.float64)
+            found = best16 < _NO_HUB_16
+            result[found] = best16[found].astype(np.float64)
+            return result
+
+        # Subset path: the baseline's scatter-and-gather with a uint16
+        # temporary instead of float64 — same exact integer minima.
+        temp16 = np.full(data.num_vertices, _TEMP_SENTINEL_16, dtype=np.uint16)
+        temp16[source_hubs] = source_dists8
+        target_array = np.asarray(list(targets), dtype=np.int64)
+        sizes = data.sizes[target_array]
+        total = int(sizes.sum())
+        starts = np.zeros(sizes.shape[0], dtype=np.int64)
+        np.cumsum(sizes[:-1], out=starts[1:])
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(starts, sizes)
+        flat = np.repeat(data.indptr[target_array], sizes) + offsets
+        flat_hubs = data.hub_ranks[flat]
+
+        if flat_hubs.shape[0] == 0:
+            return np.full(sizes.shape[0], np.inf, dtype=np.float64)
+
+        contributions = self._dists8[flat].astype(np.uint16) + temp16[flat_hubs]
+        nonempty = sizes > 0
+        minima = np.minimum.reduceat(contributions, starts[nonempty])
+        result = np.full(sizes.shape[0], np.inf, dtype=np.float64)
+        found = minima < _TEMP_SENTINEL_16
+        positions_of = np.flatnonzero(nonempty)[found]
+        result[positions_of] = minima[found].astype(np.float64)
+        return result

@@ -1,0 +1,232 @@
+"""Optional numba-JIT kernel (guarded import, publish-time warm-up compile).
+
+numba is an optional dependency (``pip install repro-pll[accel]``); this
+module must import cleanly without it, so the import is guarded and
+:meth:`NumbaKernel.available` reports the outcome.  The compiled loops are
+plain nopython-compatible Python functions: without numba the undecorated
+functions still run (slowly) under the interpreter, which is how the loop
+*logic* stays unit-testable in numba-free CI.
+
+Compilation happens in :meth:`NumbaKernel.__init__` via a warm-up pass over
+tiny synthetic batches, i.e. at publish/build time — first request batches
+never pay JIT latency.  Any compile failure raises out of the constructor,
+which the selector catches and converts into a logged numpy fallback.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.kernels.base import (
+    CAP_JIT,
+    CAP_ONE_TO_MANY,
+    CAP_QUERY_PAIRS,
+    CAP_ROOTED_PROBE,
+    KernelData,
+    KernelUnavailableError,
+)
+from repro.core.kernels.numpy_kernel import NumpyKernel
+
+__all__ = ["NumbaKernel", "numba_installed"]
+
+try:  # pragma: no cover - exercised only on the numba CI leg
+    from numba import njit as _njit
+
+    _HAVE_NUMBA = True
+except Exception:  # pragma: no cover - ImportError in the common case
+    _HAVE_NUMBA = False
+
+    def _njit(*args, **kwargs) -> Callable:
+        """No-op stand-in so the loop functions below stay importable."""
+        if args and callable(args[0]):
+            return args[0]
+
+        def wrap(fn: Callable) -> Callable:
+            return fn
+
+        return wrap
+
+
+def numba_installed() -> bool:
+    """Whether the numba import succeeded in this process."""
+    return _HAVE_NUMBA
+
+
+#: "No common hub" sentinel for the compiled loops; far above any reachable
+#: label sum, far below int64 overflow even after adding two distances.
+_JIT_NO_HUB = np.int64(1) << np.int64(40)
+
+
+@_njit(cache=False)
+def _query_pairs_loop(indptr, hubs, dists, sources, targets, out):
+    """Two-pointer merge join per pair (the paper's Section 4.5 scan)."""
+    sentinel = np.int64(1) << np.int64(40)
+    for p in range(sources.shape[0]):
+        s = sources[p]
+        t = targets[p]
+        i = indptr[s]
+        i_end = indptr[s + 1]
+        j = indptr[t]
+        j_end = indptr[t + 1]
+        best = sentinel
+        while i < i_end and j < j_end:
+            hub_s = hubs[i]
+            hub_t = hubs[j]
+            if hub_s == hub_t:
+                candidate = np.int64(dists[i]) + np.int64(dists[j])
+                if candidate < best:
+                    best = candidate
+                i += 1
+                j += 1
+            elif hub_s < hub_t:
+                i += 1
+            else:
+                j += 1
+        out[p] = best
+
+
+@_njit(cache=False)
+def _one_to_many_loop(indptr, hubs, dists, temp, target_ids, out):
+    """Per-target label scan against a rank-indexed source-label temporary."""
+    sentinel = np.int64(1) << np.int64(40)
+    for p in range(target_ids.shape[0]):
+        t = target_ids[p]
+        best = sentinel
+        for k in range(indptr[t], indptr[t + 1]):
+            candidate = np.int64(dists[k]) + temp[hubs[k]]
+            if candidate < best:
+                best = candidate
+        out[p] = best
+
+
+@_njit(cache=False)
+def _rooted_probe_loop(flat_hubs, flat_dists, starts, sizes, temp, max_rank, sentinel, out):
+    """Segmented rooted evaluator with rank cutoff (early break: labels are
+    rank-sorted within each vertex, so the first out-of-rank hub ends the
+    segment's qualifying prefix)."""
+    for p in range(sizes.shape[0]):
+        best = sentinel
+        for k in range(starts[p], starts[p] + sizes[p]):
+            hub = flat_hubs[k]
+            if hub > max_rank:
+                break
+            candidate = flat_dists[k] + temp[hub]
+            if candidate < best:
+                best = candidate
+        out[p] = best
+
+
+#: Set after the first rooted-probe JIT failure so subsequent repair BFSs go
+#: straight to the numpy fallback instead of re-raising per batch.
+_probe_broken = False
+
+
+class NumbaKernel(NumpyKernel):
+    """JIT-compiled merge-join kernel; byte-identical to the numpy baseline."""
+
+    name = "numba"
+    capabilities = frozenset(
+        {CAP_QUERY_PAIRS, CAP_ONE_TO_MANY, CAP_ROOTED_PROBE, CAP_JIT}
+    )
+    priority = 20
+
+    @classmethod
+    def available(cls) -> bool:
+        return _HAVE_NUMBA
+
+    def __init__(self, data: KernelData) -> None:
+        if not _HAVE_NUMBA:
+            raise KernelUnavailableError(
+                "kernel 'numba' requires the numba package "
+                "(pip install repro-pll[accel])"
+            )
+        super().__init__(data)
+        self._warm_up()
+
+    def _warm_up(self) -> None:
+        """Force-compile every loop at construction (publish) time.
+
+        Calls each compiled function once with the exact dtypes the serving
+        path uses, so the specialisations exist before the first request
+        batch.  A compile failure propagates out of ``__init__`` and turns
+        into a selector fallback.
+        """
+        data = self._data
+        if data.num_vertices == 0:
+            return
+        one = np.zeros(1, dtype=np.int64)
+        out = np.empty(1, dtype=np.int64)
+        _query_pairs_loop(data.indptr, data.hub_ranks, data.dists, one, one, out)
+        temp = np.full(data.num_vertices, _JIT_NO_HUB, dtype=np.int64)
+        _one_to_many_loop(data.indptr, data.hub_ranks, data.dists, temp, one, out)
+        _rooted_probe_loop(
+            np.zeros(1, dtype=np.int64),
+            np.zeros(1, dtype=np.int64),
+            one,
+            np.ones(1, dtype=np.int64),
+            np.full(1, _JIT_NO_HUB, dtype=np.int64),
+            0,
+            _JIT_NO_HUB,
+            out,
+        )
+
+    def query_pairs(self, sources: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        data = self._data
+        sources = np.asarray(sources, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        if sources.shape != targets.shape:
+            raise ValueError("sources and targets must have the same length")
+        out = np.empty(sources.shape[0], dtype=np.int64)
+        _query_pairs_loop(data.indptr, data.hub_ranks, data.dists, sources, targets, out)
+        result = np.full(out.shape[0], np.inf, dtype=np.float64)
+        found = out < _JIT_NO_HUB
+        result[found] = out[found].astype(np.float64)
+        return result
+
+    def query_one_to_many(
+        self, source: int, targets: Optional[Sequence[int]] = None
+    ) -> np.ndarray:
+        data = self._data
+        s0, s1 = data.indptr[source], data.indptr[source + 1]
+        temp = np.full(data.num_vertices, _JIT_NO_HUB, dtype=np.int64)
+        temp[data.hub_ranks[s0:s1]] = data.dists[s0:s1]
+        if targets is None:
+            target_ids = np.arange(data.num_vertices, dtype=np.int64)
+        else:
+            target_ids = np.asarray(list(targets), dtype=np.int64)
+        out = np.empty(target_ids.shape[0], dtype=np.int64)
+        _one_to_many_loop(data.indptr, data.hub_ranks, data.dists, temp, target_ids, out)
+        result = np.full(out.shape[0], np.inf, dtype=np.float64)
+        found = out < _JIT_NO_HUB
+        result[found] = out[found].astype(np.float64)
+        return result
+
+    @classmethod
+    def rooted_probe(
+        cls,
+        flat_hubs: np.ndarray,
+        flat_dists: np.ndarray,
+        starts: np.ndarray,
+        sizes: np.ndarray,
+        temp: np.ndarray,
+        max_rank: int,
+        sentinel: int,
+    ) -> np.ndarray:
+        global _probe_broken
+        if not _HAVE_NUMBA or _probe_broken:
+            return NumpyKernel.rooted_probe(
+                flat_hubs, flat_dists, starts, sizes, temp, max_rank, sentinel
+            )
+        out = np.empty(sizes.shape[0], dtype=np.int64)
+        try:
+            _rooted_probe_loop(
+                flat_hubs, flat_dists, starts, sizes, temp, max_rank, sentinel, out
+            )
+        except Exception:
+            _probe_broken = True
+            return NumpyKernel.rooted_probe(
+                flat_hubs, flat_dists, starts, sizes, temp, max_rank, sentinel
+            )
+        return out

@@ -1,0 +1,168 @@
+"""The always-available numpy baseline kernel.
+
+This is the exact code that lived in ``BatchQueryKernel.query_pairs``,
+``LabelSet.query_one_to_many`` and the dynamic oracle's vectorised rooted
+probe before the kernel seam existed, extracted verbatim so that every other
+backend has a byte-identical reference to match.  Nothing here may change
+behaviour: the whole kernel layer's correctness story is "identical to the
+numpy baseline, which is identical to the pre-kernel code".
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.kernels.base import (
+    CAP_ONE_TO_MANY,
+    CAP_QUERY_PAIRS,
+    CAP_ROOTED_PROBE,
+    KernelBackend,
+)
+
+__all__ = ["NumpyKernel", "NO_HUB"]
+
+#: Sentinel for "no common hub" in pair sums; far above any reachable label
+#: sum (which is bounded by ``2 * INF_DISTANCE``).
+NO_HUB = np.int64(np.iinfo(np.int64).max // 4)
+
+
+class NumpyKernel(KernelBackend):
+    """Pure-numpy batch kernel: the portable baseline every backend must match."""
+
+    name = "numpy"
+    capabilities = frozenset({CAP_QUERY_PAIRS, CAP_ONE_TO_MANY, CAP_ROOTED_PROBE})
+    priority = 0
+
+    def query_pairs(self, sources: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Label distances for aligned ``sources[i], targets[i]`` pairs.
+
+        Returns a ``float64`` array (``inf`` where no common hub exists).
+        Inputs must be in-range vertex ids; callers validate.
+        """
+        data = self._data
+        sources = np.asarray(sources, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        if sources.shape != targets.shape:
+            raise ValueError("sources and targets must have the same length")
+        num_pairs = sources.shape[0]
+        result = np.full(num_pairs, np.inf, dtype=np.float64)
+        if num_pairs == 0:
+            return result
+
+        # Enumerate the smaller label of each pair, probe the larger one.
+        swap = data.sizes[targets] < data.sizes[sources]
+        probe_side = np.where(swap, sources, targets)
+        enum_side = np.where(swap, targets, sources)
+        enum_sizes = data.sizes[enum_side]
+        total = int(enum_sizes.sum())
+        if total == 0:
+            return result
+
+        # Ragged gather of every label entry of the enumerated endpoints.
+        group_starts = np.concatenate(([0], np.cumsum(enum_sizes)[:-1]))
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(group_starts, enum_sizes)
+        flat = np.repeat(data.indptr[enum_side], enum_sizes) + offsets
+        # Upcast here so the uint16 label distances cannot wrap when summed.
+        enum_dists = data.dists[flat].astype(np.int64)
+
+        # One binary search per entry against the probe endpoint's label.
+        probe_keys = (
+            np.repeat(probe_side, enum_sizes) * data.stride + data.hub_ranks[flat]
+        )
+        positions = np.searchsorted(data.keys, probe_keys)
+        positions = np.minimum(positions, data.keys.shape[0] - 1)
+        matched = data.keys[positions] == probe_keys
+        sums = np.where(matched, enum_dists + data.dists[positions], NO_HUB)
+
+        # Per-pair minima.  Empty groups are excluded from the reduceat index
+        # list entirely: clipping them into range would silently truncate the
+        # preceding group's reduce window (reduceat windows end at the next
+        # index, whatever group it belongs to).
+        nonempty = enum_sizes > 0
+        minima = np.minimum.reduceat(sums, group_starts[nonempty])
+        found = minima < NO_HUB
+        targets_of = np.flatnonzero(nonempty)[found]
+        result[targets_of] = minima[found].astype(np.float64)
+        return result
+
+    def query_one_to_many(
+        self, source: int, targets: Optional[Sequence[int]] = None
+    ) -> np.ndarray:
+        """Distances from one source to many targets in one vectorised pass.
+
+        The query-time analogue of the construction-time "targeted" evaluator
+        (paper Section 4.5.1): the source's label is scattered into a
+        rank-indexed array once, after which every label entry of every
+        target contributes via flat numpy operations.  Matches
+        :meth:`LabelSet.query_one_to_many` numerics exactly; the
+        ``source == target`` zeroing is the caller's business.
+        """
+        data = self._data
+        s0, s1 = data.indptr[source], data.indptr[source + 1]
+        source_hubs = data.hub_ranks[s0:s1]
+        source_dists = data.dists[s0:s1]
+        num_ranks = data.num_vertices
+        temp = np.full(num_ranks, np.inf, dtype=np.float64)
+        temp[source_hubs] = source_dists
+
+        if targets is None:
+            flat_hubs = data.hub_ranks
+            flat_dists = data.dists
+            sizes = data.sizes
+            starts = data.indptr[:-1]
+        else:
+            target_array = np.asarray(list(targets), dtype=np.int64)
+            sizes = data.sizes[target_array]
+            total = int(sizes.sum())
+            # Ragged gather of the target labels (same construction as the
+            # pair kernel; elementwise identical to a per-target copy loop).
+            starts = np.zeros(sizes.shape[0], dtype=np.int64)
+            np.cumsum(sizes[:-1], out=starts[1:])
+            offsets = np.arange(total, dtype=np.int64) - np.repeat(starts, sizes)
+            flat = np.repeat(data.indptr[target_array], sizes) + offsets
+            flat_hubs = data.hub_ranks[flat]
+            flat_dists = data.dists[flat]
+
+        if flat_hubs.shape[0] == 0:
+            return np.full(sizes.shape[0], np.inf, dtype=np.float64)
+
+        contributions = flat_dists.astype(np.float64) + temp[flat_hubs]
+        # Per-target minimum via reduceat.  Empty label segments are excluded
+        # from the index list entirely: clipping their starts into range would
+        # truncate the reduce window of the last non-empty segment (reduceat
+        # windows end at the next index, whatever segment it belongs to).
+        nonempty = sizes > 0
+        minima = np.minimum.reduceat(contributions, starts[nonempty])
+        result = np.full(sizes.shape[0], np.inf, dtype=np.float64)
+        result[np.flatnonzero(nonempty)] = minima
+        return result
+
+    @classmethod
+    def rooted_probe(
+        cls,
+        flat_hubs: np.ndarray,
+        flat_dists: np.ndarray,
+        starts: np.ndarray,
+        sizes: np.ndarray,
+        temp: np.ndarray,
+        max_rank: int,
+        sentinel: int,
+    ) -> np.ndarray:
+        """Batched rooted evaluator over an attached root (Section 4.5.1)."""
+        count = sizes.shape[0]
+        result = np.full(count, sentinel, dtype=np.int64)
+        if flat_hubs.shape[0] == 0:
+            return result
+        contributions = flat_dists + temp[flat_hubs]
+        # Out-of-rank hubs and missing common hubs both collapse onto the
+        # sentinel so reduceat minima read "no qualifying hub" directly.
+        contributions = np.minimum(contributions, sentinel)
+        contributions[flat_hubs > max_rank] = sentinel
+        # Empty label segments are excluded from the reduceat index list
+        # entirely (clipping would truncate the preceding window).
+        nonempty = sizes > 0
+        minima = np.minimum.reduceat(contributions, starts[nonempty])
+        result[np.flatnonzero(nonempty)] = minima
+        return result

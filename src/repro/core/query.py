@@ -21,10 +21,13 @@ Three kernels are provided, mirroring Section 4.5 of the paper:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.core.kernels import DtypePlan, KernelData, KernelSelection, create_kernel
+from repro.core.kernels import plan_dtypes as _plan_dtypes
+from repro.core.kernels.narrow import NARROW_FIELDS, derive_narrow_fields
 from repro.core.labels import INF_DISTANCE, LabelAccumulator, LabelSet
 from repro.core.storage import ArrayBackend
 
@@ -157,11 +160,6 @@ class RootedQueryEvaluator:
         return False
 
 
-#: Sentinel used inside :class:`BatchQueryKernel` for "no common hub"; far
-#: above any reachable label sum (which is bounded by ``2 * INF_DISTANCE``).
-_NO_HUB = np.int64(np.iinfo(np.int64).max // 4)
-
-
 class BatchQueryKernel:
     """Vectorised evaluator answering many independent ``(s, t)`` pairs per call.
 
@@ -185,12 +183,31 @@ class BatchQueryKernel:
     Results are identical to :meth:`LabelSet.query` (``inf`` when the labels
     share no hub; the ``s == t`` short-circuit is the caller's business, as it
     is for the scalar kernels).
+
+    Execution is delegated to a pluggable :class:`~repro.core.kernels.base.
+    KernelBackend` (numpy baseline / narrow-dtype / numba-JIT) chosen by
+    :func:`repro.core.kernels.create_kernel` at construction time; all
+    backends are byte-identical, so the delegation is invisible on the wire.
     """
 
-    __slots__ = ("_keys", "_entry_dists", "_indptr", "_hub_ranks", "_sizes", "_stride")
+    __slots__ = (
+        "_keys",
+        "_entry_dists",
+        "_indptr",
+        "_hub_ranks",
+        "_sizes",
+        "_stride",
+        "_plan",
+        "_impl",
+        "_selection",
+    )
 
     def __init__(
-        self, labels: LabelSet, *, backend: Optional[ArrayBackend] = None
+        self,
+        labels: LabelSet,
+        *,
+        backend: Optional[ArrayBackend] = None,
+        preference: Optional[str] = None,
     ) -> None:
         num_vertices = labels.num_vertices
         sizes = np.asarray(labels.label_sizes(), dtype=np.int64)
@@ -209,16 +226,71 @@ class BatchQueryKernel:
         self._entry_dists = labels.distances
         self._indptr = labels.indptr
         self._sizes = sizes
+        self._finish(backend=backend, preference=preference)
+
+    def _finish(
+        self,
+        *,
+        backend: Optional[ArrayBackend] = None,
+        plan: Optional[DtypePlan] = None,
+        narrow_fields: Optional[Mapping[str, np.ndarray]] = None,
+        preference: Optional[str] = None,
+    ) -> None:
+        """Decide the dtype plan, stage narrow arrays, select the backend.
+
+        Called by every construction path after the wide arrays are in
+        place.  ``plan`` and ``narrow_fields`` come from a stored generation
+        on the attach path (the publishing process's decision is reused);
+        otherwise the plan is derived here, and — when publishing onto a
+        storage ``backend`` — the narrow arrays are derived and stored so
+        that attaching workers get them for free.
+        """
+        if plan is None:
+            plan = _plan_dtypes(self.num_vertices, self._entry_dists)
+        narrow: Dict[str, np.ndarray] = dict(narrow_fields) if narrow_fields else {}
+        if plan.narrow and backend is not None and not narrow:
+            derived = derive_narrow_fields(
+                self._keys,
+                self._hub_ranks,
+                self._entry_dists,
+                int(self._stride),
+                self.num_vertices,
+            )
+            narrow = {name: backend.put(name, array) for name, array in derived.items()}
+        self._plan = plan
+        data = KernelData(
+            indptr=self._indptr,
+            hub_ranks=self._hub_ranks,
+            dists=self._entry_dists,
+            keys=self._keys,
+            sizes=self._sizes,
+            stride=self._stride,
+            plan=plan,
+            narrow=narrow,
+        )
+        self._impl, self._selection = create_kernel(data, preference)
 
     @classmethod
-    def from_arrays(cls, labels: LabelSet, keys: np.ndarray) -> "BatchQueryKernel":
-        """Reassemble a kernel from ``labels`` plus a stored key array.
+    def from_arrays(
+        cls,
+        labels: LabelSet,
+        keys: np.ndarray,
+        *,
+        plan: Optional[DtypePlan] = None,
+        narrow_fields: Optional[Mapping[str, np.ndarray]] = None,
+        preference: Optional[str] = None,
+    ) -> "BatchQueryKernel":
+        """Reassemble a kernel from ``labels`` plus stored kernel arrays.
 
         The attach path of the sharded serving layer: ``keys`` is the
         ``owner * stride + hub_rank`` encoding a previous
         :class:`BatchQueryKernel` derived for exactly these labels (and e.g.
         published in the same shared-memory generation), so nothing needs to
-        be recomputed beyond the O(n) size table.
+        be recomputed beyond the O(n) size table.  ``plan`` and
+        ``narrow_fields`` likewise reuse the publishing process's dtype
+        decision and narrow-layout arrays when the generation carries them;
+        backend selection itself is re-run *here*, so a heterogeneous worker
+        pool (numba on some hosts only) degrades per-process.
         """
         if keys.shape != labels.hub_ranks.shape:
             raise ValueError(
@@ -232,6 +304,7 @@ class BatchQueryKernel:
         kernel._indptr = labels.indptr
         kernel._sizes = np.asarray(labels.label_sizes(), dtype=np.int64)
         kernel._stride = np.int64(max(labels.num_vertices, 1))
+        kernel._finish(plan=plan, narrow_fields=narrow_fields, preference=preference)
         return kernel
 
     @property
@@ -244,9 +317,76 @@ class BatchQueryKernel:
         """The sorted ``owner * stride + hub_rank`` key array (read-mostly)."""
         return self._keys
 
+    @property
+    def plan(self) -> DtypePlan:
+        """The per-generation dtype-narrowing decision."""
+        return self._plan
+
+    @property
+    def selection(self) -> KernelSelection:
+        """How the execution backend was chosen (requested/selected/fallback)."""
+        return self._selection
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the kernel backend actually executing queries."""
+        return self._impl.name
+
+    def narrow_fields(self) -> Dict[str, np.ndarray]:
+        """The narrow-layout arrays staged for this kernel (may be empty)."""
+        return dict(self._impl.data.narrow)
+
+    def export_narrow_fields(self) -> Dict[str, np.ndarray]:
+        """The complete narrow-layout field set for storage alongside the keys.
+
+        Empty when the dtype plan is wide.  Arrays not yet derived (the
+        selected backend may never have needed them) are derived here, so a
+        stored generation always carries the full set and attaching workers
+        never re-derive.
+        """
+        if not self._plan.narrow:
+            return {}
+        narrow = self._impl.data.narrow
+        if any(name not in narrow for name in NARROW_FIELDS):
+            narrow.update(
+                derive_narrow_fields(
+                    self._keys,
+                    self._hub_ranks,
+                    self._entry_dists,
+                    int(self._stride),
+                    self.num_vertices,
+                )
+            )
+        return {name: narrow[name] for name in NARROW_FIELDS}
+
+    def using(self, preference: str) -> "BatchQueryKernel":
+        """A sibling kernel over the same arrays with an explicit backend.
+
+        Shares every label/key array with the receiver; only the execution
+        backend differs.  Used by the cross-kernel equality tests and the
+        kernel benchmark matrix; check :attr:`selection` to see whether the
+        preference was honoured or fell back.
+        """
+        kernel = BatchQueryKernel.__new__(BatchQueryKernel)
+        kernel._keys = self._keys
+        kernel._hub_ranks = self._hub_ranks
+        kernel._entry_dists = self._entry_dists
+        kernel._indptr = self._indptr
+        kernel._sizes = self._sizes
+        kernel._stride = self._stride
+        kernel._finish(
+            plan=self._plan,
+            narrow_fields=self._impl.data.narrow,
+            preference=preference,
+        )
+        return kernel
+
     def nbytes(self) -> int:
         """Approximate size of the precomputed key arrays in bytes."""
-        return int(self._keys.nbytes + self._entry_dists.nbytes + self._sizes.nbytes)
+        total = int(self._keys.nbytes + self._entry_dists.nbytes + self._sizes.nbytes)
+        for array in self._impl.data.narrow.values():
+            total += int(array.nbytes)
+        return total
 
     def patched(
         self,
@@ -295,55 +435,29 @@ class BatchQueryKernel:
         kernel._indptr = new_indptr
         kernel._sizes = np.asarray(labels.label_sizes(), dtype=np.int64)
         kernel._stride = stride
+        # The patched labels can change the dtype plan (a repair can raise the
+        # max distance past the narrow bound), so it is re-derived rather
+        # than inherited.
+        kernel._finish(backend=backend)
         return kernel
 
     def query_pairs(self, sources: np.ndarray, targets: np.ndarray) -> np.ndarray:
         """Label distances for aligned ``sources[i], targets[i]`` pairs.
 
         Returns a ``float64`` array (``inf`` where no common hub exists).
-        Inputs must be in-range vertex ids; callers validate.
+        Inputs must be in-range vertex ids; callers validate.  Delegates to
+        the selected kernel backend; all backends are byte-identical.
         """
-        sources = np.asarray(sources, dtype=np.int64)
-        targets = np.asarray(targets, dtype=np.int64)
-        if sources.shape != targets.shape:
-            raise ValueError("sources and targets must have the same length")
-        num_pairs = sources.shape[0]
-        result = np.full(num_pairs, np.inf, dtype=np.float64)
-        if num_pairs == 0:
-            return result
+        return self._impl.query_pairs(sources, targets)
 
-        # Enumerate the smaller label of each pair, probe the larger one.
-        swap = self._sizes[targets] < self._sizes[sources]
-        probe_side = np.where(swap, sources, targets)
-        enum_side = np.where(swap, targets, sources)
-        enum_sizes = self._sizes[enum_side]
-        total = int(enum_sizes.sum())
-        if total == 0:
-            return result
+    def query_one_to_many(
+        self, source: int, targets: Optional[Sequence[int]] = None
+    ) -> np.ndarray:
+        """Label distances from one source to many targets (all when ``None``).
 
-        # Ragged gather of every label entry of the enumerated endpoints.
-        group_starts = np.concatenate(([0], np.cumsum(enum_sizes)[:-1]))
-        offsets = np.arange(total, dtype=np.int64) - np.repeat(group_starts, enum_sizes)
-        flat = np.repeat(self._indptr[enum_side], enum_sizes) + offsets
-        # Upcast here so the uint16 label distances cannot wrap when summed.
-        enum_dists = self._entry_dists[flat].astype(np.int64)
-
-        # One binary search per entry against the probe endpoint's label.
-        probe_keys = (
-            np.repeat(probe_side, enum_sizes) * self._stride + self._hub_ranks[flat]
-        )
-        positions = np.searchsorted(self._keys, probe_keys)
-        positions = np.minimum(positions, self._keys.shape[0] - 1)
-        matched = self._keys[positions] == probe_keys
-        sums = np.where(matched, enum_dists + self._entry_dists[positions], _NO_HUB)
-
-        # Per-pair minima.  Empty groups are excluded from the reduceat index
-        # list entirely: clipping them into range would silently truncate the
-        # preceding group's reduce window (reduceat windows end at the next
-        # index, whatever group it belongs to).
-        nonempty = enum_sizes > 0
-        minima = np.minimum.reduceat(sums, group_starts[nonempty])
-        found = minima < _NO_HUB
-        targets_of = np.flatnonzero(nonempty)[found]
-        result[targets_of] = minima[found].astype(np.float64)
-        return result
+        Returns ``float64`` distances aligned with ``targets`` (``inf`` where
+        no common hub exists).  Unlike :meth:`LabelSet.query_one_to_many`,
+        no ``source == target`` zeroing is applied — the index facade does
+        that after folding in the bit-parallel bound.
+        """
+        return self._impl.query_one_to_many(source, targets)

@@ -29,7 +29,7 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Callable, Dict, Tuple, Union
+from typing import Callable, Collection, Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -37,6 +37,8 @@ from repro._version import __version__
 from repro.core import storage
 from repro.core.bitparallel import BitParallelLabels
 from repro.core.index import PrunedLandmarkLabeling
+from repro.core.kernels import DtypePlan
+from repro.core.kernels.narrow import NARROW_FIELDS
 from repro.core.labels import LabelSet
 from repro.core.query import FIELD_KERNEL_KEYS, BatchQueryKernel
 from repro.core.storage import MmapBackend, write_raw
@@ -99,8 +101,6 @@ def index_to_arrays(
         "bp_set_indptr": set_indptr,
         "bp_set_members": set_members,
     }
-    if include_kernel:
-        fields[FIELD_KERNEL_KEYS] = index.prepare_batch_kernel().keys
     metadata = {
         "format_version": FORMAT_VERSION,
         "library_version": __version__,
@@ -108,6 +108,15 @@ def index_to_arrays(
         "num_bit_parallel_roots": bit_parallel.num_roots,
         "ordering": index.ordering,
     }
+    if include_kernel:
+        kernel = index.prepare_batch_kernel()
+        fields[FIELD_KERNEL_KEYS] = kernel.keys
+        # The narrow-layout arrays and the dtype plan that authorised them
+        # are part of the per-generation layout: attaching processes adopt
+        # the publishing process's narrowing decision instead of
+        # re-measuring (and re-deriving) the index.
+        fields.update(kernel.export_narrow_fields())
+        metadata["kernel_plan"] = kernel.plan.to_meta()
     return fields, metadata
 
 
@@ -116,6 +125,7 @@ def index_from_arrays(
     metadata: Dict,
     *,
     has_kernel: bool = False,
+    kernel_fields: Optional[Collection[str]] = None,
     backend=None,
 ) -> PrunedLandmarkLabeling:
     """Reassemble an index from a field lookup (inverse of :func:`index_to_arrays`).
@@ -124,6 +134,12 @@ def index_from_arrays(
     lookup, a backend ``get``, or memmap views; the arrays are used as-is
     (no copy), so zero-copy sources stay zero-copy.  ``backend`` is attached
     to the label set purely to keep the backing storage alive.
+
+    ``kernel_fields`` names the stored fields actually present (the backend
+    field directory): when the full narrow-layout set rides along, it is
+    handed to the kernel so this process — e.g. a sharded worker attaching a
+    published generation — reuses the stored arrays and the recorded
+    ``kernel_plan`` dtype decision instead of re-deriving either.
     """
     labels = LabelSet(
         get("label_indptr"),
@@ -154,8 +170,14 @@ def index_from_arrays(
     index._order = labels.order
     index._graph = None
     if has_kernel:
+        plan_meta = metadata.get("kernel_plan")
+        plan = DtypePlan.from_meta(plan_meta) if plan_meta else None
+        present = set(kernel_fields) if kernel_fields is not None else set()
+        narrow = None
+        if all(name in present for name in NARROW_FIELDS):
+            narrow = {name: get(name) for name in NARROW_FIELDS}
         index._batch_kernel = BatchQueryKernel.from_arrays(
-            labels, get(FIELD_KERNEL_KEYS)
+            labels, get(FIELD_KERNEL_KEYS), plan=plan, narrow_fields=narrow
         )
     return index
 
@@ -190,6 +212,7 @@ def index_from_backend(backend) -> PrunedLandmarkLabeling:
         backend.get,
         metadata,
         has_kernel=FIELD_KERNEL_KEYS in backend.fields(),
+        kernel_fields=backend.fields(),
         backend=backend,
     )
 
@@ -299,6 +322,7 @@ def load_index(path: PathLike, *, mmap: bool = False) -> PrunedLandmarkLabeling:
                     backend.get,
                     metadata,
                     has_kernel=FIELD_KERNEL_KEYS in backend.fields(),
+                    kernel_fields=backend.fields(),
                     backend=backend,
                 )
             # Heap load from a raw file: copy the views out (dtype-preserving
@@ -312,6 +336,7 @@ def load_index(path: PathLike, *, mmap: bool = False) -> PrunedLandmarkLabeling:
                 arrays.__getitem__,
                 metadata,
                 has_kernel=FIELD_KERNEL_KEYS in arrays,
+                kernel_fields=arrays.keys(),
             )
         if mmap:
             raise SerializationError(

@@ -24,7 +24,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.index import PrunedLandmarkLabeling
+from repro.core.index import PrunedLandmarkLabeling, validate_vertex_ids
 from repro.serving.tracing import Span
 
 __all__ = ["EngineStats", "BatchQueryEngine"]
@@ -141,6 +141,19 @@ class BatchQueryEngine:
         """Cumulative batch accounting (live object)."""
         return self._stats
 
+    def kernel_info(self) -> Dict[str, object]:
+        """How the batch-kernel backend was selected for this engine's index.
+
+        Keys: ``requested`` / ``selected`` / ``fallback`` / ``reason`` (the
+        :class:`~repro.core.kernels.base.KernelSelection` record) plus the
+        per-generation ``narrow`` dtype decision.  Surfaced as a structured
+        log event at serve time and as the ``/metrics`` kernel info gauge.
+        """
+        kernel = self._index.prepare_batch_kernel()
+        info = kernel.selection.as_dict()
+        info["narrow"] = kernel.plan.narrow
+        return info
+
     def query(self, s: int, t: int) -> float:
         """Scalar convenience query (same result as ``index.distance``)."""
         return float(self.query_batch([s], [t])[0])
@@ -179,3 +192,34 @@ class BatchQueryEngine:
             return np.empty(0, dtype=np.float64)
         pair_array = np.asarray(pair_list, dtype=np.int64)
         return self.query_batch(pair_array[:, 0], pair_array[:, 1])
+
+    def query_one_to_many(
+        self,
+        source: int,
+        targets: Optional[Sequence[int]] = None,
+        *,
+        span_sink: Optional[List[Span]] = None,
+    ) -> np.ndarray:
+        """Exact distances from ``source`` to ``targets`` (all when ``None``).
+
+        The kernel layer's one-to-many entry point, previously reachable only
+        through the core API: one scatter of the source label amortises the
+        evaluation across every target.  Validated, timed and recorded like
+        :meth:`query_batch` (each evaluated target counts as one query);
+        results are bit-identical to per-pair :meth:`query` calls.
+        """
+        num_vertices = self.num_vertices
+        validate_vertex_ids(np.asarray([source], dtype=np.int64), num_vertices)
+        if targets is not None:
+            targets = np.asarray(list(targets), dtype=np.int64)
+            validate_vertex_ids(targets, num_vertices)
+        start = time.perf_counter()
+        result = self._index.distances_from(source, targets)
+        elapsed = time.perf_counter() - start
+        with self._stats_lock:
+            self._stats.observe(
+                int(result.shape[0]), elapsed, window=self._stats_window
+            )
+        if span_sink is not None:
+            span_sink.append(Span("kernel", elapsed, pairs=int(result.shape[0])))
+        return result

@@ -103,6 +103,8 @@ _PROMETHEUS_HELP = {
     "index_bit_parallel_roots": "Bit-parallel BFS roots carried by the served index.",
     "index_dirty_vertices": "Shadow-index vertices dirtied since the last publish.",
     "generation_bytes": "Bytes of the shared-memory generation backing the snapshot.",
+    "kernel_fallback": "1 when the serving kernel backend is a fallback from the requested one.",
+    "kernel_narrow": "1 when the served generation uses the narrow (uint32/uint8) kernel layout.",
     "latency_seconds": "End-to-end request latency (admission to reply).",
     "stage_queue_seconds": "Time requests spend queued before the batcher dequeues them.",
     "stage_batch_seconds": "Time requests spend in the coalescing window.",
@@ -228,6 +230,19 @@ def render_prometheus_text(
             "gauge",
             "Identity of the shared-memory generation backing the snapshot.",
             labels=f'{{name="{generation_name}"}}',
+        )
+    kernel_name = stats.get("kernel_name")
+    if isinstance(kernel_name, str) and kernel_name:
+        requested = stats.get("kernel_requested")
+        labels = f'kernel="{kernel_name}"'
+        if isinstance(requested, str) and requested:
+            labels += f',requested="{requested}"'
+        emit(
+            f"{prefix}_kernel_info",
+            1,
+            "gauge",
+            "Kernel backend serving batch queries (selected vs requested).",
+            labels="{" + labels + "}",
         )
     if isinstance(histograms, Mapping):
         for hist_key in sorted(histograms):
@@ -590,7 +605,11 @@ def index_health_stats(engine, manager=None) -> Dict[str, object]:
     * ``index_bit_parallel_roots`` — bit-parallel BFS roots it carries,
     * ``index_dirty_vertices`` — shadow vertices dirtied since the last publish,
     * ``generation_name`` / ``generation_bytes`` — identity and size of the
-      shared-memory generation backing the snapshot (shared deployments only).
+      shared-memory generation backing the snapshot (shared deployments only),
+    * ``kernel_name`` / ``kernel_requested`` / ``kernel_fallback`` /
+      ``kernel_narrow`` — which batch-kernel backend the engine selected,
+      whether that was a fallback from the requested one, and whether the
+      served generation uses the narrow dtype layout.
 
     Everything is best-effort ``getattr`` so the helper works against any
     engine shape (and quietly reports less for engines that expose less);
@@ -618,4 +637,15 @@ def index_health_stats(engine, manager=None) -> Dict[str, object]:
             backend = getattr(generation, "backend", None)
             if backend is not None:
                 stats["generation_bytes"] = int(backend.nbytes())
+    kernel_info = getattr(engine, "kernel_info", None)
+    if callable(kernel_info):
+        try:
+            info = kernel_info()
+        except Exception:
+            info = None
+        if info:
+            stats["kernel_name"] = str(info.get("selected", ""))
+            stats["kernel_requested"] = str(info.get("requested", ""))
+            stats["kernel_fallback"] = int(bool(info.get("fallback")))
+            stats["kernel_narrow"] = int(bool(info.get("narrow")))
     return stats

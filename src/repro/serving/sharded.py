@@ -81,6 +81,10 @@ def _attached_index(generation_name: str) -> PrunedLandmarkLabeling:
     if _ATTACHED.get("name") == generation_name:
         return _ATTACHED["index"]
     backend = SharedMemoryBackend.attach(generation_name)
+    # index_from_backend re-runs kernel-backend selection in *this* process
+    # (adopting the generation's stored dtype plan and narrow arrays), so a
+    # heterogeneous pool — numba importable in some workers only — degrades
+    # per-process to the best backend each worker actually has.
     index = index_from_backend(backend)
     previous = _ATTACHED.pop("backend", None)
     _ATTACHED.pop("index", None)
@@ -256,6 +260,14 @@ class ShardedQueryEngine:
     def stats(self) -> EngineStats:
         """Cumulative batch accounting (live object)."""
         return self._stats
+
+    def kernel_info(self) -> Dict[str, object]:
+        """Kernel-backend selection of the parent's inline engine.
+
+        Workers re-select on attach and may differ per process; this reports
+        the parent-side decision (the one small batches are answered with).
+        """
+        return self._current_snapshot().engine.kernel_info()
 
     def worker_seconds(self) -> Dict[int, float]:
         """Cumulative busy seconds per worker pid (copy)."""

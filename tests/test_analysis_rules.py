@@ -1,4 +1,4 @@
-"""Per-rule fixtures for the reprolint analyzers (RL001–RL005).
+"""Per-rule fixtures for the reprolint analyzers (RL001–RL006).
 
 Each rule gets at least a true-positive, a suppressed, and a clean fixture.
 Fixtures are in-memory modules linted through :func:`check_source` under a
@@ -21,7 +21,7 @@ def _lint(source: str, *, path: str = "src/repro/serving/module.py", rule=None):
 
 def test_five_rules_registered():
     ids = [rule.id for rule in all_rules()]
-    assert ids == ["RL001", "RL002", "RL003", "RL004", "RL005"]
+    assert ids == ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006"]
     for rule in all_rules():
         assert rule.name and rule.description and rule.rationale
 
@@ -468,6 +468,66 @@ def test_rl005_suppression():
         """,
         path="src/repro/core/labels.py",
         rule="RL005",
+    )
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# RL006 — kernel hot loops (scoped to core/kernels/ and core/query.py)
+# ---------------------------------------------------------------------------
+
+
+def test_rl006_flags_comprehension_in_query_pairs():
+    findings = _lint(
+        """
+        class Kernel:
+            def query_pairs(self, sources, targets):
+                return [self._one(s, t) for s, t in zip(sources, targets)]
+        """,
+        path="src/repro/core/kernels/bad.py",
+        rule="RL006",
+    )
+    assert len(findings) == 1
+    assert "query_pairs" in findings[0].message
+
+
+def test_rl006_flags_dict_comprehension_in_one_to_many():
+    findings = _lint(
+        """
+        def query_one_to_many(source, targets):
+            return {t: dist(source, t) for t in targets}
+        """,
+        path="src/repro/core/query.py",
+        rule="RL006",
+    )
+    assert len(findings) == 1
+    assert "dict comprehension" in findings[0].message
+
+
+def test_rl006_generator_expressions_and_other_functions_exempt():
+    findings = _lint(
+        """
+        def query_pairs(sources, targets):
+            assert all(s >= 0 for s in sources)
+            return _vectorised(sources, targets)
+
+        def helper(items):
+            return [x + 1 for x in items]
+        """,
+        path="src/repro/core/kernels/ok.py",
+        rule="RL006",
+    )
+    assert findings == []
+
+
+def test_rl006_out_of_scope_path_untouched():
+    findings = _lint(
+        """
+        def query_pairs(sources, targets):
+            return [1 for _ in sources]
+        """,
+        path="src/repro/serving/engine.py",
+        rule="RL006",
     )
     assert findings == []
 

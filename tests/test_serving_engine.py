@@ -153,3 +153,34 @@ class TestBatchQueryEngine:
             engine.query_batch(sources, targets),
             scalar_reference(index, sources, targets),
         )
+
+    def test_one_to_many_matches_scalar(self, medium_social_graph):
+        # The previously wire-unreachable one-to-many verb, now routed through
+        # the engine: equal to per-pair scalar queries bit for bit.
+        index = PrunedLandmarkLabeling(num_bit_parallel_roots=4).build(
+            medium_social_graph
+        )
+        engine = BatchQueryEngine(index)
+        n = medium_social_graph.num_vertices
+        source = 7
+        full = engine.query_one_to_many(source)
+        assert full.shape == (n,)
+        assert np.array_equal(full, scalar_reference(index, [source] * n, range(n)))
+        subset = [0, n - 1, 42, 42]
+        assert np.array_equal(
+            engine.query_one_to_many(source, subset),
+            scalar_reference(index, [source] * len(subset), subset),
+        )
+
+    def test_one_to_many_accounting_and_validation(self, small_social_graph):
+        index = PrunedLandmarkLabeling().build(small_social_graph)
+        engine = BatchQueryEngine(index)
+        spans = []
+        result = engine.query_one_to_many(0, [1, 2, 3], span_sink=spans)
+        assert result.shape == (3,)
+        assert engine.stats.num_queries == 3
+        assert [span.name for span in spans] == ["kernel"]
+        with pytest.raises(VertexError):
+            engine.query_one_to_many(index.label_set.num_vertices)
+        with pytest.raises(VertexError):
+            engine.query_one_to_many(0, [-1])
