@@ -79,3 +79,38 @@ def test_ablation_theorem43_bound(run_once, save_result, full_scale):
     # More landmarks answer a larger fraction of pairs exactly.
     fractions = [row["landmark exact fraction"] for row in rows]
     assert fractions == sorted(fractions)
+
+
+def collect_results(*, smoke: bool = False):
+    """Run the suite and emit the shared observatory schema (``repro.obs``)."""
+    import re
+    import time
+
+    from repro.obs import Metric, bench_result
+
+    graph = load_dataset("gnutella" if smoke else "epinions")
+    start = time.perf_counter()
+    pruning_rows = pruning_ablation(graph)
+    # The random ordering is deliberately near-quadratic (the effect the
+    # ablation demonstrates) and dominates the runtime; smoke skips it.
+    if smoke:
+        ordering_rows = ordering_ablation(
+            ["gnutella"], strategies=["degree", "closeness"]
+        )
+    else:
+        ordering_rows = ordering_ablation(["gnutella", "epinions"])
+    run_seconds = time.perf_counter() - start
+    metrics = [
+        Metric(
+            "run_seconds", run_seconds, unit="s", higher_is_better=False, tolerance=0.5
+        ),
+        Metric("num_pruning_rows", len(pruning_rows)),
+        Metric("num_ordering_rows", len(ordering_rows)),
+    ]
+    for row in pruning_rows:
+        slug = re.sub(r"[^a-z0-9]+", "_", str(row["method"]).lower()).strip("_")
+        metrics.append(Metric(f"{slug}_label_entries", row["total label entries"]))
+        metrics.append(
+            Metric(f"{slug}_build_seconds", row["build seconds"], unit="s")
+        )
+    return bench_result("ablations", metrics, smoke=smoke)

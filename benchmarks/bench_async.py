@@ -28,7 +28,6 @@ from __future__ import annotations
 
 import asyncio
 import json
-import re
 import sys
 import threading
 import time
@@ -40,43 +39,15 @@ from repro.core.index import PrunedLandmarkLabeling
 from repro.generators import barabasi_albert_graph
 from repro.serving import AsyncQueryFrontend, LRUCache, ServerMetrics, SnapshotManager
 
+# The exposition validator started life in this file; it now lives next to
+# the renderer it checks so tests and benchmarks share one grammar.
+from repro.serving.metrics import validate_prometheus_exposition
+
 #: The headline floor: concurrent open connections on one front-end process.
 REQUIRED_CONNECTIONS = 2000
 #: Client-observed P99 budget for queries racing 2000+ idle connections.
 REQUIRED_P99_MS = 500.0
 SMOKE_P99_MS = 2500.0
-
-#: One exposition sample line: ``name{labels} value`` with a Go-style number.
-_SAMPLE_RE = re.compile(
-    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? "
-    r"([-+]?[0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?|[-+]?Inf|NaN)$"
-)
-
-
-def validate_prometheus_exposition(body: str) -> Dict[str, float]:
-    """Parse a Prometheus text-exposition body, asserting it is well formed.
-
-    Every line must be a ``# HELP`` / ``# TYPE`` comment or a sample matching
-    the exposition grammar.  Returns the label-free samples as a dict.
-    """
-    samples: Dict[str, float] = {}
-    if not body.endswith("\n"):
-        raise AssertionError("exposition must end with a newline")
-    for line in body.splitlines():
-        if not line:
-            continue
-        if line.startswith("#"):
-            if not (line.startswith("# HELP ") or line.startswith("# TYPE ")):
-                raise AssertionError(f"unexpected comment line: {line!r}")
-            continue
-        if not _SAMPLE_RE.match(line):
-            raise AssertionError(f"invalid exposition sample: {line!r}")
-        name, _, value = line.partition(" ")
-        if "{" not in name:
-            samples[name] = float(value)
-    if not samples:
-        raise AssertionError("exposition contained no samples")
-    return samples
 
 
 def _raise_fd_limit(needed: int) -> int:
@@ -381,6 +352,46 @@ def test_async_frontend(run_once, save_result, full_scale):
     print("\n" + text)
     save_result("async", text)
     _check(results, smoke=False)
+
+
+def collect_results(*, smoke: bool = False):
+    """Run the suite and emit the shared observatory schema (``repro.obs``)."""
+    from repro.obs import Metric, bench_result
+
+    if smoke:
+        results = run_async_benchmark(
+            num_vertices=2_000,
+            attach=3,
+            num_connections=2_048,
+            num_active=64,
+            queries_per_client=40,
+            query_pool_size=1_000,
+        )
+    else:
+        results = run_async_benchmark()
+    _check(results, smoke=smoke)
+    metrics = [
+        Metric("qps", results["qps"], unit="queries/s", higher_is_better=True),
+        Metric(
+            "latency_p50_ms",
+            results["latency_p50_ms"],
+            unit="ms",
+            higher_is_better=False,
+        ),
+        Metric(
+            "latency_p99_ms",
+            results["latency_p99_ms"],
+            unit="ms",
+            higher_is_better=False,
+        ),
+        # Exact-zero gate: any reply mismatch is a correctness regression.
+        Metric("num_mismatches", results["num_mismatches"], higher_is_better=False),
+        Metric("num_connections", results["num_connections"]),
+        Metric("num_active", results["num_active"]),
+        Metric("answered", results["answered"]),
+        Metric("idle_connections_seen", results["idle_connections_seen"]),
+    ]
+    return bench_result("async", metrics, smoke=smoke)
 
 
 if __name__ == "__main__":

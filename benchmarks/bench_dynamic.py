@@ -210,6 +210,47 @@ def test_diff_publish_beats_full_freeze(run_once, save_result, full_scale):
     _check(results, smoke=False)
 
 
+def collect_results(*, smoke: bool = False):
+    """Run the suite and emit the shared observatory schema (``repro.obs``)."""
+    from repro.obs import Metric, bench_result
+
+    if smoke:
+        results = run_dynamic_benchmark(
+            num_vertices=2_000, removals_per_burst=4, num_bursts=2, num_inserts=2
+        )
+    else:
+        results = run_dynamic_benchmark()
+    _check(results, smoke=smoke)
+    metrics = [
+        Metric("remove_ms", results["remove_ms"], unit="ms", higher_is_better=False),
+        Metric("insert_ms", results["insert_ms"], unit="ms", higher_is_better=False),
+        Metric(
+            "diff_publish_ms",
+            results["diff_publish_ms"],
+            unit="ms",
+            higher_is_better=False,
+        ),
+        Metric(
+            "full_freeze_ms",
+            results["full_freeze_ms"],
+            unit="ms",
+            higher_is_better=False,
+        ),
+        Metric(
+            "publish_speedup",
+            results["publish_speedup"],
+            unit="x",
+            higher_is_better=True,
+        ),
+        Metric(
+            "build_seconds", results["build_seconds"], unit="s", higher_is_better=False
+        ),
+        Metric("dirty_fraction", results["dirty_fraction"]),
+        Metric("num_vertices", results["num_vertices"]),
+    ]
+    return bench_result("dynamic", metrics, smoke=smoke)
+
+
 if __name__ == "__main__":
     smoke = "--smoke" in sys.argv[1:]
     if smoke:

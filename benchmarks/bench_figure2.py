@@ -34,3 +34,32 @@ def test_figure2_degree_and_distance_distributions(run_once, save_result, full_s
     for series in distances:
         assert series.average_distance() < 10, series.dataset
         assert series.mode_distance() <= 8, series.dataset
+
+
+def collect_results(*, smoke: bool = False):
+    """Run the suite and emit the shared observatory schema (``repro.obs``)."""
+    import time
+
+    from repro.obs import Metric, bench_result
+
+    datasets = ["gnutella", "notredame"] if smoke else SMALL_DATASETS + LARGE_DATASETS
+    num_pairs = 300 if smoke else 1_500
+    start = time.perf_counter()
+    degrees = run_figure2_degrees(datasets)
+    distances = run_figure2_distances(datasets, num_pairs=num_pairs)
+    run_seconds = time.perf_counter() - start
+    metrics = [
+        Metric(
+            "run_seconds", run_seconds, unit="s", higher_is_better=False, tolerance=0.5
+        ),
+        Metric("num_datasets", len(datasets)),
+    ]
+    for series in degrees:
+        metrics.append(
+            Metric(f"{series.dataset}_power_law_slope", series.power_law_slope())
+        )
+    for series in distances:
+        metrics.append(
+            Metric(f"{series.dataset}_average_distance", series.average_distance())
+        )
+    return bench_result("figure2", metrics, smoke=smoke)

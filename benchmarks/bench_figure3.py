@@ -34,3 +34,28 @@ def test_figure3_pruning_profiles(run_once, save_result, full_scale):
         # within a small factor of the median, so query time is stable.
         median = max(profile.label_size_percentile(50), 1.0)
         assert profile.label_size_percentile(90) < 12 * median, profile.dataset
+
+
+def collect_results(*, smoke: bool = False):
+    """Run the suite and emit the shared observatory schema (``repro.obs``)."""
+    import time
+
+    from repro.obs import Metric, bench_result
+
+    datasets = ["notredame"] if smoke else ["skitter", "indo"]
+    start = time.perf_counter()
+    profiles = run_figure3(datasets)
+    run_seconds = time.perf_counter() - start
+    metrics = [
+        Metric(
+            "run_seconds", run_seconds, unit="s", higher_is_better=False, tolerance=0.5
+        ),
+    ]
+    for profile in profiles:
+        metrics.append(
+            Metric(
+                f"{profile.dataset}_mean_labels_per_bfs",
+                float(profile.labels_per_bfs.mean()),
+            )
+        )
+    return bench_result("figure3", metrics, smoke=smoke)

@@ -35,3 +35,26 @@ def test_figure4_pair_coverage(run_once, save_result, full_scale):
             close = curve.by_distance[distances[0]][checkpoint_index]
             far = curve.by_distance[distances[-1]][checkpoint_index]
             assert far >= close, curve.dataset
+
+
+def collect_results(*, smoke: bool = False):
+    """Run the suite and emit the shared observatory schema (``repro.obs``)."""
+    import time
+
+    from repro.obs import Metric, bench_result
+
+    datasets = ["notredame"] if smoke else ["gnutella", "epinions"]
+    num_pairs = 300 if smoke else 1_500
+    start = time.perf_counter()
+    curves = run_figure4(datasets, num_pairs=num_pairs)
+    run_seconds = time.perf_counter() - start
+    metrics = [
+        Metric(
+            "run_seconds", run_seconds, unit="s", higher_is_better=False, tolerance=0.5
+        ),
+    ]
+    for curve in curves:
+        metrics.append(
+            Metric(f"{curve.dataset}_final_coverage", float(curve.overall[-1]))
+        )
+    return bench_result("figure4", metrics, smoke=smoke)

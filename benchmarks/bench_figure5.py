@@ -36,3 +36,31 @@ def test_figure5_bit_parallel_sweep(run_once, save_result, full_scale):
         assert (
             moderate.average_normal_label_size < no_bp.average_normal_label_size
         ), dataset
+
+
+def collect_results(*, smoke: bool = False):
+    """Run the suite and emit the shared observatory schema (``repro.obs``)."""
+    import time
+
+    from repro.obs import Metric, bench_result
+
+    datasets = ["notredame"] if smoke else ["skitter", "indo"]
+    sweep = [0, 16] if smoke else [0, 4, 16, 64]
+    num_queries = 300 if smoke else 800
+    start = time.perf_counter()
+    points = run_figure5(datasets, sweep=sweep, num_queries=num_queries)
+    run_seconds = time.perf_counter() - start
+    metrics = [
+        Metric(
+            "run_seconds", run_seconds, unit="s", higher_is_better=False, tolerance=0.5
+        ),
+    ]
+    for point in points:
+        prefix = f"{point.dataset}_t{point.num_bit_parallel}"
+        metrics.append(
+            Metric(f"{prefix}_preprocessing_seconds", point.preprocessing_seconds, unit="s")
+        )
+        metrics.append(
+            Metric(f"{prefix}_avg_normal_label_size", point.average_normal_label_size)
+        )
+    return bench_result("figure5", metrics, smoke=smoke)

@@ -234,6 +234,30 @@ def test_kernel_layer_beats_scalar_loop(run_once, save_result, full_scale):
     _check(results, smoke=False)
 
 
+def collect_results(*, smoke: bool = False):
+    """Run the suite and emit the shared observatory schema (``repro.obs``)."""
+    from repro.obs import Metric, bench_result
+
+    if smoke:
+        results = run_kernel_benchmark(
+            num_vertices=1_500, matrix_pairs=2_048, scalar_pairs=150
+        )
+    else:
+        results = run_kernel_benchmark()
+    _check(results, smoke=smoke)
+    metrics = [
+        Metric("best_qps", results["best_qps"], unit="pairs/s", higher_is_better=True),
+        Metric(
+            "scalar_qps", results["scalar_qps"], unit="pairs/s", higher_is_better=True
+        ),
+        Metric("speedup", results["speedup"], unit="x", higher_is_better=True),
+        Metric("num_vertices", results["num_vertices"]),
+        Metric("num_edges", results["num_edges"]),
+        Metric("num_kernels", len(results["kernels"])),
+    ]
+    return bench_result("kernels", metrics, smoke=smoke)
+
+
 if __name__ == "__main__":
     smoke = "--smoke" in sys.argv[1:]
     if smoke:

@@ -36,3 +36,33 @@ def test_scaling_with_graph_size(run_once, save_result, full_scale):
     first_effective = first.average_label_size + num_bit_parallel
     last_effective = last.average_label_size + num_bit_parallel
     assert last_effective < 0.5 * size_factor * first_effective
+
+
+def collect_results(*, smoke: bool = False):
+    """Run the suite and emit the shared observatory schema (``repro.obs``)."""
+    import time
+
+    from repro.obs import Metric, bench_result
+
+    sizes = [1_000, 2_000] if smoke else [1_000, 2_000, 4_000, 8_000]
+    num_queries = 300 if smoke else 800
+    start = time.perf_counter()
+    points = run_scaling(sizes, num_queries=num_queries, num_bit_parallel_roots=16)
+    run_seconds = time.perf_counter() - start
+    metrics = [
+        Metric(
+            "run_seconds", run_seconds, unit="s", higher_is_better=False, tolerance=0.5
+        ),
+    ]
+    for point in points:
+        prefix = f"n{point.num_vertices}"
+        metrics.append(
+            Metric(f"{prefix}_indexing_seconds", point.indexing_seconds, unit="s")
+        )
+        metrics.append(
+            Metric(f"{prefix}_query_us", point.query_seconds * 1e6, unit="us")
+        )
+        metrics.append(
+            Metric(f"{prefix}_avg_label_size", point.average_label_size)
+        )
+    return bench_result("scaling", metrics, smoke=smoke)

@@ -145,6 +145,49 @@ def test_serving_throughput_and_tail_latency(run_once, save_result, full_scale):
     assert results["batch_p99_ms"] >= results["batch_p50_ms"]
 
 
+def collect_results(*, smoke: bool = False):
+    """Run the suite and emit the shared observatory schema (``repro.obs``)."""
+    from repro.obs import Metric, bench_result
+
+    if smoke:
+        results = run_serving_benchmark(
+            num_vertices=3_000,
+            attach=3,
+            num_queries=20_000,
+            scalar_sample=500,
+            hot_pairs=256,
+        )
+    else:
+        results = run_serving_benchmark()
+    metrics = [
+        Metric(
+            "batch_qps", results["batch_qps"], unit="queries/s", higher_is_better=True
+        ),
+        Metric(
+            "scalar_qps", results["scalar_qps"], unit="queries/s", higher_is_better=True
+        ),
+        Metric("speedup", results["speedup"], unit="x", higher_is_better=True),
+        Metric(
+            "served_qps", results["served_qps"], unit="queries/s", higher_is_better=True
+        ),
+        Metric(
+            "batch_p50_ms", results["batch_p50_ms"], unit="ms", higher_is_better=False
+        ),
+        Metric(
+            "batch_p99_ms", results["batch_p99_ms"], unit="ms", higher_is_better=False
+        ),
+        Metric(
+            "served_p99_ms", results["served_p99_ms"], unit="ms", higher_is_better=False
+        ),
+        Metric("cache_hit_rate", results["cache_hit_rate"], higher_is_better=True),
+        Metric(
+            "build_seconds", results["build_seconds"], unit="s", higher_is_better=False
+        ),
+        Metric("num_vertices", results["num_vertices"]),
+    ]
+    return bench_result("serving", metrics, smoke=smoke)
+
+
 if __name__ == "__main__":
     report = run_serving_benchmark()
     print(format_serving_report(report))

@@ -261,6 +261,56 @@ def test_sharded_throughput(run_once, save_result, full_scale):
     _check(results, smoke=False)
 
 
+def collect_results(*, smoke: bool = False):
+    """Run the suite and emit the shared observatory schema (``repro.obs``)."""
+    from repro.obs import Metric, bench_result
+
+    if smoke:
+        results = run_sharded_benchmark(
+            num_vertices=2_000,
+            num_queries=16_000,
+            batch_size=4_096,
+            num_workers=2,
+            min_shard_size=256,
+            removals_per_burst=4,
+            num_bursts=2,
+        )
+    else:
+        results = run_sharded_benchmark()
+    _check(results, smoke=smoke)
+    metrics = [
+        Metric(
+            "single_qps", results["single_qps"], unit="pairs/s", higher_is_better=True
+        ),
+        Metric(
+            "sharded_qps", results["sharded_qps"], unit="pairs/s", higher_is_better=True
+        ),
+        Metric("speedup", results["speedup"], unit="x", higher_is_better=True),
+        Metric(
+            "diff_publish_ms",
+            results["diff_publish_ms"],
+            unit="ms",
+            higher_is_better=False,
+        ),
+        Metric(
+            "publish_speedup",
+            results["publish_speedup"],
+            unit="x",
+            higher_is_better=True,
+        ),
+        # Exact-zero gate: any leak is a regression regardless of tolerance.
+        Metric(
+            "leaked_generations", results["leaked_generations"], higher_is_better=False
+        ),
+        Metric(
+            "max_concurrent_generations", results["max_concurrent_generations"]
+        ),
+        Metric("num_workers", results["num_workers"]),
+        Metric("num_vertices", results["num_vertices"]),
+    ]
+    return bench_result("sharded", metrics, smoke=smoke)
+
+
 if __name__ == "__main__":
     smoke = "--smoke" in sys.argv[1:]
     if smoke:

@@ -17,3 +17,27 @@ def test_table1_headline_comparison(run_once, save_result, full_scale):
 
     measured = [row for row in rows if row["source"] == "measured"]
     assert measured, "expected at least one measured PLL row"
+
+
+def collect_results(*, smoke: bool = False):
+    """Run the suite and emit the shared observatory schema (``repro.obs``)."""
+    import time
+
+    from repro.obs import Metric, bench_result
+
+    datasets = (
+        ["notredame"] if smoke else ["notredame", "wikitalk", "hollywood", "indochina"]
+    )
+    num_queries = 300 if smoke else 1_000
+    start = time.perf_counter()
+    rows = run_table1(datasets, num_queries=num_queries)
+    run_seconds = time.perf_counter() - start
+    measured = [row for row in rows if row["source"] == "measured"]
+    metrics = [
+        Metric(
+            "run_seconds", run_seconds, unit="s", higher_is_better=False, tolerance=0.5
+        ),
+        Metric("measured_rows", len(measured)),
+        Metric("num_datasets", len(datasets)),
+    ]
+    return bench_result("table1", metrics, smoke=smoke)

@@ -93,3 +93,46 @@ def test_table3_dnf_behaviour_of_baselines(run_once, save_result):
     assert np.isfinite(
         next(m for m in measurements if m.method == "PLL").query_seconds
     )
+
+
+def collect_results(*, smoke: bool = False):
+    """Run the suite and emit the shared observatory schema (``repro.obs``)."""
+    import re
+    import time
+
+    from repro.obs import Metric, bench_result
+
+    datasets = (
+        ["notredame"] if smoke else ["gnutella", "epinions", "notredame", "wikitalk"]
+    )
+    num_queries = 300 if smoke else 2_000
+    start = time.perf_counter()
+    measurements = run_table3(
+        datasets,
+        num_queries=num_queries,
+        include_baselines=True,
+        online_query_cap=10 if smoke else 50,
+    )
+    run_seconds = time.perf_counter() - start
+    metrics = [
+        Metric(
+            "run_seconds", run_seconds, unit="s", higher_is_better=False, tolerance=0.5
+        ),
+        Metric("num_measurements", len(measurements)),
+    ]
+    for measurement in measurements:
+        if not measurement.finished:
+            continue
+        slug = re.sub(r"[^a-z0-9]+", "_", measurement.method.lower()).strip("_")
+        prefix = f"{measurement.dataset}_{slug}"
+        metrics.append(
+            Metric(
+                f"{prefix}_indexing_seconds", measurement.indexing_seconds, unit="s"
+            )
+        )
+        metrics.append(
+            Metric(
+                f"{prefix}_query_us", measurement.query_seconds * 1e6, unit="us"
+            )
+        )
+    return bench_result("table3", metrics, smoke=smoke)

@@ -20,3 +20,25 @@ def test_table4_dataset_inventory(run_once, save_result, full_scale):
         assert row["repro |V|"] > 500
         assert row["repro |E|"] > 0
         assert row["avg distance"] < 15
+
+
+def collect_results(*, smoke: bool = False):
+    """Run the suite and emit the shared observatory schema (``repro.obs``)."""
+    import time
+
+    from repro.obs import Metric, bench_result
+
+    datasets = ["gnutella", "notredame"] if smoke else None
+    num_pairs = 200 if smoke else 500
+    start = time.perf_counter()
+    rows = run_table4(datasets, with_statistics=True, num_pairs=num_pairs)
+    run_seconds = time.perf_counter() - start
+    metrics = [
+        Metric(
+            "run_seconds", run_seconds, unit="s", higher_is_better=False, tolerance=0.5
+        ),
+        Metric("num_datasets", len(rows)),
+    ]
+    for row in rows:
+        metrics.append(Metric(f"{row['dataset']}_avg_distance", row["avg distance"]))
+    return bench_result("table4", metrics, smoke=smoke)

@@ -28,3 +28,26 @@ def test_table5_ordering_strategies(run_once, save_result, full_scale):
         # comparable, with Degree typically slightly ahead.
         assert row["random"] > 3 * row["degree"]
         assert row["closeness"] < 3 * row["degree"]
+
+
+def collect_results(*, smoke: bool = False):
+    """Run the suite and emit the shared observatory schema (``repro.obs``)."""
+    import time
+
+    from repro.obs import Metric, bench_result
+
+    datasets = ["notredame"] if smoke else ["gnutella", "notredame"]
+    start = time.perf_counter()
+    rows = run_table5(datasets)
+    run_seconds = time.perf_counter() - start
+    metrics = [
+        Metric(
+            "run_seconds", run_seconds, unit="s", higher_is_better=False, tolerance=0.5
+        ),
+    ]
+    for row in rows:
+        for strategy in ("random", "degree", "closeness"):
+            metrics.append(
+                Metric(f"{row['dataset']}_{strategy}_avg_label_size", row[strategy])
+            )
+    return bench_result("table5", metrics, smoke=smoke)

@@ -173,3 +173,36 @@ def test_dynamic_updates_throughput(run_once, save_result, full_scale):
         Graph(graph.num_vertices, list(initial.edges()) + list(stream))
     )
     assert np.array_equal(oracle.distances(spot), static.distances(spot))
+
+
+def collect_results(*, smoke: bool = False):
+    """Run the suite and emit the shared observatory schema (``repro.obs``)."""
+    import time as _time
+
+    from repro.obs import Metric, bench_result
+
+    graph = load_dataset("gnutella")
+    num_queries = 150 if smoke else 500
+    pairs = random_pairs(graph.num_vertices, num_queries, seed=1)
+    weighted_graph = assign_random_weights(graph, low=1, high=10, seed=0)
+    directed_graph = orient_edges(graph, both_directions_probability=0.3, seed=0)
+    start = _time.perf_counter()
+    variants = {
+        "basic": (lambda: PrunedLandmarkLabeling(num_bit_parallel_roots=16), graph),
+        "path": (PathPrunedLandmarkLabeling, graph),
+        "weighted": (WeightedPrunedLandmarkLabeling, weighted_graph),
+        "directed": (DirectedPrunedLandmarkLabeling, directed_graph),
+    }
+    metrics = []
+    for name, (factory, variant_graph) in variants.items():
+        _, build_seconds, query_seconds = _measure(factory, variant_graph, pairs)
+        metrics.append(Metric(f"{name}_build_seconds", build_seconds, unit="s"))
+        metrics.append(Metric(f"{name}_query_us", query_seconds * 1e6, unit="us"))
+    run_seconds = _time.perf_counter() - start
+    metrics.insert(
+        0,
+        Metric(
+            "run_seconds", run_seconds, unit="s", higher_is_better=False, tolerance=0.5
+        ),
+    )
+    return bench_result("variants", metrics, smoke=smoke)

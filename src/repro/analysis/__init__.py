@@ -11,7 +11,7 @@ Layout:
 
 * :mod:`~repro.analysis.base` — ``Finding`` / ``Rule`` / registry /
   suppression comments
-* :mod:`~repro.analysis.rules` — the shipped rules (RL001–RL006)
+* :mod:`~repro.analysis.rules` — the shipped rules (RL001–RL007)
 * :mod:`~repro.analysis.runner` — file walking + rule execution
 * :mod:`~repro.analysis.baseline` — grandfathered-finding files
 * :mod:`~repro.analysis.reporters` — text / JSON output
@@ -21,7 +21,7 @@ See the README "Static analysis" section for the rule catalogue and the
 suppression / baseline workflow.
 """
 
-from . import rules  # noqa: F401  (registers RL001–RL006 on import)
+from . import rules  # noqa: F401  (registers RL001–RL007 on import)
 from .base import Finding, ModuleContext, Rule, all_rules, get_rule, register_rule
 from .baseline import load_baseline, write_baseline
 from .reporters import LintReport, render_json, render_text

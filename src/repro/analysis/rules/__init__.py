@@ -9,6 +9,7 @@ module here, import it below, and give it fixture coverage in
 
 from . import (  # noqa: F401  (imported for registration side effects)
     async_blocking,
+    bench_schema,
     dtype_discipline,
     kernel_hot_loop,
     lock_discipline,
@@ -18,6 +19,7 @@ from . import (  # noqa: F401  (imported for registration side effects)
 
 __all__ = [
     "async_blocking",
+    "bench_schema",
     "dtype_discipline",
     "kernel_hot_loop",
     "lock_discipline",

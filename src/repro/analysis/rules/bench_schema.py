@@ -1,0 +1,88 @@
+"""RL007 — benchmark scripts report results through the observatory schema.
+
+The performance observatory (``repro.obs``) can only gate regressions on
+results it can read: every suite in ``benchmarks/`` must expose a top-level
+``collect_results(*, smoke=...)`` adapter returning a
+:class:`~repro.obs.schema.BenchResult`, which the registry runs and writes as
+``BENCH_<suite>.json``.  A bench script that only prints its numbers — or
+serialises them with ad-hoc ``json.dump`` calls — produces measurements the
+comparator and the trend report never see, so a perf regression in that suite
+ships silently.
+
+Scope: ``benchmarks/bench_*.py``.  Flagged there:
+
+* a module with no top-level ``collect_results`` function definition;
+* ``json.dump`` / ``json.dumps`` calls — result serialisation belongs to the
+  pinned schema encoder (``BenchResult.to_json`` via ``write_result``), which
+  keeps the files byte-stable and comparable.  ``json.loads`` (parsing an
+  admin-endpoint reply, say) is fine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..base import Finding, ModuleContext, Rule, register_rule
+
+__all__ = ["BenchSchemaRule"]
+
+#: The adapter the suite registry loads and runs.
+_ADAPTER_NAME = "collect_results"
+
+_JSON_WRITERS = {"dump", "dumps"}
+
+
+@register_rule
+class BenchSchemaRule(Rule):
+    id = "RL007"
+    name = "bench-schema"
+    description = (
+        "benchmarks/bench_*.py must expose collect_results() returning the "
+        "repro.obs result schema; no ad-hoc json.dump reporting"
+    )
+    rationale = (
+        "the regression gate and trend report only see results emitted through "
+        "the shared schema; print-only or hand-rolled JSON output hides perf "
+        "regressions from CI"
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        path = ctx.path.replace("\\", "/")
+        filename = path.rsplit("/", 1)[-1]
+        return "benchmarks/" in path and filename.startswith("bench_")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        has_adapter = any(
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node.name == _ADAPTER_NAME
+            for node in ctx.tree.body
+        )
+        if not has_adapter and ctx.tree.body:
+            # ast.Module has no lineno; anchor on the first statement.
+            yield self.finding(
+                ctx,
+                ctx.tree.body[0],
+                f"benchmark module defines no top-level {_ADAPTER_NAME}(); "
+                "add the repro.obs schema adapter so the suite is visible to "
+                "'repro-pll bench run' and the regression gate",
+                symbol=_ADAPTER_NAME,
+            )
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _JSON_WRITERS
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "json"
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"ad-hoc json.{func.attr} in a benchmark; emit results "
+                    "through repro.obs (bench_result + write_result) so they "
+                    "stay schema-valid and byte-stable",
+                    symbol=f"json.{func.attr}",
+                )

@@ -39,7 +39,8 @@ _FRONTEND_SUFFIXES = ("serving/server.py", "serving/aio.py")
 _REPLY_PREFIXES: Tuple[str, ...] = ("ok ", "error:")
 _REPLY_PREFIXES_BYTES: Tuple[bytes, ...] = (b"ok ", b"error:")
 
-#: Command words owned by protocol.py (mutation ops + control commands).
+#: Command words owned by protocol.py (mutation ops + control commands +
+#: query-verb spellings).
 _VOCABULARY = {
     "add",
     "insert",
@@ -51,6 +52,9 @@ _VOCABULARY = {
     "stats",
     "stats json",
     "traces",
+    "many",
+    "one_to_many",
+    "one-to-many",
 }
 
 

@@ -231,11 +231,96 @@ def build_parser() -> argparse.ArgumentParser:
         help="run reprolint, the project-specific static-analysis suite",
         description=(
             "Check the codebase against the serving stack's concurrency, "
-            "lifecycle and protocol invariants (rules RL001-RL006); see the "
+            "lifecycle and protocol invariants (rules RL001-RL007); see the "
             "README 'Static analysis' section for the catalogue."
         ),
     )
     add_lint_arguments(lint)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="run benchmark suites and track their results over time",
+        description=(
+            "The performance observatory: run registered benchmark suites "
+            "through the shared result schema (BENCH_<suite>.json), compare "
+            "runs with noise-aware regression gating, render trend reports "
+            "over a history directory, and snapshot a live /metrics endpoint."
+        ),
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+
+    bench_run = bench_sub.add_parser(
+        "run", help="run one or more suites and write BENCH_<suite>.json files"
+    )
+    bench_run.add_argument(
+        "--suite",
+        nargs="*",
+        default=None,
+        metavar="NAME",
+        help="suites to run (default: every registered suite; see 'bench list')",
+    )
+    bench_run.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the reduced CI-scale configuration of each suite",
+    )
+    bench_run.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="N",
+        help="repeats per suite; samples merge into one result (default 1)",
+    )
+    bench_run.add_argument(
+        "--out",
+        default="bench-results",
+        metavar="DIR",
+        help="directory for the BENCH_<suite>.json files (default bench-results)",
+    )
+
+    bench_sub.add_parser("list", help="list the registered benchmark suites")
+
+    bench_compare = bench_sub.add_parser(
+        "compare",
+        help="compare two result files or directories; exit 1 on regression",
+    )
+    bench_compare.add_argument("baseline", help="baseline BENCH_*.json file or directory")
+    bench_compare.add_argument("current", help="current BENCH_*.json file or directory")
+    bench_compare.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="relative band per gated metric (default 0.10; metric overrides win)",
+    )
+    bench_compare.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also show within-tolerance and informational rows",
+    )
+
+    bench_report = bench_sub.add_parser(
+        "report", help="render a per-suite trend table over a history directory"
+    )
+    bench_report.add_argument(
+        "history", help="directory tree holding BENCH_*.json files from past runs"
+    )
+
+    bench_scrape = bench_sub.add_parser(
+        "scrape", help="snapshot a live /metrics endpoint into the result schema"
+    )
+    bench_scrape.add_argument("url", help="address of a serving /metrics endpoint")
+    bench_scrape.add_argument(
+        "--suite",
+        default="scrape",
+        help="suite name stamped on the snapshot (default 'scrape')",
+    )
+    bench_scrape.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="also write BENCH_<suite>.json to this directory",
+    )
 
     experiment = subparsers.add_parser(
         "experiment", help="regenerate one of the paper's tables or figures"
@@ -738,6 +823,73 @@ def _command_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    if args.bench_command == "list":
+        for suite in obs.list_suites():
+            print(f"{suite.name:16s} {suite.description}")
+        return 0
+
+    if args.bench_command == "run":
+        if args.repeat < 1:
+            print("error: --repeat must be >= 1", file=sys.stderr)
+            return 2
+        try:
+            results = obs.run_suites(
+                args.suite,
+                smoke=args.smoke,
+                repeat=args.repeat,
+                out_dir=args.out,
+                echo=print,
+            )
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        total = sum(len(result.metrics) for result in results)
+        print(f"[bench] {len(results)} suite(s), {total} metrics -> {args.out}")
+        return 0
+
+    if args.bench_command == "compare":
+        tolerance = obs.compare.DEFAULT_TOLERANCE if args.tolerance is None else args.tolerance
+        try:
+            comparisons = obs.compare_paths(
+                args.baseline, args.current, tolerance=tolerance
+            )
+        except (OSError, obs.SchemaError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(obs.format_comparisons(comparisons, verbose=args.verbose))
+        return 1 if obs.has_regressions(comparisons) else 0
+
+    if args.bench_command == "report":
+        try:
+            history = obs.load_history(args.history)
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if not history:
+            print(f"no readable BENCH_*.json files under {args.history}", file=sys.stderr)
+            return 2
+        print(obs.format_trend(history))
+        return 0
+
+    if args.bench_command == "scrape":
+        try:
+            result = obs.scrape_url(args.url, suite=args.suite)
+        except (OSError, obs.SchemaError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.out:
+            path = obs.write_result(result, args.out)
+            print(f"[bench] wrote {path} ({len(result.metrics)} metrics)")
+        else:
+            print(result.to_json(), end="")
+        return 0
+
+    raise ValueError(f"unknown bench command {args.bench_command!r}")  # pragma: no cover
+
+
 def _command_experiment(args: argparse.Namespace) -> int:
     from repro import experiments as exp
 
@@ -818,6 +970,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_serve(args)
     if args.command == "datasets":
         return _command_datasets(args)
+    if args.command == "bench":
+        return _command_bench(args)
     if args.command == "experiment":
         return _command_experiment(args)
     if args.command == "lint":

@@ -1,0 +1,92 @@
+"""Benchmark telemetry and regression detection (``repro.obs``).
+
+The benchmark suite used to be nineteen scripts that printed human-readable
+reports and asserted hard floors — good at catching catastrophes, blind to
+drift.  This package makes performance numbers first-class data:
+
+* :mod:`~repro.obs.schema` — the shared :class:`BenchResult` record (suite,
+  metrics with units/direction/repeat samples, environment fingerprint) and
+  its pinned JSON encoding, written as ``BENCH_<suite>.json``.
+* :mod:`~repro.obs.registry` — the suite registry mapping names to the
+  ``collect_results()`` adapters every ``benchmarks/bench_*.py`` script
+  exposes (enforced by reprolint RL007).
+* :mod:`~repro.obs.runner` — runs registered suites, merges repeat samples,
+  writes result files (``repro-pll bench run``).
+* :mod:`~repro.obs.compare` — noise-aware regression detection over two
+  result sets: median + MAD tolerance bands, per-metric thresholds, exit-1
+  semantics (``repro-pll bench compare``).
+* :mod:`~repro.obs.report` — trend tables over a history directory of result
+  files (``repro-pll bench report``).
+* :mod:`~repro.obs.resources` — stdlib-only process resource gauges (RSS,
+  open fds, GC collections and pauses) feeding both ``/metrics`` and the
+  fingerprints here.
+* :mod:`~repro.obs.scrape` — snapshots a live server's ``GET /metrics``
+  exposition into the same :class:`BenchResult` schema, so serving SLOs and
+  offline benchmarks share one comparison path.
+
+Layering: everything here except :mod:`~repro.obs.scrape` (which lazily uses
+the serving exposition validator) is importable without ``repro.serving``;
+the serving stack imports :mod:`~repro.obs.resources` for its gauges.
+"""
+
+from repro.obs.compare import (
+    MetricComparison,
+    compare_paths,
+    compare_results,
+    format_comparisons,
+    has_regressions,
+)
+from repro.obs.registry import BenchSuite, get_suite, list_suites, run_suite
+from repro.obs.report import format_trend, load_history
+from repro.obs.resources import (
+    GcPauseMonitor,
+    enable_gc_monitor,
+    open_fd_count,
+    process_resource_stats,
+    rss_bytes,
+)
+from repro.obs.runner import run_suites
+from repro.obs.schema import (
+    SCHEMA_VERSION,
+    BenchResult,
+    EnvFingerprint,
+    Metric,
+    SchemaError,
+    bench_result,
+    collect_fingerprint,
+    read_result,
+    result_filename,
+    write_result,
+)
+from repro.obs.scrape import scrape_url
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BenchResult",
+    "BenchSuite",
+    "EnvFingerprint",
+    "GcPauseMonitor",
+    "Metric",
+    "MetricComparison",
+    "SchemaError",
+    "bench_result",
+    "collect_fingerprint",
+    "compare_paths",
+    "compare_results",
+    "enable_gc_monitor",
+    "format_comparisons",
+    "format_trend",
+    "get_suite",
+    "has_regressions",
+    "list_suites",
+    "load_history",
+    "open_fd_count",
+    "process_resource_stats",
+    "read_result",
+    "result_filename",
+    "rss_bytes",
+    "run_suite",
+    "run_suites",
+    "scrape_url",
+    "write_result",
+]

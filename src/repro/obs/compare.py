@@ -1,0 +1,249 @@
+"""Noise-aware regression detection over two benchmark result sets.
+
+The comparator judges each *gated* metric (``higher_is_better`` set) of the
+baseline against the current run.  Instead of a naive ratio check it builds a
+tolerance band around the baseline median:
+
+``band = max(tolerance * |median|, MAD_MULTIPLIER * MAD)``
+
+where MAD is the median absolute deviation of the baseline's repeat samples.
+A machine whose baseline run already jittered by 8% should not fail CI on a
+6% "regression"; a metric measured with zero spread (a count, say) gates
+exactly.  Per-metric ``tolerance`` values in the baseline override the global
+one, which is how deliberately-noisy metrics get wider bands without
+loosening every gate.
+
+Direction matters: only movement in the *bad* direction (down for
+throughputs, up for latencies) can regress.  A gated baseline metric missing
+from the current run is itself a regression — deleting the measurement is the
+oldest way to ship a slowdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.obs.schema import BenchResult, Metric, read_result
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "MAD_MULTIPLIER",
+    "MetricComparison",
+    "compare_paths",
+    "compare_results",
+    "format_comparisons",
+    "has_regressions",
+]
+
+#: Global relative tolerance: ±10% around the baseline median by default.
+DEFAULT_TOLERANCE = 0.10
+
+#: The MAD term scales by this (3×MAD ≈ 2σ for normal noise — generous
+#: enough that honest jitter passes, tight enough that 2× slowdowns never do).
+MAD_MULTIPLIER = 3.0
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def _mad(values: Sequence[float]) -> float:
+    """Median absolute deviation (0.0 for singleton samples)."""
+    if len(values) < 2:
+        return 0.0
+    center = _median(values)
+    return _median([abs(v - center) for v in values])
+
+
+@dataclass(frozen=True)
+class MetricComparison:
+    """The verdict for one metric of one suite.
+
+    ``status`` is one of ``"ok"`` (inside the band), ``"improved"`` (outside
+    the band, good direction), ``"regressed"`` (outside, bad direction),
+    ``"missing"`` (gated metric vanished from the current run — counts as a
+    regression), ``"new"`` (only in the current run), or ``"skipped"``
+    (informational metric, never gated).
+    """
+
+    suite: str
+    name: str
+    unit: str
+    status: str
+    baseline: Optional[float]
+    current: Optional[float]
+    band: float = 0.0
+
+    @property
+    def regression(self) -> bool:
+        return self.status in ("regressed", "missing")
+
+    @property
+    def delta(self) -> Optional[float]:
+        if self.baseline is None or self.current is None:
+            return None
+        return self.current - self.baseline
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if self.baseline is None or self.current is None or self.baseline == 0:
+            return None
+        return self.current / self.baseline
+
+
+def _compare_metric(
+    suite: str, base: Metric, cur: Optional[Metric], tolerance: float
+) -> MetricComparison:
+    base_median = _median(base.samples)
+    if cur is None:
+        if base.gated:
+            return MetricComparison(
+                suite, base.name, base.unit, "missing", base_median, None
+            )
+        return MetricComparison(suite, base.name, base.unit, "skipped", base_median, None)
+    cur_median = _median(cur.samples)
+    if not base.gated:
+        return MetricComparison(
+            suite, base.name, base.unit, "skipped", base_median, cur_median
+        )
+    effective_tolerance = base.tolerance if base.tolerance is not None else tolerance
+    band = max(effective_tolerance * abs(base_median), MAD_MULTIPLIER * _mad(base.samples))
+    if base.higher_is_better:
+        bad = cur_median < base_median - band
+        good = cur_median > base_median + band
+    else:
+        bad = cur_median > base_median + band
+        good = cur_median < base_median - band
+    status = "regressed" if bad else ("improved" if good else "ok")
+    return MetricComparison(
+        suite, base.name, base.unit, status, base_median, cur_median, band
+    )
+
+
+def compare_results(
+    baseline: BenchResult,
+    current: BenchResult,
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> List[MetricComparison]:
+    """Compare one suite's current run against its baseline, metric by metric."""
+    comparisons: List[MetricComparison] = []
+    for base in baseline.metrics:
+        comparisons.append(
+            _compare_metric(baseline.suite, base, current.metric(base.name), tolerance)
+        )
+    known = {metric.name for metric in baseline.metrics}
+    for cur in current.metrics:
+        if cur.name not in known:
+            comparisons.append(
+                MetricComparison(
+                    current.suite, cur.name, cur.unit, "new", None, _median(cur.samples)
+                )
+            )
+    return comparisons
+
+
+def _collect_results(path: Path) -> Dict[str, BenchResult]:
+    """Suite → result for a path that is either one file or a directory."""
+    if path.is_file():
+        result = read_result(path)
+        return {result.suite: result}
+    if path.is_dir():
+        results: Dict[str, BenchResult] = {}
+        for file in sorted(path.glob("BENCH_*.json")):
+            result = read_result(file)
+            results[result.suite] = result
+        return results
+    raise FileNotFoundError(f"no benchmark results at {path}")
+
+
+def compare_paths(
+    baseline: Union[str, Path],
+    current: Union[str, Path],
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> List[MetricComparison]:
+    """Compare two result files, or two directories matched suite-by-suite.
+
+    Suites present only in the baseline directory are reported as one
+    ``missing`` comparison each (the whole measurement vanished); suites only
+    in the current directory are ``new``.
+    """
+    base_results = _collect_results(Path(baseline))
+    cur_results = _collect_results(Path(current))
+    comparisons: List[MetricComparison] = []
+    for suite, base in base_results.items():
+        cur = cur_results.get(suite)
+        if cur is None:
+            comparisons.append(
+                MetricComparison(suite, "<suite>", "", "missing", None, None)
+            )
+            continue
+        comparisons.extend(compare_results(base, cur, tolerance=tolerance))
+    for suite in cur_results:
+        if suite not in base_results:
+            comparisons.append(MetricComparison(suite, "<suite>", "", "new", None, None))
+    return comparisons
+
+
+def has_regressions(comparisons: Iterable[MetricComparison]) -> bool:
+    """Whether any comparison warrants a non-zero exit."""
+    return any(c.regression for c in comparisons)
+
+
+def _format_value(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def format_comparisons(
+    comparisons: Sequence[MetricComparison], *, verbose: bool = False
+) -> str:
+    """Human-readable comparison table.
+
+    By default only gating verdicts and movements are shown; ``verbose``
+    includes the ``skipped``/``ok`` rows too.
+    """
+    rows: List[List[str]] = []
+    for c in comparisons:
+        if not verbose and c.status in ("ok", "skipped", "new"):
+            continue
+        ratio = f"{c.ratio:.3f}x" if c.ratio is not None else "-"
+        rows.append(
+            [
+                c.suite,
+                c.name,
+                c.status.upper() if c.regression else c.status,
+                _format_value(c.baseline),
+                _format_value(c.current),
+                ratio,
+                c.unit,
+            ]
+        )
+    total = len(comparisons)
+    regressed = sum(1 for c in comparisons if c.regression)
+    improved = sum(1 for c in comparisons if c.status == "improved")
+    lines: List[str] = []
+    if rows:
+        header = ["suite", "metric", "status", "baseline", "current", "ratio", "unit"]
+        widths = [
+            max(len(header[i]), max(len(row[i]) for row in rows)) for i in range(len(header))
+        ]
+        lines.append("  ".join(header[i].ljust(widths[i]) for i in range(len(header))))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in rows:
+            lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(header))))
+        lines.append("")
+    lines.append(
+        f"{total} metric(s) compared: {regressed} regression(s), {improved} improvement(s)"
+    )
+    return "\n".join(lines)

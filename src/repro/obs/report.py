@@ -1,0 +1,105 @@
+"""Trend tables over a history directory of benchmark results.
+
+``repro-pll bench report DIR`` walks a directory tree of ``BENCH_*.json``
+files (a typical layout is one subdirectory per commit, e.g. CI artifact
+drops), orders runs by their fingerprint timestamp, and renders one table per
+suite: metrics down the rows, runs across the columns labelled by short git
+sha.  It is a reading aid, not a gate — gating lives in
+:mod:`~repro.obs.compare`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.obs.schema import BenchResult, SchemaError, read_result
+
+__all__ = ["format_trend", "load_history"]
+
+
+def load_history(directory: Union[str, Path]) -> List[BenchResult]:
+    """Every readable ``BENCH_*.json`` under ``directory``, oldest first.
+
+    Unreadable or schema-invalid files are skipped (a history directory
+    accumulates artifacts from many PRs; one corrupt drop should not hide the
+    rest of the trend).
+    """
+    root = Path(directory)
+    if not root.is_dir():
+        raise FileNotFoundError(f"no history directory at {root}")
+    results: List[BenchResult] = []
+    for path in sorted(root.rglob("BENCH_*.json")):
+        try:
+            results.append(read_result(path))
+        except (OSError, SchemaError):
+            continue
+    results.sort(key=lambda r: r.fingerprint.timestamp)
+    return results
+
+
+def _run_label(result: BenchResult) -> str:
+    sha = result.fingerprint.git_sha
+    label = sha[:8] if sha and sha != "unknown" else "unknown"
+    if result.fingerprint.smoke:
+        label += "*"
+    return label
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def format_trend(results: Sequence[BenchResult]) -> str:
+    """One table per suite: metrics as rows, runs as sha-labelled columns.
+
+    A ``*`` after a column label marks a smoke-configuration run.  Cells are
+    ``-`` where a run lacks the metric.
+    """
+    by_suite: Dict[str, List[BenchResult]] = {}
+    for result in results:
+        by_suite.setdefault(result.suite, []).append(result)
+    if not by_suite:
+        return "no benchmark results found"
+
+    blocks: List[str] = []
+    for suite in sorted(by_suite):
+        runs = by_suite[suite]
+        labels = [_run_label(run) for run in runs]
+        metric_names: List[str] = []
+        units: Dict[str, str] = {}
+        for run in runs:
+            for metric in run.metrics:
+                if metric.name not in units:
+                    metric_names.append(metric.name)
+                    units[metric.name] = metric.unit
+        rows: List[Tuple[str, List[str]]] = []
+        for name in metric_names:
+            cells: List[str] = []
+            for run in runs:
+                metric = run.metric(name)
+                cells.append("-" if metric is None else _format_value(metric.value))
+            label = f"{name} [{units[name]}]" if units[name] else name
+            rows.append((label, cells))
+
+        name_width = max(len("metric"), max(len(label) for label, _ in rows))
+        col_widths = [
+            max(len(labels[i]), max(len(cells[i]) for _, cells in rows))
+            for i in range(len(labels))
+        ]
+        lines = [f"== {suite} ({len(runs)} run(s)) =="]
+        header = "metric".ljust(name_width) + "  " + "  ".join(
+            labels[i].rjust(col_widths[i]) for i in range(len(labels))
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for label, cells in rows:
+            lines.append(
+                label.ljust(name_width)
+                + "  "
+                + "  ".join(cells[i].rjust(col_widths[i]) for i in range(len(labels)))
+            )
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks) + "\n\n(* = smoke configuration)"

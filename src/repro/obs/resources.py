@@ -1,0 +1,167 @@
+"""Stdlib-only process resource gauges.
+
+These feed two consumers: :meth:`ServerMetrics.snapshot` merges them into the
+``/metrics`` exposition (``process_rss_bytes``, ``process_open_fds``, the GC
+series), and benchmark fingerprints may sample them.  Everything here is best
+effort — a gauge whose source is unavailable (no ``/proc``, say) is simply
+omitted rather than reported as a lie.
+
+No third-party dependency (psutil is deliberately absent): RSS comes from
+``/proc/self/statm`` (falling back to ``resource.getrusage`` peak RSS), open
+file descriptors from ``/proc/self/fd``, and GC pause accounting from the
+interpreter's own :data:`gc.callbacks` hook.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import threading
+import time
+from typing import Dict, Optional
+
+__all__ = [
+    "GcPauseMonitor",
+    "enable_gc_monitor",
+    "open_fd_count",
+    "process_resource_stats",
+    "rss_bytes",
+]
+
+
+def rss_bytes() -> Optional[int]:
+    """Current resident set size in bytes, or ``None`` when unknowable.
+
+    Prefers ``/proc/self/statm`` (field 2 is resident pages); falls back to
+    ``resource.getrusage`` *peak* RSS, which overstates the current value but
+    is monotone and still useful for leak detection.
+    """
+    try:
+        with open("/proc/self/statm", "r", encoding="ascii") as handle:
+            fields = handle.read().split()
+        return int(fields[1]) * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, IndexError, ValueError):
+        pass
+    try:
+        import resource
+
+        # ru_maxrss is kilobytes on Linux (bytes on macOS, but the /proc
+        # branch above wins there never; accept the platform quirk).
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+    except Exception:
+        return None
+
+
+def open_fd_count() -> Optional[int]:
+    """Number of open file descriptors, or ``None`` without ``/proc``."""
+    try:
+        return len(os.listdir("/proc/self/fd"))
+    except OSError:
+        return None
+
+
+class GcPauseMonitor:
+    """Accumulates garbage-collection pause time via :data:`gc.callbacks`.
+
+    The interpreter invokes the callback synchronously around every
+    collection, so the delta between the ``"start"`` and ``"stop"`` events is
+    the stop-the-world pause the process just paid.  Counters only ever grow;
+    readers take a point-in-time copy through :meth:`stats`.
+
+    Attributes
+    ----------
+    pause_seconds_total : float
+        Sum of all observed pause durations (guarded-by ``_lock``).
+    pauses_total : int
+        Number of completed collections observed (guarded-by ``_lock``).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._started_at: Optional[float] = None
+        self.pause_seconds_total = 0.0
+        self.pauses_total = 0
+        self._installed = False
+
+    def install(self) -> None:
+        """Hook into :data:`gc.callbacks` (idempotent)."""
+        with self._lock:
+            if self._installed:
+                return
+            gc.callbacks.append(self._on_gc_event)
+            self._installed = True
+
+    def uninstall(self) -> None:
+        """Remove the hook (idempotent); accumulated totals survive."""
+        with self._lock:
+            if not self._installed:
+                return
+            try:
+                gc.callbacks.remove(self._on_gc_event)
+            except ValueError:
+                pass
+            self._installed = False
+            self._started_at = None
+
+    def _on_gc_event(self, phase: str, info: Dict[str, int]) -> None:
+        now = time.perf_counter()
+        with self._lock:
+            if phase == "start":
+                self._started_at = now
+            elif phase == "stop" and self._started_at is not None:
+                self.pause_seconds_total += now - self._started_at
+                self.pauses_total += 1
+                self._started_at = None
+
+    def stats(self) -> Dict[str, float]:
+        """Point-in-time copy of the pause counters."""
+        with self._lock:
+            return {
+                "gc_pause_seconds_total": self.pause_seconds_total,
+                "gc_pauses_total": float(self.pauses_total),
+            }
+
+
+_MONITOR = GcPauseMonitor()
+_MONITOR_ENABLED = False
+_MONITOR_LOCK = threading.Lock()
+
+
+def enable_gc_monitor() -> GcPauseMonitor:
+    """Install the process-wide GC pause monitor (idempotent) and return it."""
+    global _MONITOR_ENABLED
+    with _MONITOR_LOCK:
+        _MONITOR.install()
+        _MONITOR_ENABLED = True
+    return _MONITOR
+
+
+def process_resource_stats() -> Dict[str, float]:
+    """Best-effort resource gauges for the current process.
+
+    Keys follow Prometheus naming (``_bytes``/``_total`` suffixes); values
+    are floats so the dict merges directly into a metrics snapshot.  GC pause
+    series appear only once :func:`enable_gc_monitor` has been called —
+    reporting an eternally-zero pause total without the hook installed would
+    read as "no pauses" rather than "not measured".
+    """
+    stats: Dict[str, float] = {}
+    rss = rss_bytes()
+    if rss is not None:
+        stats["process_rss_bytes"] = float(rss)
+    fds = open_fd_count()
+    if fds is not None:
+        stats["process_open_fds"] = float(fds)
+    try:
+        per_generation = gc.get_stats()
+        stats["gc_collections_total"] = float(
+            sum(entry.get("collections", 0) for entry in per_generation)
+        )
+        stats["gc_collected_total"] = float(
+            sum(entry.get("collected", 0) for entry in per_generation)
+        )
+    except Exception:
+        pass
+    if _MONITOR_ENABLED:
+        stats.update(_MONITOR.stats())
+    return stats

@@ -1,0 +1,59 @@
+"""Runs registered suites and writes their result files.
+
+The engine behind ``repro-pll bench run``: resolves suite names, runs each
+one ``repeat`` times (folding repeats together via
+:meth:`BenchResult.merged_with`, so gated metrics keep their best
+observation and every sample is preserved for the comparator's noise
+bands), and writes ``BENCH_<suite>.json`` files when an output directory is
+given.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.obs.registry import get_suite, list_suites, run_suite
+from repro.obs.schema import BenchResult, write_result
+
+__all__ = ["run_suites"]
+
+
+def run_suites(
+    names: Optional[Sequence[str]] = None,
+    *,
+    smoke: bool = False,
+    repeat: int = 1,
+    out_dir: Optional[Union[str, Path]] = None,
+    echo: Optional[Callable[[str], None]] = None,
+) -> List[BenchResult]:
+    """Run suites by name (all registered suites when ``names`` is empty).
+
+    ``repeat`` > 1 re-runs each suite and merges the observations; ``echo``
+    receives one progress line per step when given (the CLI passes ``print``).
+    Unknown suite names raise :class:`KeyError` before anything runs, so a
+    typo cannot waste a half-hour benchmark session.
+    """
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
+    if names:
+        suites = [get_suite(name) for name in names]
+    else:
+        suites = list_suites()
+    say = echo if echo is not None else (lambda _line: None)
+
+    results: List[BenchResult] = []
+    for suite in suites:
+        mode = "smoke" if smoke else "full"
+        merged: Optional[BenchResult] = None
+        for attempt in range(repeat):
+            tag = f" (repeat {attempt + 1}/{repeat})" if repeat > 1 else ""
+            say(f"[bench] running {suite.name} [{mode}]{tag} ...")
+            result = run_suite(suite.name, smoke=smoke)
+            merged = result if merged is None else merged.merged_with(result)
+        assert merged is not None
+        results.append(merged)
+        if out_dir is not None:
+            path = write_result(merged, out_dir)
+            say(f"[bench] wrote {path}")
+    return results

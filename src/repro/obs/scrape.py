@@ -1,0 +1,85 @@
+"""Snapshot a live server's ``/metrics`` into the benchmark result schema.
+
+``repro-pll bench scrape URL`` fetches a Prometheus exposition from a running
+front end, validates it with the same grammar checker the tests and
+``bench_async`` use, and converts the label-free samples into a
+:class:`~repro.obs.schema.BenchResult` — so serving SLOs scraped off a
+production box and offline benchmark numbers flow through the *same*
+``bench compare`` path.
+
+Scraped metrics are informational by default (``higher_is_better=None``): a
+live counter snapshot depends on uptime, so gating direction is only assigned
+to the few shapes where it is unambiguous (qps/hit-rate up, latency/lag
+down).
+"""
+
+from __future__ import annotations
+
+import urllib.error
+import urllib.request
+from typing import Optional
+
+from repro.obs.schema import BenchResult, Metric, bench_result
+
+__all__ = ["scrape_url"]
+
+#: name-suffix → unit inference for exposition sample names.
+_UNIT_SUFFIXES = (
+    ("_seconds_total", "seconds"),
+    ("_seconds", "seconds"),
+    ("_bytes", "bytes"),
+    ("_ms", "ms"),
+    ("_us", "us"),
+)
+
+_HIGHER_IS_BETTER_HINTS = ("_qps", "hit_rate", "hit_ratio")
+_LOWER_IS_BETTER_HINTS = ("latency", "_lag_seconds", "pause_seconds")
+
+
+def _infer_unit(name: str) -> str:
+    for suffix, unit in _UNIT_SUFFIXES:
+        if name.endswith(suffix):
+            return unit
+    return ""
+
+
+def _infer_direction(name: str) -> Optional[bool]:
+    if any(hint in name for hint in _HIGHER_IS_BETTER_HINTS):
+        return True
+    if any(hint in name for hint in _LOWER_IS_BETTER_HINTS):
+        return False
+    return None
+
+
+def scrape_url(url: str, *, suite: str = "scrape", timeout: float = 10.0) -> BenchResult:
+    """Fetch, validate, and schema-ify one ``/metrics`` exposition.
+
+    Raises
+    ------
+    OSError
+        When the URL cannot be fetched (connection refused, HTTP error, ...).
+    AssertionError
+        When the body violates the exposition grammar.
+    """
+    # Lazy import keeps ``repro.obs`` importable without the serving stack.
+    from repro.serving.metrics import validate_prometheus_exposition
+
+    if "://" not in url:
+        url = "http://" + url
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            body = response.read().decode("utf-8")
+    except urllib.error.URLError as exc:
+        raise OSError(f"cannot scrape {url}: {exc}") from None
+
+    samples = validate_prometheus_exposition(body)
+    metrics = [
+        Metric(
+            name=name,
+            value=value,
+            unit=_infer_unit(name),
+            higher_is_better=_infer_direction(name),
+        )
+        for name, value in sorted(samples.items())
+    ]
+    return bench_result(suite, metrics, smoke=False)

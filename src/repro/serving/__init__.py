@@ -42,6 +42,7 @@ from repro.serving.metrics import (
     ServerMetrics,
     index_health_stats,
     render_prometheus_text,
+    validate_prometheus_exposition,
 )
 from repro.serving.protocol import MAX_VERTEX_ID, parse_mutation, parse_pair
 from repro.serving.server import (
@@ -87,6 +88,7 @@ __all__ = [
     "Histogram",
     "index_health_stats",
     "render_prometheus_text",
+    "validate_prometheus_exposition",
     "TraceRecorder",
     "NullTraceRecorder",
     "Trace",

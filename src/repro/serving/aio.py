@@ -85,14 +85,19 @@ from repro.serving.protocol import (
     QUIT_COMMANDS,
     STATS_COMMANDS,
     TRACES_COMMAND,
+    VERB_ONE_TO_MANY,
+    VERB_PAIR,
     format_distance_line,
     format_error,
     format_mutation_ack,
+    format_one_to_many_reply,
     format_parse_error,
     format_publish_ack,
     is_mutation,
+    is_one_to_many,
     normalize_command,
     parse_mutation,
+    parse_one_to_many,
     parse_pair,
 )
 from repro.serving.snapshot import SnapshotManager
@@ -218,6 +223,11 @@ class AsyncQueryFrontend:
         self._executor: Optional[ThreadPoolExecutor] = None
         self._batcher_task: Optional[asyncio.Task] = None
         self._health_task: Optional[asyncio.Task] = None
+        self._lag_task: Optional[asyncio.Task] = None
+        #: Latest sampled event-loop scheduling lag (seconds); written only
+        #: by the lag task on the loop, read by metrics_snapshot.
+        self._loop_lag = 0.0
+        self._lag_interval = 0.5
         self._draining: Optional[asyncio.Event] = None
         self._stop_requested: Optional[asyncio.Event] = None
         self._servers = []
@@ -307,6 +317,7 @@ class AsyncQueryFrontend:
         bit-parallel roots, dirty vertices, generation identity/bytes)."""
         stats = self.metrics.snapshot(**self._metrics_kwargs())
         stats["num_connections"] = self.num_connections
+        stats["event_loop_lag_seconds"] = self._loop_lag
         try:
             stats.update(
                 index_health_stats(self._current_engine(), self.snapshot_manager)
@@ -351,6 +362,7 @@ class AsyncQueryFrontend:
         self._accepting = True
         self._running = True
         self._batcher_task = asyncio.create_task(self._batcher_loop())
+        self._lag_task = asyncio.create_task(self._lag_loop())
         if self._health_check_interval and hasattr(self._backend, "ping"):
             self._health_task = asyncio.create_task(self._health_loop())
         if self.logger is not None:
@@ -395,6 +407,13 @@ class AsyncQueryFrontend:
             except asyncio.CancelledError:
                 pass
             self._health_task = None
+        if self._lag_task is not None:
+            self._lag_task.cancel()
+            try:
+                await self._lag_task
+            except asyncio.CancelledError:
+                pass
+            self._lag_task = None
         # Every request admitted before the flag flipped completes here...
         await self._queue.join()
         self._queue.put_nowait(None)
@@ -557,6 +576,52 @@ class AsyncQueryFrontend:
     async def distance(self, s: int, t: int) -> float:
         """Scalar convenience query."""
         return float((await self.submit([s], [t]))[0])
+
+    async def query_one_to_many(
+        self, source: int, targets: Optional[Sequence[int]] = None
+    ) -> np.ndarray:
+        """Distances from ``source`` to ``targets`` (all vertices when ``None``).
+
+        Runs the engine fan-out on the executor (one kernel call, off the
+        loop) rather than through the pair batcher — same dispatch decision
+        as the threaded server's ``query_one_to_many``, same verb metrics.
+        """
+        if not self._accepting:
+            raise ServingError(
+                "front end is not accepting requests; call start() first"
+            )
+        start = time.perf_counter()
+        want_spans = self.tracer.enabled or self.metrics.has_histograms
+        spans: Optional[list] = [] if want_spans else None
+        engine = self._current_engine_and_invalidate()
+        trace = self.tracer.start(
+            len(targets) if targets is not None else engine.num_vertices
+        )
+
+        def _run() -> np.ndarray:
+            return engine.query_one_to_many(source, targets, span_sink=spans)
+
+        try:
+            distances = await self._loop.run_in_executor(self._executor, _run)
+        except Exception:
+            self.metrics.observe_error()
+            self.tracer.record(trace, time.perf_counter() - start, status="error")
+            raise
+        elapsed = time.perf_counter() - start
+        num_pairs = int(distances.shape[0])
+        self.metrics.observe_batch(num_pairs, 1, elapsed, request_latencies=[elapsed])
+        self.metrics.observe_verb(VERB_ONE_TO_MANY, num_pairs)
+        self.metrics.observe_kernel_op(
+            getattr(engine, "kernel_name", "unknown"), "query_one_to_many", num_pairs
+        )
+        if spans:
+            if trace is not None:
+                trace.extend(spans)
+                self.tracer.record(trace, elapsed)
+            kernel_seconds = [span.seconds for span in spans if span.name == "kernel"]
+            if self.metrics.has_histograms and kernel_seconds:
+                self.metrics.observe_stages({"kernel": kernel_seconds})
+        return distances
 
     async def publish(self):
         """Publish pending mutations as a new snapshot (off-loop); returns it."""
@@ -758,14 +823,16 @@ class AsyncQueryFrontend:
                     succeeded.append(request)
             if succeeded:
                 completed = time.perf_counter()
+                num_pairs = sum(len(request) for request in succeeded)
                 self.metrics.observe_batch(
-                    sum(len(request) for request in succeeded),
+                    num_pairs,
                     len(succeeded),
                     completed - start,
                     request_latencies=[
                         completed - request.created for request in succeeded
                     ],
                 )
+                self._count_pair_queries(num_pairs)
                 for request in succeeded:
                     self.tracer.record(
                         request.trace, completed - request.created, status="retried"
@@ -787,8 +854,31 @@ class AsyncQueryFrontend:
             completed - start,
             request_latencies=[completed - request.created for request in batch],
         )
+        self._count_pair_queries(int(sources.shape[0]))
         if want_spans:
             self._trace_batch(batch, batch_spans, start, eval_done, completed)
+
+    def _count_pair_queries(self, num_pairs: int) -> None:
+        """Stamp per-verb and per-kernel-op counters for one pair batch."""
+        self.metrics.observe_verb(VERB_PAIR, num_pairs)
+        self.metrics.observe_kernel_op(
+            getattr(self._current_engine(), "kernel_name", "unknown"),
+            "query_pairs",
+            num_pairs,
+        )
+
+    async def _lag_loop(self) -> None:
+        """Sample event-loop scheduling lag: how late a timed sleep wakes up.
+
+        A healthy loop wakes within microseconds of the deadline; a loop
+        wedged behind a blocking call (the exact failure RL002 hunts for
+        statically) shows up here at runtime as lag on the
+        ``event_loop_lag_seconds`` gauge.
+        """
+        while True:
+            target = self._loop.time() + self._lag_interval
+            await asyncio.sleep(self._lag_interval)
+            self._loop_lag = max(0.0, self._loop.time() - target)
 
     async def _health_loop(self) -> None:
         """Ping the sharded worker pool periodically; it respawns on breakage."""
@@ -837,6 +927,16 @@ class AsyncQueryFrontend:
                 return await self.apply_mutation(op, endpoints)
             except (ServingError, GraphError, IndexBuildError) as exc:
                 return format_error(exc)
+        if is_one_to_many(stripped):
+            try:
+                source, targets = parse_one_to_many(stripped)
+            except ValueError as exc:
+                return format_parse_error("query", stripped, exc)
+            try:
+                distances = await self.query_one_to_many(source, targets)
+            except (AdmissionError, ServingError, VertexError, TimeoutError) as exc:
+                return format_error(exc)
+            return format_one_to_many_reply(source, targets, distances)
         try:
             s, t = parse_pair(stripped)
         except ValueError as exc:

@@ -125,6 +125,7 @@ class BatchQueryEngine:
         self._stats_window = int(stats_window)
         self._stats = EngineStats()
         self._stats_lock = threading.Lock()
+        self._kernel_name: Optional[str] = None
 
     @property
     def index(self) -> PrunedLandmarkLabeling:
@@ -153,6 +154,20 @@ class BatchQueryEngine:
         info = kernel.selection.as_dict()
         info["narrow"] = kernel.plan.narrow
         return info
+
+    @property
+    def kernel_name(self) -> str:
+        """Name of the selected batch-kernel backend (cached after first use).
+
+        The cheap label the metrics layer stamps on per-verb kernel-op
+        counters; :meth:`kernel_info` has the full selection record.
+        """
+        if self._kernel_name is None:
+            try:
+                self._kernel_name = str(self.kernel_info().get("selected", "unknown"))
+            except Exception:
+                return "unknown"
+        return self._kernel_name
 
     def query(self, s: int, t: int) -> float:
         """Scalar convenience query (same result as ``index.distance``)."""

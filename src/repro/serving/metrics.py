@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import json
 import math
+import re
 import threading
 import time
 from bisect import bisect_left
@@ -30,6 +31,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.obs.resources import process_resource_stats
 from repro.serving.cache import CacheStats
 
 __all__ = [
@@ -38,6 +40,7 @@ __all__ = [
     "ServerMetrics",
     "index_health_stats",
     "render_prometheus_text",
+    "validate_prometheus_exposition",
 ]
 
 #: Percentiles reported by default (the usual serving dashboard trio).
@@ -79,6 +82,10 @@ PROMETHEUS_COUNTERS = frozenset(
         "cache_hits",
         "cache_misses",
         "cache_evictions",
+        "gc_collections_total",
+        "gc_collected_total",
+        "gc_pause_seconds_total",
+        "gc_pauses_total",
     }
 )
 
@@ -105,6 +112,13 @@ _PROMETHEUS_HELP = {
     "generation_bytes": "Bytes of the shared-memory generation backing the snapshot.",
     "kernel_fallback": "1 when the serving kernel backend is a fallback from the requested one.",
     "kernel_narrow": "1 when the served generation uses the narrow (uint32/uint8) kernel layout.",
+    "process_rss_bytes": "Resident set size of the serving process.",
+    "process_open_fds": "Open file descriptors held by the serving process.",
+    "gc_collections_total": "Garbage collections completed (all generations).",
+    "gc_collected_total": "Objects reclaimed by the garbage collector.",
+    "gc_pause_seconds_total": "Cumulative stop-the-world garbage-collection pause time.",
+    "gc_pauses_total": "Garbage-collection pauses observed by the pause monitor.",
+    "event_loop_lag_seconds": "Latest sampled asyncio event-loop scheduling lag.",
     "latency_seconds": "End-to-end request latency (admission to reply).",
     "stage_queue_seconds": "Time requests spend queued before the batcher dequeues them.",
     "stage_batch_seconds": "Time requests spend in the coalescing window.",
@@ -213,8 +227,10 @@ def render_prometheus_text(
     workers = stats.get("workers")
     histograms = stats.get("histograms")
     generation_name = stats.get("generation_name")
+    verbs = stats.get("verbs")
+    kernel_ops = stats.get("kernel_ops")
     for key in sorted(stats):
-        if key in ("workers", "histograms", "generation_name"):
+        if key in ("workers", "histograms", "generation_name", "verbs", "kernel_ops"):
             continue
         value = stats[key]
         if isinstance(value, bool) or not isinstance(value, (int, float)):
@@ -244,6 +260,28 @@ def render_prometheus_text(
             "Kernel backend serving batch queries (selected vs requested).",
             labels="{" + labels + "}",
         )
+    if isinstance(verbs, Mapping) and verbs:
+        name = f"{prefix}_verb_queries_total"
+        lines.append(f"# HELP {name} Query pairs answered, broken down by wire verb.")
+        lines.append(f"# TYPE {name} counter")
+        for verb in sorted(verbs):
+            lines.append(
+                f'{name}{{verb="{verb}"}} {_prometheus_number(verbs[verb])}'
+            )
+    if isinstance(kernel_ops, Mapping) and kernel_ops:
+        name = f"{prefix}_kernel_op_queries_total"
+        lines.append(
+            f"# HELP {name} Query pairs evaluated, broken down by kernel backend and operation."
+        )
+        lines.append(f"# TYPE {name} counter")
+        for kernel, ops in sorted(kernel_ops.items()):
+            if not isinstance(ops, Mapping):
+                continue
+            for op in sorted(ops):
+                lines.append(
+                    f'{name}{{kernel="{kernel}",op="{op}"}} '
+                    f"{_prometheus_number(ops[op])}"
+                )
     if isinstance(histograms, Mapping):
         for hist_key in sorted(histograms):
             hist = histograms[hist_key]
@@ -283,6 +321,43 @@ def render_prometheus_text(
                     f"{_prometheus_number(counters[field_name])}"
                 )
     return "\n".join(lines) + "\n"
+
+
+#: One exposition sample line: ``name{labels} value`` with a Go-style number.
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? "
+    r"([-+]?[0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?|[-+]?Inf|NaN)$"
+)
+
+
+def validate_prometheus_exposition(body: str) -> Dict[str, float]:
+    """Parse a Prometheus text-exposition body, asserting it is well formed.
+
+    Every line must be a ``# HELP`` / ``# TYPE`` comment or a sample matching
+    the exposition grammar.  Returns the label-free samples as a dict.
+
+    Promoted here from ``benchmarks/bench_async.py`` so the benchmark, the
+    metrics tests and ``repro-pll bench scrape`` all validate the exposition
+    with the same grammar.
+    """
+    samples: Dict[str, float] = {}
+    if not body.endswith("\n"):
+        raise AssertionError("exposition must end with a newline")
+    for line in body.splitlines():
+        if not line:
+            continue
+        if line.startswith("#"):
+            if not (line.startswith("# HELP ") or line.startswith("# TYPE ")):
+                raise AssertionError(f"unexpected comment line: {line!r}")
+            continue
+        if not _SAMPLE_RE.match(line):
+            raise AssertionError(f"invalid exposition sample: {line!r}")
+        name, _, value = line.partition(" ")
+        if "{" not in name:
+            samples[name] = float(value)
+    if not samples:
+        raise AssertionError("exposition contained no samples")
+    return samples
 
 
 class LatencyWindow:
@@ -333,6 +408,8 @@ class ServerMetrics:
 
         _latencies: guarded-by _lock
         _workers: guarded-by _lock
+        _verbs: guarded-by _lock
+        _kernel_ops: guarded-by _lock
 
     ``_histograms`` is deliberately *not* guarded: the dict is fully built in
     ``__init__`` and never mutated afterwards, so the hot-path reads
@@ -375,6 +452,11 @@ class ServerMetrics:
         # Per-worker shard accounting for the multi-process engine, keyed by
         # worker id (pid); empty for single-process serving.
         self._workers: Dict[str, Dict[str, float]] = {}
+        # Query pairs answered per wire verb ("pair", "one_to_many", ...).
+        self._verbs: Dict[str, int] = {}
+        # Query pairs evaluated per kernel backend and operation, keyed
+        # kernel name -> op name -> pairs.
+        self._kernel_ops: Dict[str, Dict[str, int]] = {}
 
     @property
     def has_histograms(self) -> bool:
@@ -456,6 +538,27 @@ class ServerMetrics:
             counters["num_queries"] += num_queries
             counters["busy_seconds"] += seconds
 
+    def observe_verb(self, verb: str, num_queries: int) -> None:
+        """Record ``num_queries`` pairs answered under one wire verb.
+
+        Feeds the ``verb_queries_total{verb=...}`` exposition series, so the
+        traffic mix (point pairs vs one-to-many fan-outs) is visible to the
+        scraper.
+        """
+        with self._lock:
+            self._verbs[verb] = self._verbs.get(verb, 0) + num_queries
+
+    def observe_kernel_op(self, kernel: str, op: str, num_queries: int) -> None:
+        """Record ``num_queries`` pairs evaluated by one kernel backend op.
+
+        Feeds ``kernel_op_queries_total{kernel=...,op=...}``: per-backend op
+        counters show which compiled kernel actually carried the traffic
+        (selection alone says what *would* run; this says what did).
+        """
+        with self._lock:
+            ops = self._kernel_ops.setdefault(kernel, {})
+            ops[op] = ops.get(op, 0) + num_queries
+
     def observe_rejection(self) -> None:
         """Record one request rejected by admission control."""
         with self._lock:
@@ -533,6 +636,13 @@ class ServerMetrics:
                     name: histogram.snapshot()
                     for name, histogram in self._histograms.items()
                 }
+            if self._verbs:
+                stats["verbs"] = dict(self._verbs)
+            if self._kernel_ops:
+                stats["kernel_ops"] = {
+                    kernel: dict(ops) for kernel, ops in self._kernel_ops.items()
+                }
+        stats.update(process_resource_stats())
         if cache_stats is not None:
             for name, value in cache_stats.as_dict().items():
                 stats[f"cache_{name}"] = value
@@ -553,6 +663,8 @@ class ServerMetrics:
         stats = self.snapshot(**snapshot_kwargs)
         workers = stats.pop("workers", None)
         histograms = stats.pop("histograms", None)
+        verbs = stats.pop("verbs", None)
+        kernel_ops = stats.pop("kernel_ops", None)
         lines = ["serving metrics"]
         for key in sorted(stats):
             value = stats[key]
@@ -566,6 +678,16 @@ class ServerMetrics:
                     f"    {name:26s} count={hist['count']:<10d} "
                     f"sum={hist['sum']:.4f}s"
                 )
+        if verbs:
+            lines.append("  verbs")
+            for verb in sorted(verbs):
+                lines.append(f"    {verb:26s} {int(verbs[verb]):d}")
+        if kernel_ops:
+            lines.append("  kernel ops")
+            for kernel in sorted(kernel_ops):
+                for op in sorted(kernel_ops[kernel]):
+                    label = f"{kernel}/{op}"
+                    lines.append(f"    {label:26s} {int(kernel_ops[kernel][op]):d}")
         if workers:
             lines.append("  workers")
             header = f"    {'worker':>10s} {'shards':>8s} {'queries':>10s} {'busy_s':>10s}"

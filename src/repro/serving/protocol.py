@@ -21,13 +21,18 @@ __all__ = [
     "QUIT_COMMANDS",
     "STATS_COMMANDS",
     "TRACES_COMMAND",
+    "VERB_ONE_TO_MANY",
+    "VERB_PAIR",
     "format_distance_line",
     "format_error",
     "format_mutation_ack",
+    "format_one_to_many_reply",
     "format_parse_error",
     "format_publish_ack",
     "is_mutation",
+    "is_one_to_many",
     "normalize_command",
+    "parse_one_to_many",
     "parse_pair",
     "parse_mutation",
 ]
@@ -50,6 +55,13 @@ STATS_COMMANDS = frozenset({"STATS", "STATS JSON"})
 
 #: Recent/slow trace dump command; replies with the trace-ring JSON payload.
 TRACES_COMMAND = "TRACES"
+
+#: Canonical per-verb metric labels (``verb_queries_total{verb=...}``).
+VERB_PAIR = "pair"
+VERB_ONE_TO_MANY = "one_to_many"
+
+#: Accepted spellings for the one-to-many query verb (case-insensitive).
+_ONE_TO_MANY_ALIASES = frozenset({"many", "one_to_many", "one-to-many"})
 
 
 def normalize_command(line: str) -> str:
@@ -130,6 +142,60 @@ def parse_mutation(line: str) -> Tuple[str, Optional[Tuple[int, int]]]:
             raise ValueError("publish takes no arguments")
         return op, None
     return op, parse_pair(" ".join(parts[1:]))
+
+
+def is_one_to_many(line: str) -> bool:
+    """Whether a protocol line is a one-to-many query (``many s t1 t2 ...``).
+
+    Same tokenisation as :func:`parse_one_to_many`, so every line that parser
+    accepts — including comma-separated forms like ``many,0,1,2`` — is routed
+    to it.
+    """
+    parts = line.replace(",", " ").split()
+    return bool(parts) and parts[0].lower() in _ONE_TO_MANY_ALIASES
+
+
+def parse_one_to_many(line: str) -> Tuple[int, Tuple[int, ...]]:
+    """Parse one one-to-many line into ``(source, targets)``.
+
+    Accepted forms (case-insensitive): ``many s t1 [t2 ...]``, with
+    ``one_to_many`` / ``one-to-many`` as verb aliases and the same mixed
+    space/comma tokenisation as query pairs.  At least one explicit target is
+    required — the reply carries one line per target, so the client must know
+    how many lines to read back.
+
+    Raises
+    ------
+    ValueError
+        With a human-readable reason; callers prefix their own context.
+    """
+    parts = line.replace(",", " ").split()
+    if not parts or parts[0].lower() not in _ONE_TO_MANY_ALIASES:
+        raise ValueError("expected 'many s t1 [t2 ...]'")
+    if len(parts) < 3:
+        raise ValueError("one-to-many needs a source and at least one target")
+    try:
+        ids = [int(part) for part in parts[1:]]
+    except ValueError:
+        raise ValueError("vertex ids must be integers") from None
+    if any(abs(v) > MAX_VERTEX_ID for v in ids):
+        raise ValueError("vertex id does not fit 64 bits")
+    return ids[0], tuple(ids[1:])
+
+
+def format_one_to_many_reply(
+    source: int, targets: Tuple[int, ...], distances
+) -> str:
+    """Render a one-to-many reply: one :func:`format_distance_line` per target.
+
+    The lines are joined with ``\\n`` (the session handler appends the final
+    newline), in target order, so a client that sent N targets reads exactly
+    N reply lines in the same shape as point queries.
+    """
+    return "\n".join(
+        format_distance_line(source, target, float(distance))
+        for target, distance in zip(targets, distances)
+    )
 
 
 def format_distance_line(s: int, t: int, distance: float) -> str:

@@ -59,14 +59,19 @@ from repro.serving.protocol import (
     QUIT_COMMANDS,
     STATS_COMMANDS,
     TRACES_COMMAND,
+    VERB_ONE_TO_MANY,
+    VERB_PAIR,
     format_distance_line,
     format_error,
     format_mutation_ack,
+    format_one_to_many_reply,
     format_parse_error,
     format_publish_ack,
     is_mutation,
+    is_one_to_many,
     normalize_command,
     parse_mutation,
+    parse_one_to_many,
     parse_pair,
 )
 from repro.serving.snapshot import SnapshotManager
@@ -350,6 +355,48 @@ class QueryServer:
         """Synchronous batch query."""
         return self.submit_pairs(pairs).wait(timeout)
 
+    def query_one_to_many(
+        self, source: int, targets: Optional[Sequence[int]] = None
+    ) -> np.ndarray:
+        """Distances from ``source`` to ``targets`` (all vertices when ``None``).
+
+        Dispatched synchronously on the calling thread rather than through
+        the pair-batching queue: one fan-out amortises its own kernel call,
+        so coalescing it with point pairs would only delay both.  Traced,
+        histogrammed and counted like a one-request batch, labelled with the
+        ``one_to_many`` verb.
+        """
+        if not self._accepting:
+            raise ServingError("server is not accepting requests; call start() first")
+        start = time.perf_counter()
+        want_spans = self.tracer.enabled or self.metrics.has_histograms
+        spans = [] if want_spans else None
+        engine = self._current_engine_and_invalidate()
+        trace = self.tracer.start(
+            len(targets) if targets is not None else engine.num_vertices
+        )
+        try:
+            distances = engine.query_one_to_many(source, targets, span_sink=spans)
+        except Exception:
+            self.metrics.observe_error()
+            self.tracer.record(trace, time.perf_counter() - start, status="error")
+            raise
+        elapsed = time.perf_counter() - start
+        num_pairs = int(distances.shape[0])
+        self.metrics.observe_batch(num_pairs, 1, elapsed, request_latencies=[elapsed])
+        self.metrics.observe_verb(VERB_ONE_TO_MANY, num_pairs)
+        self.metrics.observe_kernel_op(
+            getattr(engine, "kernel_name", "unknown"), "query_one_to_many", num_pairs
+        )
+        if spans:
+            if trace is not None:
+                trace.extend(spans)
+                self.tracer.record(trace, elapsed)
+            kernel_seconds = [span.seconds for span in spans if span.name == "kernel"]
+            if self.metrics.has_histograms and kernel_seconds:
+                self.metrics.observe_stages({"kernel": kernel_seconds})
+        return distances
+
     def _metrics_kwargs(self) -> dict:
         manager = self.snapshot_manager
         return dict(
@@ -561,14 +608,16 @@ class QueryServer:
                     )
             if succeeded:
                 completed = time.perf_counter()
+                num_pairs = sum(len(request) for request in succeeded)
                 self.metrics.observe_batch(
-                    sum(len(request) for request in succeeded),
+                    num_pairs,
                     len(succeeded),
                     completed - start,
                     request_latencies=[
                         completed - request.created for request in succeeded
                     ],
                 )
+                self._count_pair_queries(num_pairs)
                 for request in succeeded:
                     self.tracer.record(
                         request.trace, completed - request.created, status="retried"
@@ -589,8 +638,18 @@ class QueryServer:
             completed - start,
             request_latencies=[completed - request.created for request in batch],
         )
+        self._count_pair_queries(int(sources.shape[0]))
         if want_spans:
             self._trace_batch(batch, batch_spans, start, eval_done, completed)
+
+    def _count_pair_queries(self, num_pairs: int) -> None:
+        """Stamp per-verb and per-kernel-op counters for one pair batch."""
+        self.metrics.observe_verb(VERB_PAIR, num_pairs)
+        self.metrics.observe_kernel_op(
+            getattr(self._current_engine(), "kernel_name", "unknown"),
+            "query_pairs",
+            num_pairs,
+        )
 
     def _worker_loop(self) -> None:
         while self._running:
@@ -634,6 +693,16 @@ def _handle_line(server: QueryServer, line: str) -> Optional[str]:
         # line instead of killing the session.
         except (ServingError, GraphError, IndexBuildError) as exc:
             return format_error(exc)
+    if is_one_to_many(stripped):
+        try:
+            source, targets = parse_one_to_many(stripped)
+        except ValueError as exc:
+            return format_parse_error("query", stripped, exc)
+        try:
+            distances = server.query_one_to_many(source, targets)
+        except (AdmissionError, ServingError, VertexError, TimeoutError) as exc:
+            return format_error(exc)
+        return format_one_to_many_reply(source, targets, distances)
     try:
         s, t = parse_pair(stripped)
     except ValueError as exc:

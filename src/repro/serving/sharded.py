@@ -269,6 +269,14 @@ class ShardedQueryEngine:
         """
         return self._current_snapshot().engine.kernel_info()
 
+    @property
+    def kernel_name(self) -> str:
+        """Name of the parent-side selected kernel backend (metrics label)."""
+        try:
+            return str(self.kernel_info().get("selected", "unknown"))
+        except Exception:
+            return "unknown"
+
     def worker_seconds(self) -> Dict[int, float]:
         """Cumulative busy seconds per worker pid (copy)."""
         with self._stats_lock:
@@ -465,6 +473,25 @@ class ShardedQueryEngine:
             self._record(num_pairs, time.perf_counter() - start, worker_timings)
             return result
         raise AssertionError("unreachable")  # pragma: no cover
+
+    def query_one_to_many(
+        self,
+        source: int,
+        targets: Optional[Sequence[int]] = None,
+        *,
+        span_sink: Optional[List[Span]] = None,
+    ) -> np.ndarray:
+        """Distances from ``source`` to ``targets`` (all when ``None``).
+
+        Answered inline on the parent-side engine: a one-to-many fan-out is a
+        single kernel call whose work scales with the label scan, so carving
+        it into worker shards would only pay the dispatch overhead twice.
+        """
+        if self.closed:
+            raise ServingError("sharded engine has been closed")
+        return self._current_snapshot().engine.query_one_to_many(
+            source, targets, span_sink=span_sink
+        )
 
     def _acquire_snapshot(self) -> Tuple[IndexSnapshot, SharedGeneration]:
         """Grab the current snapshot with its generation pinned for reading.

@@ -85,10 +85,10 @@ def test_select_scopes_the_run(project):
     assert code == EXIT_OK
 
 
-def test_list_rules_names_all_five():
+def test_list_rules_names_all_rules():
     code, output = _run(["--list-rules"])
     assert code == EXIT_OK
-    for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+    for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007"):
         assert rule_id in output
 
 
@@ -192,7 +192,7 @@ def test_json_report_schema(project):
         "suppressed",
         "errors",
     }
-    assert set(payload["rules"]) == {"RL001", "RL002", "RL003", "RL004", "RL005", "RL006"}
+    assert set(payload["rules"]) == {"RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007"}
     (finding,) = payload["findings"]
     assert set(finding) == {
         "rule",

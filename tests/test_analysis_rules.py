@@ -1,4 +1,4 @@
-"""Per-rule fixtures for the reprolint analyzers (RL001–RL006).
+"""Per-rule fixtures for the reprolint analyzers (RL001–RL007).
 
 Each rule gets at least a true-positive, a suppressed, and a clean fixture.
 Fixtures are in-memory modules linted through :func:`check_source` under a
@@ -19,9 +19,9 @@ def _lint(source: str, *, path: str = "src/repro/serving/module.py", rule=None):
     return check_source(textwrap.dedent(source), path, rules)
 
 
-def test_five_rules_registered():
+def test_all_rules_registered():
     ids = [rule.id for rule in all_rules()]
-    assert ids == ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006"]
+    assert ids == ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007"]
     for rule in all_rules():
         assert rule.name and rule.description and rule.rationale
 
@@ -528,6 +528,72 @@ def test_rl006_out_of_scope_path_untouched():
         """,
         path="src/repro/serving/engine.py",
         rule="RL006",
+    )
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# RL007 — bench scripts must emit through the obs schema
+# ---------------------------------------------------------------------------
+
+
+def test_rl007_flags_missing_adapter_and_json_writer():
+    findings = _lint(
+        """
+        import json
+
+        def run():
+            json.dump({"qps": 1.0}, open("out.json", "w"))
+            return json.dumps({"qps": 1.0})
+        """,
+        path="benchmarks/bench_fixture.py",
+        rule="RL007",
+    )
+    assert len(findings) == 3
+    assert any("collect_results" in f.message for f in findings)
+    assert sum("json.dump" in f.message for f in findings) == 2
+
+
+def test_rl007_clean_with_adapter_and_no_json_writes():
+    findings = _lint(
+        """
+        import json
+
+        def collect_results(*, smoke=False):
+            from repro.obs import bench_result
+            payload = json.loads('{"qps": 1.0}')
+            return bench_result("fixture", [("qps", payload["qps"])], smoke=smoke)
+        """,
+        path="benchmarks/bench_fixture.py",
+        rule="RL007",
+    )
+    assert findings == []
+
+
+def test_rl007_out_of_scope_paths_untouched():
+    source = """
+    import json
+
+    def run():
+        json.dumps({})
+    """
+    for path in ("benchmarks/conftest.py", "src/repro/obs/schema.py", "tools/bench_x.py"):
+        assert _lint(source, path=path, rule="RL007") == []
+
+
+def test_rl007_suppression():
+    findings = _lint(
+        """
+        import json
+
+        def collect_results(*, smoke=False):
+            return None
+
+        def legacy_dump(results):
+            return json.dumps(results)  # reprolint: disable=RL007
+        """,
+        path="benchmarks/bench_legacy.py",
+        rule="RL007",
     )
     assert findings == []
 

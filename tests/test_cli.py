@@ -475,3 +475,111 @@ class TestExperimentCommand:
             main(["experiment", "table4", "--datasets", "gnutella", "--seed", "7"]) == 0
         )
         assert capsys.readouterr().out == first
+
+
+class TestBenchCommand:
+    """The ``repro-pll bench`` surface, run against a fake suite directory."""
+
+    FAKE = (
+        "from repro.obs import bench_result\n"
+        "def collect_results(*, smoke=False):\n"
+        "    return bench_result(\n"
+        "        'kernels',\n"
+        "        [{'name': 'qps', 'value': %s, 'higher_is_better': True}],\n"
+        "        smoke=smoke,\n"
+        "    )\n"
+    )
+
+    @pytest.fixture
+    def fake_bench_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+        return tmp_path
+
+    def _write_suite(self, directory, value):
+        (directory / "bench_kernels.py").write_text(self.FAKE % value)
+
+    def test_bench_list(self, capsys):
+        assert main(["bench", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("kernels", "async", "table1", "ablations"):
+            assert name in out
+
+    def test_bench_run_writes_schema_valid_results(
+        self, fake_bench_dir, tmp_path, capsys
+    ):
+        from repro.obs import read_result
+
+        self._write_suite(fake_bench_dir, "100.0")
+        out_dir = tmp_path / "results"
+        code = main(
+            ["bench", "run", "--smoke", "--suite", "kernels", "--out", str(out_dir)]
+        )
+        assert code == 0
+        result = read_result(out_dir / "BENCH_kernels.json")
+        assert result.suite == "kernels"
+        assert result.fingerprint.smoke
+        assert "running kernels [smoke]" in capsys.readouterr().out
+
+    def test_bench_run_unknown_suite_exits_2(self, fake_bench_dir, capsys):
+        assert main(["bench", "run", "--suite", "bogus"]) == 2
+        assert "unknown bench suite" in capsys.readouterr().err
+
+    def test_bench_run_bad_repeat_exits_2(self, capsys):
+        assert main(["bench", "run", "--repeat", "0"]) == 2
+        assert "--repeat" in capsys.readouterr().err
+
+    def test_bench_compare_detects_injected_slowdown(
+        self, fake_bench_dir, tmp_path, capsys
+    ):
+        self._write_suite(fake_bench_dir, "1000.0")
+        base = tmp_path / "base"
+        assert main(["bench", "run", "--suite", "kernels", "--out", str(base)]) == 0
+        self._write_suite(fake_bench_dir, "500.0")  # inject a 2x slowdown
+        cur = tmp_path / "cur"
+        assert main(["bench", "run", "--suite", "kernels", "--out", str(cur)]) == 0
+        capsys.readouterr()
+
+        assert main(["bench", "compare", str(base), str(cur)]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+        # A run compared against itself must be clean.
+        assert main(["bench", "compare", str(base), str(base)]) == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_bench_compare_tolerance_flag_widens_band(
+        self, fake_bench_dir, tmp_path, capsys
+    ):
+        self._write_suite(fake_bench_dir, "1000.0")
+        base = tmp_path / "base"
+        main(["bench", "run", "--suite", "kernels", "--out", str(base)])
+        self._write_suite(fake_bench_dir, "500.0")
+        cur = tmp_path / "cur"
+        main(["bench", "run", "--suite", "kernels", "--out", str(cur)])
+        capsys.readouterr()
+        assert main(
+            ["bench", "compare", str(base), str(cur), "--tolerance", "0.9"]
+        ) == 0
+
+    def test_bench_compare_missing_path_exits_2(self, tmp_path, capsys):
+        code = main(
+            ["bench", "compare", str(tmp_path / "a"), str(tmp_path / "b")]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bench_report_renders_trend(self, fake_bench_dir, tmp_path, capsys):
+        self._write_suite(fake_bench_dir, "100.0")
+        hist = tmp_path / "hist"
+        main(["bench", "run", "--suite", "kernels", "--out", str(hist / "r1")])
+        main(["bench", "run", "--suite", "kernels", "--out", str(hist / "r2")])
+        capsys.readouterr()
+        assert main(["bench", "report", str(hist)]) == 0
+        out = capsys.readouterr().out
+        assert "== kernels (2 run(s)) ==" in out
+
+    def test_bench_report_missing_dir_exits_2(self, tmp_path, capsys):
+        assert main(["bench", "report", str(tmp_path / "none")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bench_scrape_bad_url_exits_2(self, capsys):
+        assert main(["bench", "scrape", "127.0.0.1:1/metrics"]) == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,169 @@
+"""Tests for noise-aware regression detection (``repro-pll bench compare``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    Metric,
+    bench_result,
+    compare_paths,
+    compare_results,
+    format_comparisons,
+    has_regressions,
+    write_result,
+)
+
+
+def _one_metric_result(value, *, hib=True, samples=(), tolerance=None, name="qps"):
+    return bench_result(
+        "suite",
+        [
+            Metric(
+                name,
+                value,
+                higher_is_better=hib,
+                samples=samples,
+                tolerance=tolerance,
+            )
+        ],
+    )
+
+
+def _verdict(comparisons, name="qps"):
+    (match,) = [c for c in comparisons if c.name == name]
+    return match
+
+
+class TestCompareResults:
+    def test_true_regression_detected(self):
+        """An injected 2x slowdown must gate, whatever the default band."""
+        baseline = _one_metric_result(1000.0)
+        current = _one_metric_result(500.0)
+        comparisons = compare_results(baseline, current)
+        assert _verdict(comparisons).status == "regressed"
+        assert has_regressions(comparisons)
+
+    def test_improvement_detected_not_gated(self):
+        baseline = _one_metric_result(1000.0)
+        current = _one_metric_result(1500.0)
+        comparisons = compare_results(baseline, current)
+        assert _verdict(comparisons).status == "improved"
+        assert not has_regressions(comparisons)
+
+    def test_within_noise_jitter_passes(self):
+        """A 5% wobble sits inside the default 10% band."""
+        baseline = _one_metric_result(1000.0)
+        comparisons = compare_results(baseline, _one_metric_result(952.0))
+        assert _verdict(comparisons).status == "ok"
+        assert not has_regressions(comparisons)
+
+    def test_mad_band_widens_for_noisy_baselines(self):
+        """A baseline that jittered 20% between repeats must not gate a 15% dip."""
+        baseline = _one_metric_result(
+            1200.0, samples=(1000.0, 1200.0, 800.0, 1150.0, 900.0)
+        )
+        current = _one_metric_result(850.0)
+        assert _verdict(compare_results(baseline, current)).status == "ok"
+
+    def test_latency_direction_inverted(self):
+        baseline = _one_metric_result(10.0, hib=False, name="p99_ms")
+        worse = _one_metric_result(25.0, hib=False, name="p99_ms")
+        better = _one_metric_result(5.0, hib=False, name="p99_ms")
+        assert _verdict(compare_results(baseline, worse), "p99_ms").status == "regressed"
+        assert _verdict(compare_results(baseline, better), "p99_ms").status == "improved"
+
+    def test_per_metric_tolerance_overrides_global(self):
+        baseline = _one_metric_result(1000.0, tolerance=0.5)
+        current = _one_metric_result(600.0)
+        assert _verdict(compare_results(baseline, current)).status == "ok"
+
+    def test_zero_valued_exact_gate(self):
+        """A zero baseline with zero spread gates exactly (e.g. leak counters)."""
+        baseline = _one_metric_result(0.0, hib=False, name="leaks")
+        dirty = _one_metric_result(1.0, hib=False, name="leaks")
+        assert _verdict(compare_results(baseline, dirty), "leaks").status == "regressed"
+        clean = _one_metric_result(0.0, hib=False, name="leaks")
+        assert _verdict(compare_results(baseline, clean), "leaks").status == "ok"
+
+    def test_missing_gated_metric_is_a_regression(self):
+        baseline = _one_metric_result(1000.0)
+        current = bench_result("suite", [("unrelated", 1.0)])
+        comparisons = compare_results(baseline, current)
+        assert _verdict(comparisons).status == "missing"
+        assert _verdict(comparisons).regression
+        assert has_regressions(comparisons)
+
+    def test_informational_metrics_never_gate(self):
+        baseline = bench_result("suite", [Metric("count", 100.0)])
+        current = bench_result("suite", [Metric("count", 1.0)])
+        comparisons = compare_results(baseline, current)
+        assert _verdict(comparisons, "count").status == "skipped"
+        assert not has_regressions(comparisons)
+
+    def test_new_metric_reported_not_gated(self):
+        baseline = bench_result("suite", [("a", 1.0)])
+        current = bench_result(
+            "suite", [("a", 1.0), Metric("b", 2.0, higher_is_better=True)]
+        )
+        comparisons = compare_results(baseline, current)
+        assert _verdict(comparisons, "b").status == "new"
+        assert not has_regressions(comparisons)
+
+    def test_self_compare_is_clean(self):
+        result = bench_result(
+            "suite",
+            [
+                Metric("qps", 100.0, higher_is_better=True),
+                Metric("p99", 3.0, higher_is_better=False),
+                Metric("count", 5.0),
+            ],
+        )
+        comparisons = compare_results(result, result)
+        assert not has_regressions(comparisons)
+        assert {c.status for c in comparisons} <= {"ok", "skipped"}
+
+
+class TestComparePaths:
+    def test_directory_compare_matches_suites(self, tmp_path):
+        base_dir, cur_dir = tmp_path / "base", tmp_path / "cur"
+        write_result(_one_metric_result(1000.0), base_dir)
+        write_result(_one_metric_result(400.0), cur_dir)
+        comparisons = compare_paths(base_dir, cur_dir)
+        assert has_regressions(comparisons)
+
+    def test_suite_missing_from_current_dir_gates(self, tmp_path):
+        base_dir, cur_dir = tmp_path / "base", tmp_path / "cur"
+        write_result(_one_metric_result(1000.0), base_dir)
+        cur_dir.mkdir()
+        comparisons = compare_paths(base_dir, cur_dir)
+        assert _verdict(comparisons, "<suite>").status == "missing"
+        assert has_regressions(comparisons)
+
+    def test_suite_only_in_current_dir_is_new(self, tmp_path):
+        base_dir, cur_dir = tmp_path / "base", tmp_path / "cur"
+        base_dir.mkdir()
+        write_result(_one_metric_result(1000.0), cur_dir)
+        comparisons = compare_paths(base_dir, cur_dir)
+        assert _verdict(comparisons, "<suite>").status == "new"
+        assert not has_regressions(comparisons)
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            compare_paths(tmp_path / "nope", tmp_path / "nope2")
+
+
+class TestFormatComparisons:
+    def test_summary_line_and_regression_rows(self):
+        comparisons = compare_results(
+            _one_metric_result(1000.0), _one_metric_result(400.0)
+        )
+        text = format_comparisons(comparisons)
+        assert "REGRESSED" in text
+        assert "1 regression(s)" in text
+
+    def test_quiet_by_default_verbose_shows_ok_rows(self):
+        result = _one_metric_result(1000.0)
+        comparisons = compare_results(result, result)
+        assert "qps" not in format_comparisons(comparisons)
+        assert "qps" in format_comparisons(comparisons, verbose=True)

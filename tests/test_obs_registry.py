@@ -1,0 +1,205 @@
+"""Tests for the suite registry, runner, trend report, and /metrics scrape."""
+
+from __future__ import annotations
+
+import http.server
+import threading
+
+import pytest
+
+from repro.obs import (
+    Metric,
+    SchemaError,
+    bench_result,
+    format_trend,
+    get_suite,
+    list_suites,
+    load_history,
+    run_suite,
+    run_suites,
+    scrape_url,
+    write_result,
+)
+from repro.obs.registry import benchmarks_dir
+
+#: A fake suite script, parameterised by body via str.format.
+_FAKE_KERNELS = '''\
+import json
+from pathlib import Path
+
+from repro.obs import bench_result
+
+def collect_results(*, smoke=False):
+    counter_file = Path(__file__).with_suffix(".count")
+    runs = int(counter_file.read_text()) + 1 if counter_file.exists() else 1
+    counter_file.write_text(str(runs))
+    return bench_result(
+        "kernels",
+        [{{"name": "qps", "value": {value}, "higher_is_better": True}}],
+        smoke=smoke,
+    )
+'''
+
+
+@pytest.fixture
+def fake_bench_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+    return tmp_path
+
+
+class TestRegistry:
+    def test_all_suites_have_scripts_on_disk(self):
+        for suite in list_suites():
+            assert suite.path().is_file(), suite.name
+
+    def test_get_suite_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match="unknown bench suite"):
+            get_suite("nope")
+
+    def test_env_override_redirects_scripts(self, fake_bench_dir):
+        assert benchmarks_dir() == fake_bench_dir
+        assert get_suite("kernels").path().parent == fake_bench_dir
+
+    def test_run_suite_missing_script(self, fake_bench_dir):
+        with pytest.raises(FileNotFoundError, match="REPRO_BENCH_DIR"):
+            run_suite("kernels")
+
+    def test_run_suite_without_adapter_rejected(self, fake_bench_dir):
+        (fake_bench_dir / "bench_kernels.py").write_text("x = 1\n")
+        with pytest.raises(SchemaError, match="collect_results"):
+            run_suite("kernels")
+
+    def test_run_suite_wrong_type_rejected(self, fake_bench_dir):
+        (fake_bench_dir / "bench_kernels.py").write_text(
+            "def collect_results(*, smoke=False):\n    return {'qps': 1}\n"
+        )
+        with pytest.raises(SchemaError, match="expected BenchResult"):
+            run_suite("kernels")
+
+    def test_run_suite_wrong_suite_label_rejected(self, fake_bench_dir):
+        (fake_bench_dir / "bench_kernels.py").write_text(
+            "from repro.obs import bench_result\n"
+            "def collect_results(*, smoke=False):\n"
+            "    return bench_result('dynamic', [('qps', 1.0)], smoke=smoke)\n"
+        )
+        with pytest.raises(SchemaError, match="labelled"):
+            run_suite("kernels")
+
+    def test_run_suite_valid(self, fake_bench_dir):
+        (fake_bench_dir / "bench_kernels.py").write_text(_FAKE_KERNELS.format(value=100.0))
+        result = run_suite("kernels", smoke=True)
+        assert result.suite == "kernels"
+        assert result.fingerprint.smoke
+        assert result.metric("qps").value == 100.0
+
+
+class TestRunner:
+    def test_unknown_name_fails_before_running(self, fake_bench_dir):
+        (fake_bench_dir / "bench_kernels.py").write_text(_FAKE_KERNELS.format(value=1.0))
+        with pytest.raises(KeyError):
+            run_suites(["kernels", "typo"])
+        # The valid suite must not have run.
+        assert not (fake_bench_dir / "bench_kernels.count").exists()
+
+    def test_repeat_merges_samples(self, fake_bench_dir):
+        (fake_bench_dir / "bench_kernels.py").write_text(
+            _FAKE_KERNELS.format(value="100.0 * runs")
+        )
+        (result,) = run_suites(["kernels"], repeat=3)
+        metric = result.metric("qps")
+        assert metric.samples == (100.0, 200.0, 300.0)
+        assert metric.value == 300.0  # best-of-N for higher-is-better
+
+    def test_writes_results_and_echoes(self, fake_bench_dir, tmp_path):
+        (fake_bench_dir / "bench_kernels.py").write_text(_FAKE_KERNELS.format(value=1.0))
+        out = tmp_path / "out"
+        lines = []
+        run_suites(["kernels"], smoke=True, out_dir=out, echo=lines.append)
+        assert (out / "BENCH_kernels.json").is_file()
+        assert any("running kernels [smoke]" in line for line in lines)
+
+    def test_repeat_must_be_positive(self):
+        with pytest.raises(ValueError):
+            run_suites(["kernels"], repeat=0)
+
+
+class TestTrendReport:
+    def test_history_skips_unreadable_and_sorts_by_time(self, tmp_path):
+        old = bench_result("kernels", [("qps", 1.0)])
+        new = bench_result("kernels", [("qps", 2.0)])
+        object.__setattr__(old.fingerprint, "timestamp", 100.0)
+        object.__setattr__(new.fingerprint, "timestamp", 200.0)
+        write_result(new, tmp_path / "b")
+        write_result(old, tmp_path / "a")
+        (tmp_path / "a" / "BENCH_corrupt.json").write_text("{nope")
+        history = load_history(tmp_path)
+        assert [r.metric("qps").value for r in history] == [1.0, 2.0]
+
+    def test_format_trend_marks_smoke_columns(self):
+        smoke = bench_result("kernels", [Metric("qps", 1.0, unit="q/s")], smoke=True)
+        full = bench_result("kernels", [Metric("qps", 2.0, unit="q/s")])
+        text = format_trend([smoke, full])
+        assert "kernels" in text
+        assert "qps [q/s]" in text
+        assert "* = smoke configuration" in text
+
+    def test_load_history_missing_dir(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_history(tmp_path / "absent")
+
+
+class _ExpositionHandler(http.server.BaseHTTPRequestHandler):
+    body = b""
+
+    def do_GET(self):  # noqa: N802 - http.server API
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; version=0.0.4")
+        self.end_headers()
+        self.wfile.write(self.body)
+
+    def log_message(self, *args):  # quiet test output
+        pass
+
+
+@pytest.fixture
+def exposition_server():
+    server = http.server.HTTPServer(("127.0.0.1", 0), _ExpositionHandler)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        thread.join(timeout=5)
+
+
+class TestScrape:
+    def test_scrape_live_exposition(self, exposition_server):
+        _ExpositionHandler.body = (
+            b"# HELP repro_pll_queries_per_second throughput\n"
+            b"# TYPE repro_pll_queries_per_second gauge\n"
+            b"repro_pll_queries_per_second_qps 123.5\n"
+            b"repro_pll_process_rss_bytes 1048576\n"
+            b"repro_pll_event_loop_lag_seconds 0.002\n"
+            b'repro_pll_verb_queries_total{verb="pair"} 10\n'
+        )
+        port = exposition_server.server_port
+        result = scrape_url(f"127.0.0.1:{port}/metrics", suite="livebox")
+        assert result.suite == "livebox"
+        by_name = {m.name: m for m in result.metrics}
+        # Labelled series are not label-free samples; only 3 scalars survive.
+        assert len(by_name) == 3
+        assert by_name["repro_pll_queries_per_second_qps"].higher_is_better is True
+        assert by_name["repro_pll_process_rss_bytes"].unit == "bytes"
+        lag = by_name["repro_pll_event_loop_lag_seconds"]
+        assert lag.unit == "seconds" and lag.higher_is_better is False
+
+    def test_scrape_rejects_malformed_body(self, exposition_server):
+        _ExpositionHandler.body = b"not a metric line at all\n"
+        port = exposition_server.server_port
+        with pytest.raises(AssertionError):
+            scrape_url(f"127.0.0.1:{port}/metrics")
+
+    def test_scrape_connection_refused_raises_oserror(self):
+        with pytest.raises(OSError):
+            scrape_url("127.0.0.1:1/metrics", timeout=0.5)

@@ -1,0 +1,150 @@
+"""Tests for the benchmark result schema: encoding stability, merging, IO."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Metric,
+    SchemaError,
+    bench_result,
+    collect_fingerprint,
+    read_result,
+    result_filename,
+    write_result,
+)
+from repro.obs.schema import SCHEMA_VERSION, BenchResult
+
+
+class TestMetric:
+    def test_value_coerced_to_float(self):
+        metric = Metric("count", 7)
+        assert metric.value == 7.0
+        assert isinstance(metric.value, float)
+
+    def test_samples_default_to_value(self):
+        assert Metric("qps", 123.0).samples == (123.0,)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Metric("", 1.0)
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(SchemaError):
+            Metric("qps", 1.0, tolerance=-0.1)
+
+    def test_gated_only_when_direction_set(self):
+        assert Metric("qps", 1.0, higher_is_better=True).gated
+        assert Metric("p99", 1.0, higher_is_better=False).gated
+        assert not Metric("count", 1.0).gated
+
+
+class TestBenchResult:
+    def test_bench_result_accepts_mixed_specs(self):
+        result = bench_result(
+            "mixed",
+            [
+                Metric("a", 1.0, unit="s"),
+                ("b", 2.0),
+                ("c", 3.0, "ms"),
+                {"name": "d", "value": 4.0, "higher_is_better": True},
+            ],
+        )
+        assert [m.name for m in result.metrics] == ["a", "b", "c", "d"]
+        assert result.metric("c").unit == "ms"
+        assert result.metric("d").gated
+
+    def test_duplicate_metric_names_rejected(self):
+        with pytest.raises(SchemaError):
+            bench_result("dup", [("a", 1.0), ("a", 2.0)])
+
+    def test_unsafe_suite_name_rejected(self):
+        with pytest.raises(SchemaError):
+            bench_result("../escape", [("a", 1.0)])
+
+    def test_fingerprint_captured(self):
+        result = bench_result("fp", [("a", 1.0)], smoke=True)
+        assert result.fingerprint.smoke
+        assert result.fingerprint.python
+        assert result.fingerprint.numpy
+        assert result.fingerprint.cpu_count >= 1
+        assert result.schema_version == SCHEMA_VERSION
+
+    def test_smoke_flag_recorded_in_fingerprint(self):
+        assert collect_fingerprint(smoke=True).smoke
+        assert not collect_fingerprint(smoke=False).smoke
+
+
+class TestEncodingStability:
+    def test_roundtrip_reencode_is_byte_identical(self):
+        result = bench_result(
+            "stable",
+            [
+                Metric("qps", 1234.5, unit="q/s", higher_is_better=True,
+                       samples=(1200.0, 1234.5, 1210.0)),
+                Metric("p99", 8.25, unit="ms", higher_is_better=False, tolerance=0.2),
+                Metric("count", 42),
+            ],
+            smoke=True,
+        )
+        encoded = result.to_json()
+        decoded = BenchResult.from_json(encoded)
+        assert decoded.to_json() == encoded
+        assert decoded == result
+
+    def test_json_is_pinned_sorted_and_newline_terminated(self):
+        encoded = bench_result("pin", [("a", 1.0)]).to_json()
+        assert encoded.endswith("\n")
+        payload = json.loads(encoded)
+        assert list(payload) == sorted(payload)
+
+    def test_write_read_roundtrip(self, tmp_path):
+        result = bench_result("disk", [("qps", 10.0)])
+        path = write_result(result, tmp_path)
+        assert path.name == result_filename("disk") == "BENCH_disk.json"
+        assert read_result(path) == result
+
+    def test_read_rejects_garbage(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(SchemaError):
+            read_result(path)
+
+    def test_result_filename_rejects_traversal(self):
+        with pytest.raises(SchemaError):
+            result_filename("a/b")
+
+
+class TestMergedWith:
+    def _pair(self, *, hib, first, second):
+        a = bench_result("m", [Metric("x", first, higher_is_better=hib)])
+        b = bench_result("m", [Metric("x", second, higher_is_better=hib)])
+        return a, b
+
+    def test_higher_is_better_keeps_max(self):
+        a, b = self._pair(hib=True, first=10.0, second=12.0)
+        merged = a.merged_with(b)
+        assert merged.metric("x").value == 12.0
+        assert merged.metric("x").samples == (10.0, 12.0)
+
+    def test_lower_is_better_keeps_min(self):
+        a, b = self._pair(hib=False, first=10.0, second=12.0)
+        assert a.merged_with(b).metric("x").value == 10.0
+
+    def test_informational_takes_median(self):
+        a = bench_result("m", [Metric("x", 1.0)])
+        b = bench_result("m", [Metric("x", 9.0)])
+        c = bench_result("m", [Metric("x", 2.0)])
+        assert a.merged_with(b).merged_with(c).metric("x").value == 2.0
+
+    def test_merge_keeps_own_fingerprint(self):
+        a, b = self._pair(hib=True, first=1.0, second=2.0)
+        assert a.merged_with(b).fingerprint == a.fingerprint
+
+    def test_merge_requires_same_suite(self):
+        a = bench_result("m", [("x", 1.0)])
+        b = bench_result("other", [("x", 1.0)])
+        with pytest.raises(SchemaError):
+            a.merged_with(b)

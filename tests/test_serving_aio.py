@@ -634,3 +634,54 @@ class TestTracesAndDebugSurface:
         assert 'repro_pll_latency_seconds_bucket{le="+Inf"} 1' in body
         for stage in ("queue", "batch", "kernel", "cache_probe"):
             assert f"# TYPE repro_pll_stage_{stage}_seconds histogram" in body
+
+
+class TestOneToManyWire:
+    def test_one_to_many_wire_session(self, engine):
+        async def scenario():
+            frontend = AsyncQueryFrontend(engine)
+            await frontend.start()
+            await frontend.start_tcp()
+            host, port = frontend.tcp_address
+            lines = await _send_lines(
+                host, port, "many 0 1 2\none-to-many,0,3\nmany 0\nQUIT\n"
+            )
+            snapshot = frontend.metrics_snapshot()
+            await frontend.stop()
+            return lines, snapshot
+
+        lines, snapshot = run(scenario())
+        index = engine.index
+        for line, t in zip(lines[:3], (1, 2, 3)):
+            expected = index.distance(0, t)
+            rendered = "inf" if expected == float("inf") else f"{expected:g}"
+            assert line == f"0\t{t}\t{rendered}"
+        assert lines[3].startswith("error: cannot parse query")
+        assert snapshot["verbs"]["one_to_many"] == 3
+
+    def test_query_one_to_many_coroutine_matches_batch(self, engine):
+        async def scenario():
+            frontend = AsyncQueryFrontend(engine)
+            await frontend.start()
+            try:
+                return await frontend.query_one_to_many(0, [1, 2, 3])
+            finally:
+                await frontend.stop()
+
+        distances = run(scenario())
+        expected = engine.index.distance_batch([0, 0, 0], [1, 2, 3])
+        assert list(distances) == list(expected)
+
+    def test_event_loop_lag_gauge_present(self, engine):
+        async def scenario():
+            frontend = AsyncQueryFrontend(engine)
+            await frontend.start()
+            # Let the lag sampler complete at least zero-or-one cycles; the
+            # gauge must exist (and be finite) even before the first sample.
+            snapshot = frontend.metrics_snapshot()
+            await frontend.stop()
+            return snapshot
+
+        snapshot = run(scenario())
+        assert "event_loop_lag_seconds" in snapshot
+        assert snapshot["event_loop_lag_seconds"] >= 0.0

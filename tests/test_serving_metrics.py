@@ -3,8 +3,6 @@
 from __future__ import annotations
 
 import json
-import sys
-from pathlib import Path
 
 import pytest
 
@@ -14,6 +12,7 @@ from repro.serving import (
     ServerMetrics,
     index_health_stats,
     render_prometheus_text,
+    validate_prometheus_exposition,
 )
 from repro.serving.cache import CacheStats
 from repro.serving.metrics import (
@@ -21,9 +20,6 @@ from repro.serving.metrics import (
     STAGE_NAMES,
     _prometheus_number,
 )
-
-sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
-from bench_async import validate_prometheus_exposition  # noqa: E402
 
 
 def _strip_histogram_suffix(name: str) -> str:
@@ -333,3 +329,66 @@ class TestIndexHealthStats:
 
         stats = index_health_stats(FakeEngine())
         assert stats == {"index_label_entries": 42, "index_bit_parallel_roots": 3}
+
+
+class TestProcessResourceGauges:
+    def test_snapshot_includes_resource_gauges(self):
+        stats = ServerMetrics().snapshot()
+        assert stats["process_rss_bytes"] > 0
+        assert stats["process_open_fds"] > 0
+        assert stats["gc_collections_total"] >= 0
+
+    def test_resource_gauges_render_and_validate(self):
+        body = ServerMetrics().render_prometheus()
+        samples = validate_prometheus_exposition(body)
+        assert samples["repro_pll_process_rss_bytes"] > 0
+        assert samples["repro_pll_process_open_fds"] > 0
+
+    def test_gc_monitor_adds_pause_series(self):
+        import gc
+
+        from repro.obs.resources import enable_gc_monitor
+
+        enable_gc_monitor()
+        gc.collect()
+        stats = ServerMetrics().snapshot()
+        assert stats["gc_pauses_total"] >= 1
+        assert stats["gc_pause_seconds_total"] >= 0.0
+
+
+class TestVerbAndKernelOpCounters:
+    def test_observe_verb_accumulates_in_snapshot(self):
+        metrics = ServerMetrics()
+        metrics.observe_verb("pair", 4)
+        metrics.observe_verb("one_to_many", 3)
+        metrics.observe_verb("pair", 1)
+        assert metrics.snapshot()["verbs"] == {"pair": 5, "one_to_many": 3}
+
+    def test_observe_kernel_op_nested_snapshot(self):
+        metrics = ServerMetrics()
+        metrics.observe_kernel_op("narrow", "query_pairs", 8)
+        metrics.observe_kernel_op("narrow", "query_one_to_many", 2)
+        metrics.observe_kernel_op("numba", "query_pairs", 1)
+        assert metrics.snapshot()["kernel_ops"] == {
+            "narrow": {"query_pairs": 8, "query_one_to_many": 2},
+            "numba": {"query_pairs": 1},
+        }
+
+    def test_counters_absent_until_first_observation(self):
+        stats = ServerMetrics().snapshot()
+        assert "verbs" not in stats
+        assert "kernel_ops" not in stats
+
+    def test_labelled_exposition_series(self):
+        metrics = ServerMetrics()
+        metrics.observe_verb("one_to_many", 3)
+        metrics.observe_verb("pair", 7)
+        metrics.observe_kernel_op("narrow", "query_one_to_many", 3)
+        body = metrics.render_prometheus()
+        validate_prometheus_exposition(body)
+        assert 'repro_pll_verb_queries_total{verb="one_to_many"} 3' in body
+        assert 'repro_pll_verb_queries_total{verb="pair"} 7' in body
+        assert (
+            'repro_pll_kernel_op_queries_total{kernel="narrow",op="query_one_to_many"} 3'
+            in body
+        )

@@ -473,3 +473,88 @@ class TestServerTracing:
         events = [json.loads(line)["event"] for line in stream.getvalue().splitlines()]
         assert events[0] == "server_start"
         assert events[-1] == "server_stop"
+
+
+class TestOneToManyProtocol:
+    """The ``many``/``one-to-many`` wire verb and its fan-out dispatch."""
+
+    def test_parse_one_to_many_spellings(self):
+        from repro.serving.protocol import is_one_to_many, parse_one_to_many
+
+        for line in (
+            "many 0 1 2",
+            "MANY 0 1 2",
+            "one_to_many 0 1 2",
+            "one-to-many,0,1,2",
+            "  many, 0, 1, 2  ",
+        ):
+            assert is_one_to_many(line), line
+            assert parse_one_to_many(line) == (0, (1, 2)), line
+        assert not is_one_to_many("0 5")
+        assert not is_one_to_many("add 0 1")
+
+    def test_parse_one_to_many_errors(self):
+        from repro.serving.protocol import parse_one_to_many
+
+        with pytest.raises(ValueError, match="at least one target"):
+            parse_one_to_many("many 0")
+        with pytest.raises(ValueError, match="integers"):
+            parse_one_to_many("many 0 x")
+
+    def test_format_one_to_many_reply_matches_distance_lines(self):
+        from repro.serving.protocol import (
+            format_distance_line,
+            format_one_to_many_reply,
+        )
+
+        reply = format_one_to_many_reply(3, [1, 2], [4.0, float("inf")])
+        lines = reply.split("\n")
+        assert lines[0] == format_distance_line(3, 1, 4.0)
+        assert lines[1] == format_distance_line(3, 2, float("inf"))
+
+    def test_query_one_to_many_matches_batch(self, engine):
+        with QueryServer(engine) as server:
+            targets = [1, 2, 3, 4]
+            fanned = server.query_one_to_many(0, targets)
+            batched = engine.index.distance_batch([0] * len(targets), targets)
+            assert np.array_equal(fanned, batched)
+
+    def test_query_one_to_many_all_targets_default(self, engine):
+        with QueryServer(engine) as server:
+            distances = server.query_one_to_many(5)
+            assert distances.shape == (engine.num_vertices,)
+            assert distances[5] == 0
+
+    def test_stdio_one_to_many_session(self, engine):
+        index = engine.index
+        with QueryServer(engine) as server:
+            in_stream = io.StringIO(
+                "many 0 1 2\none-to-many,0,3\nmany 0\nmany 0 99999\nQUIT\n"
+            )
+            out_stream = io.StringIO()
+            serve_stdio(server, in_stream, out_stream)
+        lines = out_stream.getvalue().splitlines()
+        # First verb fans out to two reply lines, one per target.
+        for line, t in zip(lines[:2], (1, 2)):
+            expected = index.distance(0, t)
+            rendered = "inf" if expected == float("inf") else f"{expected:g}"
+            assert line == f"0\t{t}\t{rendered}"
+        assert lines[2].startswith("0\t3\t")
+        assert lines[3].startswith("error: cannot parse query")
+        assert lines[4].startswith("error: vertex 99999")
+
+    def test_one_to_many_counts_in_verb_metrics(self, engine):
+        with QueryServer(engine) as server:
+            server.query_one_to_many(0, [1, 2, 3])
+            server.distance(0, 5)
+            stats = server.metrics_snapshot()
+        assert stats["verbs"] == {"one_to_many": 3, "pair": 1}
+        kernel_ops = stats["kernel_ops"]
+        (kernel,) = kernel_ops
+        assert kernel_ops[kernel]["query_one_to_many"] == 3
+        assert kernel_ops[kernel]["query_pairs"] == 1
+
+    def test_one_to_many_requires_accepting_server(self, engine):
+        server = QueryServer(engine)
+        with pytest.raises(ServingError):
+            server.query_one_to_many(0, [1])
