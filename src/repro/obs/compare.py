@@ -2,11 +2,19 @@
 
 The comparator judges each *gated* metric (``higher_is_better`` set) of the
 baseline against the current run.  Instead of a naive ratio check it builds a
-tolerance band around the baseline median:
+tolerance band around the baseline median.  For lower-is-better metrics
+(latencies) the band is additive:
 
 ``band = max(tolerance * |median|, MAD_MULTIPLIER * MAD)``
 
-where MAD is the median absolute deviation of the baseline's repeat samples.
+For higher-is-better metrics (throughputs) the tolerance term is
+*multiplicative* on the regression side — the gate trips when the current
+median falls below ``median / (1 + tolerance)``.  The additive form would be
+vacuous there: with ``tolerance >= 1.0`` the threshold ``median - band``
+goes negative, which a non-negative rate can never cross, so even a total
+collapse would report "ok".  The reciprocal form keeps a loose gate loose
+but never open (``tolerance = 3.0`` means "fail below a 4x slowdown").
+MAD is the median absolute deviation of the baseline's repeat samples.
 A machine whose baseline run already jittered by 8% should not fail CI on a
 6% "regression"; a metric measured with zero spread (a count, say) gates
 exactly.  Per-metric ``tolerance`` values in the baseline override the global
@@ -113,11 +121,18 @@ def _compare_metric(
             suite, base.name, base.unit, "skipped", base_median, cur_median
         )
     effective_tolerance = base.tolerance if base.tolerance is not None else tolerance
-    band = max(effective_tolerance * abs(base_median), MAD_MULTIPLIER * _mad(base.samples))
+    noise = MAD_MULTIPLIER * _mad(base.samples)
     if base.higher_is_better:
-        bad = cur_median < base_median - band
-        good = cur_median > base_median + band
+        # Multiplicative tolerance on the regression side: an additive
+        # tolerance * |median| band stops gating entirely once tolerance
+        # reaches 1.0 (the threshold goes negative, unreachable for rates).
+        lower = min(base_median / (1.0 + effective_tolerance), base_median - noise)
+        upper = max(base_median * (1.0 + effective_tolerance), base_median + noise)
+        bad = cur_median < lower
+        good = cur_median > upper
+        band = base_median - lower
     else:
+        band = max(effective_tolerance * abs(base_median), noise)
         bad = cur_median > base_median + band
         good = cur_median < base_median - band
     status = "regressed" if bad else ("improved" if good else "ok")

@@ -84,9 +84,13 @@ def format_trend(results: Sequence[BenchResult]) -> str:
             label = f"{name} [{units[name]}]" if units[name] else name
             rows.append((label, cells))
 
-        name_width = max(len("metric"), max(len(label) for label, _ in rows))
+        # A run may legally carry zero metrics; max() needs the default so a
+        # metric-less suite renders its header row instead of crashing.
+        name_width = max(
+            len("metric"), max((len(label) for label, _ in rows), default=0)
+        )
         col_widths = [
-            max(len(labels[i]), max(len(cells[i]) for _, cells in rows))
+            max(len(labels[i]), max((len(cells[i]) for _, cells in rows), default=0))
             for i in range(len(labels))
         ]
         lines = [f"== {suite} ({len(runs)} run(s)) =="]

@@ -68,12 +68,23 @@ class GcPauseMonitor:
     the stop-the-world pause the process just paid.  Counters only ever grow;
     readers take a point-in-time copy through :meth:`stats`.
 
+    Concurrency: the callback and the readers are deliberately lock-free.
+    A lock shared between them would be a same-thread deadlock hazard — any
+    allocation made while holding it (building the stats dict, say) can
+    trigger a collection, whose callback then runs synchronously on the same
+    thread and blocks on the lock it already holds.  No lock is needed
+    either: CPython runs at most one collection at a time, so the callback
+    is the sole writer, and individual attribute reads/writes are atomic
+    under the GIL.  Readers may observe ``pause_seconds_total`` from one
+    collection later than ``pauses_total``; for monotone gauges that skew
+    is harmless.  ``_lock`` only serialises install/uninstall idempotency.
+
     Attributes
     ----------
     pause_seconds_total : float
-        Sum of all observed pause durations (guarded-by ``_lock``).
+        Sum of all observed pause durations.
     pauses_total : int
-        Number of completed collections observed (guarded-by ``_lock``).
+        Number of completed collections observed.
     """
 
     def __init__(self) -> None:
@@ -101,25 +112,30 @@ class GcPauseMonitor:
             except ValueError:
                 pass
             self._installed = False
-            self._started_at = None
+        # Reset outside the lock: _started_at belongs to the lock-free
+        # callback, which no longer fires once the hook is removed above.
+        self._started_at = None
 
     def _on_gc_event(self, phase: str, info: Dict[str, int]) -> None:
+        # Lock-free on purpose — see the class docstring.  This runs inside
+        # the collector; taking any lock here risks deadlocking against a
+        # holder whose allocations triggered this very collection.
         now = time.perf_counter()
-        with self._lock:
-            if phase == "start":
-                self._started_at = now
-            elif phase == "stop" and self._started_at is not None:
-                self.pause_seconds_total += now - self._started_at
-                self.pauses_total += 1
-                self._started_at = None
+        if phase == "start":
+            self._started_at = now
+        elif phase == "stop" and self._started_at is not None:
+            self.pause_seconds_total += now - self._started_at
+            self.pauses_total += 1
+            self._started_at = None
 
     def stats(self) -> Dict[str, float]:
-        """Point-in-time copy of the pause counters."""
-        with self._lock:
-            return {
-                "gc_pause_seconds_total": self.pause_seconds_total,
-                "gc_pauses_total": float(self.pauses_total),
-            }
+        """Point-in-time copy of the pause counters (lock-free reads)."""
+        pause_seconds = self.pause_seconds_total
+        pauses = self.pauses_total
+        return {
+            "gc_pause_seconds_total": pause_seconds,
+            "gc_pauses_total": float(pauses),
+        }
 
 
 _MONITOR = GcPauseMonitor()

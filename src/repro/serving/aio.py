@@ -585,28 +585,42 @@ class AsyncQueryFrontend:
         Runs the engine fan-out on the executor (one kernel call, off the
         loop) rather than through the pair batcher — same dispatch decision
         as the threaded server's ``query_one_to_many``, same verb metrics.
+        Fan-outs still count against ``max_pending`` while in flight, so a
+        flood of ``many`` lines meets the same admission gate as point
+        queries instead of bypassing overload protection.
         """
         if not self._accepting:
             raise ServingError(
                 "front end is not accepting requests; call start() first"
             )
-        start = time.perf_counter()
-        want_spans = self.tracer.enabled or self.metrics.has_histograms
-        spans: Optional[list] = [] if want_spans else None
-        engine = self._current_engine_and_invalidate()
-        trace = self.tracer.start(
-            len(targets) if targets is not None else engine.num_vertices
-        )
-
-        def _run() -> np.ndarray:
-            return engine.query_one_to_many(source, targets, span_sink=spans)
-
+        # Same synchronous check-then-increment as submit(): no suspension
+        # point in between, so concurrent coroutines see a consistent count.
+        if self._pending >= self.max_pending:
+            self.metrics.observe_rejection()
+            raise AdmissionError(
+                f"request rejected: {self.max_pending} requests already pending"
+            )
+        self._pending += 1
         try:
-            distances = await self._loop.run_in_executor(self._executor, _run)
-        except Exception:
-            self.metrics.observe_error()
-            self.tracer.record(trace, time.perf_counter() - start, status="error")
-            raise
+            start = time.perf_counter()
+            want_spans = self.tracer.enabled or self.metrics.has_histograms
+            spans: Optional[list] = [] if want_spans else None
+            engine = self._current_engine_and_invalidate()
+            trace = self.tracer.start(
+                len(targets) if targets is not None else engine.num_vertices
+            )
+
+            def _run() -> np.ndarray:
+                return engine.query_one_to_many(source, targets, span_sink=spans)
+
+            try:
+                distances = await self._loop.run_in_executor(self._executor, _run)
+            except Exception:
+                self.metrics.observe_error()
+                self.tracer.record(trace, time.perf_counter() - start, status="error")
+                raise
+        finally:
+            self._pending -= 1
         elapsed = time.perf_counter() - start
         num_pairs = int(distances.shape[0])
         self.metrics.observe_batch(num_pairs, 1, elapsed, request_latencies=[elapsed])

@@ -203,6 +203,10 @@ class QueryServer:
         self.max_pending = int(max_pending)
         self.metrics = metrics if metrics is not None else ServerMetrics()
         self._queue: "queue.Queue[QueryRequest]" = queue.Queue()
+        # One-to-many fan-outs bypass the batching queue but still count
+        # against max_pending while in flight (guarded by _fanout_lock).
+        self._fanout_lock = threading.Lock()
+        self._fanout_pending = 0
         self._worker: Optional[threading.Thread] = None
         self._running = False
         # Admission flag, dropped *before* the shutdown drain so a client
@@ -362,25 +366,48 @@ class QueryServer:
 
         Dispatched synchronously on the calling thread rather than through
         the pair-batching queue: one fan-out amortises its own kernel call,
-        so coalescing it with point pairs would only delay both.  Traced,
-        histogrammed and counted like a one-request batch, labelled with the
-        ``one_to_many`` verb.
+        so coalescing it with point pairs would only delay both.  In-flight
+        fan-outs still count against ``max_pending`` so they meet the same
+        admission gate as queued pair requests.  Traced, histogrammed and
+        counted like a one-request batch, labelled with the ``one_to_many``
+        verb.
+
+        Raises
+        ------
+        AdmissionError
+            When ``max_pending`` requests (queued pairs plus in-flight
+            fan-outs) are already admitted.
         """
         if not self._accepting:
             raise ServingError("server is not accepting requests; call start() first")
-        start = time.perf_counter()
-        want_spans = self.tracer.enabled or self.metrics.has_histograms
-        spans = [] if want_spans else None
-        engine = self._current_engine_and_invalidate()
-        trace = self.tracer.start(
-            len(targets) if targets is not None else engine.num_vertices
-        )
+        with self._fanout_lock:
+            if self._queue.qsize() + self._fanout_pending >= self.max_pending:
+                admit = False
+            else:
+                admit = True
+                self._fanout_pending += 1
+        if not admit:
+            self.metrics.observe_rejection()
+            raise AdmissionError(
+                f"request rejected: {self.max_pending} requests already pending"
+            )
         try:
-            distances = engine.query_one_to_many(source, targets, span_sink=spans)
-        except Exception:
-            self.metrics.observe_error()
-            self.tracer.record(trace, time.perf_counter() - start, status="error")
-            raise
+            start = time.perf_counter()
+            want_spans = self.tracer.enabled or self.metrics.has_histograms
+            spans = [] if want_spans else None
+            engine = self._current_engine_and_invalidate()
+            trace = self.tracer.start(
+                len(targets) if targets is not None else engine.num_vertices
+            )
+            try:
+                distances = engine.query_one_to_many(source, targets, span_sink=spans)
+            except Exception:
+                self.metrics.observe_error()
+                self.tracer.record(trace, time.perf_counter() - start, status="error")
+                raise
+        finally:
+            with self._fanout_lock:
+                self._fanout_pending -= 1
         elapsed = time.perf_counter() - start
         num_pairs = int(distances.shape[0])
         self.metrics.observe_batch(num_pairs, 1, elapsed, request_latencies=[elapsed])

@@ -73,9 +73,48 @@ class TestCompareResults:
         assert _verdict(compare_results(baseline, worse), "p99_ms").status == "regressed"
         assert _verdict(compare_results(baseline, better), "p99_ms").status == "improved"
 
+    def test_loose_tolerance_still_gates_throughput_collapse(self):
+        """``tolerance >= 1.0`` must not leave higher-is-better metrics ungated.
+
+        With an additive band, ``median - 3.0 * median`` is negative and a
+        rate can never regress; the multiplicative form gates below
+        ``median / 4`` instead.  This is the exact CI smoke-gate config.
+        """
+        baseline = _one_metric_result(100.0)
+        collapsed = compare_results(
+            baseline, _one_metric_result(0.1), tolerance=3.0
+        )
+        assert _verdict(collapsed).status == "regressed"
+        assert has_regressions(collapsed)
+        just_over = compare_results(
+            baseline, _one_metric_result(20.0), tolerance=3.0
+        )
+        assert _verdict(just_over).status == "regressed"
+        within = compare_results(baseline, _one_metric_result(30.0), tolerance=3.0)
+        assert _verdict(within).status == "ok"
+        improved = compare_results(
+            baseline, _one_metric_result(500.0), tolerance=3.0
+        )
+        assert _verdict(improved).status == "improved"
+
+    def test_loose_tolerance_latency_band_unchanged(self):
+        """Lower-is-better keeps the additive band (equivalent to 1+tol x)."""
+        baseline = _one_metric_result(10.0, hib=False, name="p99_ms")
+        worse = _one_metric_result(50.0, hib=False, name="p99_ms")
+        within = _one_metric_result(35.0, hib=False, name="p99_ms")
+        assert (
+            _verdict(compare_results(baseline, worse, tolerance=3.0), "p99_ms").status
+            == "regressed"
+        )
+        assert (
+            _verdict(compare_results(baseline, within, tolerance=3.0), "p99_ms").status
+            == "ok"
+        )
+
     def test_per_metric_tolerance_overrides_global(self):
+        """tolerance=0.5 admits down to 1000/1.5 ≈ 667, well past the 10% default."""
         baseline = _one_metric_result(1000.0, tolerance=0.5)
-        current = _one_metric_result(600.0)
+        current = _one_metric_result(700.0)
         assert _verdict(compare_results(baseline, current)).status == "ok"
 
     def test_zero_valued_exact_gate(self):

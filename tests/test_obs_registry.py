@@ -143,6 +143,13 @@ class TestTrendReport:
         assert "qps [q/s]" in text
         assert "* = smoke configuration" in text
 
+    def test_format_trend_tolerates_metricless_runs(self):
+        """A run with zero metrics renders its header instead of crashing."""
+        empty = bench_result("kernels", [])
+        text = format_trend([empty])
+        assert "kernels" in text
+        assert "1 run(s)" in text
+
     def test_load_history_missing_dir(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             load_history(tmp_path / "absent")

@@ -672,6 +672,29 @@ class TestOneToManyWire:
         expected = engine.index.distance_batch([0, 0, 0], [1, 2, 3])
         assert list(distances) == list(expected)
 
+    def test_one_to_many_admission_control(self, engine):
+        """Fan-outs share the max_pending budget instead of bypassing it."""
+
+        async def scenario():
+            frontend = AsyncQueryFrontend(engine, max_pending=2)
+            await frontend.start()
+            # No suspension points between submits: the batcher cannot drain,
+            # so the fan-out arriving third must bounce like a pair would.
+            first = frontend.submit([0], [1])
+            second = frontend.submit([1], [2])
+            with pytest.raises(AdmissionError):
+                await frontend.query_one_to_many(0, [1, 2, 3])
+            await asyncio.gather(first, second)
+            # Budget released again: the same fan-out is admitted now.
+            distances = await frontend.query_one_to_many(0, [1, 2, 3])
+            snapshot = frontend.metrics_snapshot()
+            await frontend.stop()
+            return distances, snapshot
+
+        distances, snapshot = run(scenario())
+        assert distances.shape == (3,)
+        assert snapshot["num_rejected"] == 1
+
     def test_event_loop_lag_gauge_present(self, engine):
         async def scenario():
             frontend = AsyncQueryFrontend(engine)

@@ -355,6 +355,28 @@ class TestProcessResourceGauges:
         assert stats["gc_pauses_total"] >= 1
         assert stats["gc_pause_seconds_total"] >= 0.0
 
+    def test_gc_callback_cannot_deadlock_against_lock_holders(self):
+        """Regression: a collection fired while the monitor lock is held.
+
+        Allocations inside install()/stats() can trigger a GC whose callback
+        runs synchronously on the same thread; the callback must therefore
+        never acquire that lock, or the thread deadlocks against itself.
+        Simulated here by collecting with the lock explicitly held.
+        """
+        import gc
+
+        from repro.obs.resources import GcPauseMonitor
+
+        monitor = GcPauseMonitor()
+        monitor.install()
+        try:
+            before = monitor.stats()["gc_pauses_total"]
+            with monitor._lock:
+                gc.collect()  # deadlocks here if the callback takes the lock
+            assert monitor.stats()["gc_pauses_total"] >= before + 1
+        finally:
+            monitor.uninstall()
+
 
 class TestVerbAndKernelOpCounters:
     def test_observe_verb_accumulates_in_snapshot(self):

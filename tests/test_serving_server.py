@@ -558,3 +558,25 @@ class TestOneToManyProtocol:
         server = QueryServer(engine)
         with pytest.raises(ServingError):
             server.query_one_to_many(0, [1])
+
+    def test_one_to_many_admission_control(self, engine):
+        """Fan-outs share the max_pending budget instead of bypassing it."""
+        server = QueryServer(engine, max_pending=1)
+        server._running = True  # worker intentionally not started
+        server._accepting = True
+        try:
+            server.submit([0], [1])  # saturates the pending budget
+            with pytest.raises(AdmissionError):
+                server.query_one_to_many(0, [1, 2, 3])
+            assert server.metrics_snapshot()["num_rejected"] == 1
+        finally:
+            server._fail_stragglers()
+            server._running = False
+            server._accepting = False
+
+    def test_one_to_many_admitted_below_limit(self, engine):
+        with QueryServer(engine, max_pending=1) as server:
+            distances = server.query_one_to_many(0, [1, 2])
+            assert distances.shape == (2,)
+            assert server._fanout_pending == 0
+            assert server.metrics_snapshot()["num_rejected"] == 0
