@@ -6,10 +6,14 @@ drives the same batched query workload through two :class:`QueryServer`
 configurations:
 
 * **instrumented** — a live :class:`TraceRecorder` (every request leaves a
-  stitched trace in the ring buffer) plus :class:`ServerMetrics` with the
-  end-to-end and per-stage histograms enabled,
+  stitched trace in the ring buffer), :class:`ServerMetrics` with the
+  end-to-end and per-stage histograms enabled, a :class:`HealthMonitor`
+  evaluating the full default alert-rule set on its background thread, and a
+  :class:`ShadowCanary` re-verifying 1 % of served batches through the
+  scalar per-pair path,
 * **baseline** — :class:`NullTraceRecorder` (span recording compiled down to
-  one ``enabled`` check) plus :class:`ServerMetrics` with histograms off.
+  one ``enabled`` check) plus :class:`ServerMetrics` with histograms off; no
+  health engine, no canary.
 
 Rounds are interleaved (baseline, instrumented, baseline, ...) and the best
 round per configuration is compared, so cache warm-up and CPU-frequency drift
@@ -24,7 +28,7 @@ from __future__ import annotations
 
 import sys
 import time
-from typing import Dict
+from typing import Dict, Tuple
 
 import numpy as np
 
@@ -33,9 +37,11 @@ from repro.experiments.workloads import random_pairs
 from repro.generators import barabasi_albert_graph
 from repro.serving import (
     BatchQueryEngine,
+    HealthMonitor,
     NullTraceRecorder,
     QueryServer,
     ServerMetrics,
+    ShadowCanary,
     TraceRecorder,
 )
 
@@ -43,6 +49,8 @@ from repro.serving import (
 REQUIRED_OVERHEAD = 0.05
 #: Relaxed bar at smoke scale, where each round runs well under a second.
 SMOKE_OVERHEAD = 0.15
+#: Shadow-canary sampling rate carried by the instrumented configuration.
+SHADOW_SAMPLE_RATE = 0.01
 
 
 def _measure_qps(
@@ -52,17 +60,44 @@ def _measure_qps(
     *,
     batch_size: int,
     instrumented: bool,
-) -> float:
-    """One round: serve the whole workload, return end-to-end queries/s."""
+) -> Tuple[float, Dict[str, float]]:
+    """One round: serve the whole workload.
+
+    Returns ``(queries/s, health stats)`` — the stats dict is empty for the
+    baseline configuration and carries the shadow-canary counters plus the
+    firing-alert gauge for the instrumented one.
+    """
     if instrumented:
         tracer = TraceRecorder()
         metrics = ServerMetrics()
     else:
         tracer = NullTraceRecorder()
         metrics = ServerMetrics(histogram_buckets=None)
+    health_stats: Dict[str, float] = {}
     with QueryServer(
         engine, max_batch_size=batch_size, metrics=metrics, tracer=tracer
     ) as server:
+        health = None
+        shadow = None
+        if instrumented:
+            # The instrumented configuration carries the full health stack:
+            # the alert engine on its background thread (at the production
+            # default cadence — `serve --health-interval` is 5s) and a 1%
+            # shadow canary re-verifying served batches.  Both run during
+            # the timed loop, so their cost lands inside the overhead
+            # budget; a forced tick() after the loop guarantees at least
+            # one full rule evaluation per round regardless of cadence.
+            shadow = ShadowCanary(SHADOW_SAMPLE_RATE, seed=43)
+            shadow.start()
+            server.shadow = shadow
+            health = HealthMonitor(server.metrics_snapshot, interval_seconds=5.0)
+            health.start()
+            server.health = health
+        # One untimed warm-up batch per round: freshly-started monitor and
+        # canary threads settle before the clock starts — at smoke scale
+        # their startup otherwise lands inside a ~40 ms timed window and
+        # dominates the measurement.
+        server.submit(sources[:batch_size], targets[:batch_size]).wait(120)
         start = time.perf_counter()
         for begin in range(0, sources.shape[0], batch_size):
             end = begin + batch_size
@@ -72,11 +107,51 @@ def _measure_qps(
             # The instrumented side must actually have instrumented: every
             # request traced, every histogram fed — otherwise the comparison
             # flatters a broken pipeline.
-            assert tracer.num_recorded == -(-sources.shape[0] // batch_size)
+            # +1 for the untimed warm-up batch.
+            assert tracer.num_recorded == -(-sources.shape[0] // batch_size) + 1
             histograms = server.metrics_snapshot()["histograms"]
             assert histograms["latency_seconds"]["count"] > 0
             assert histograms["stage_kernel_seconds"]["count"] > 0
-    return sources.shape[0] / seconds
+            shadow.flush()
+            health.tick()  # at least one full rule evaluation per round
+            payload = health.alerts_payload()
+            assert payload["enabled"] and payload["rules"]
+            stats = server.metrics_snapshot()
+            health_stats = {
+                "shadow_pairs": stats["shadow_pairs_total"],
+                "shadow_mismatches": stats["shadow_mismatches_total"],
+                "alerts_firing": stats["alerts_firing"],
+            }
+            health.stop()
+            shadow.stop()
+    return sources.shape[0] / seconds, health_stats
+
+
+def _forced_canary_verification(
+    engine: BatchQueryEngine,
+    sources: np.ndarray,
+    targets: np.ndarray,
+) -> Dict[str, float]:
+    """Re-verify one real served batch at sampling rate 1.0.
+
+    The 1% rate above may legitimately sample zero batches on a small smoke
+    run; this pass pins the canary's correctness contract — exact agreement
+    between the batched kernel answers and the scalar per-pair path —
+    deterministically, every run.
+    """
+    shadow = ShadowCanary(1.0, seed=11)
+    shadow.start()
+    # The reply future resolves before the batch worker reaches the shadow
+    # hook, so flush() must wait for the server to wind down (joining the
+    # worker) before it can see the enqueued batch.
+    with QueryServer(engine, max_batch_size=sources.shape[0]) as server:
+        server.shadow = shadow
+        server.submit(sources, targets).wait(120)
+    shadow.flush()
+    stats = shadow.stats()
+    shadow.stop()
+    assert stats["shadow_pairs_total"] > 0, "forced canary verified nothing"
+    return stats
 
 
 def run_observability_benchmark(
@@ -99,17 +174,27 @@ def run_observability_benchmark(
 
     baseline_qps = []
     instrumented_qps = []
+    shadow_pairs = 0.0
+    shadow_mismatches = 0.0
+    alerts_firing = 0.0
     for _ in range(rounds):
-        baseline_qps.append(
-            _measure_qps(
-                engine, sources, targets, batch_size=batch_size, instrumented=False
-            )
+        qps, _ = _measure_qps(
+            engine, sources, targets, batch_size=batch_size, instrumented=False
         )
-        instrumented_qps.append(
-            _measure_qps(
-                engine, sources, targets, batch_size=batch_size, instrumented=True
-            )
+        baseline_qps.append(qps)
+        qps, health_stats = _measure_qps(
+            engine, sources, targets, batch_size=batch_size, instrumented=True
         )
+        instrumented_qps.append(qps)
+        shadow_pairs += health_stats["shadow_pairs"]
+        shadow_mismatches += health_stats["shadow_mismatches"]
+        alerts_firing = max(alerts_firing, health_stats["alerts_firing"])
+
+    forced = _forced_canary_verification(
+        engine, sources[:batch_size], targets[:batch_size]
+    )
+    shadow_pairs += forced["shadow_pairs_total"]
+    shadow_mismatches += forced["shadow_mismatches_total"]
 
     best_baseline = max(baseline_qps)
     best_instrumented = max(instrumented_qps)
@@ -121,21 +206,28 @@ def run_observability_benchmark(
         "baseline_qps": best_baseline,
         "instrumented_qps": best_instrumented,
         "overhead": 1.0 - best_instrumented / best_baseline,
+        "shadow_pairs": shadow_pairs,
+        "shadow_mismatches": shadow_mismatches,
+        "alerts_firing": alerts_firing,
     }
 
 
 def format_observability_report(results: Dict[str, float]) -> str:
     """Human-readable overhead report."""
     lines = [
-        "Observability overhead benchmark (tracing + histograms vs no-op)",
+        "Observability overhead benchmark "
+        "(tracing + histograms + health engine + shadow canary vs no-op)",
         f"  workload: {results['num_queries']:,.0f} pairs on "
         f"{results['num_vertices']:,.0f} vertices, "
         f"batches of {results['batch_size']:,.0f}, "
         f"best of {results['rounds']:.0f} interleaved rounds",
         "",
         f"  baseline (no-op recorder)   {results['baseline_qps']:12,.0f} queries/s",
-        f"  instrumented (traces+hist)  {results['instrumented_qps']:12,.0f} queries/s",
+        f"  instrumented (full stack)   {results['instrumented_qps']:12,.0f} queries/s",
         f"  overhead                    {results['overhead']:12.2%}",
+        f"  shadow pairs re-verified    {results['shadow_pairs']:12,.0f}",
+        f"  shadow mismatches           {results['shadow_mismatches']:12,.0f}",
+        f"  alerts firing               {results['alerts_firing']:12,.0f}",
     ]
     return "\n".join(lines)
 
@@ -144,8 +236,12 @@ def _check(results: Dict[str, float], *, smoke: bool) -> None:
     budget = SMOKE_OVERHEAD if smoke else REQUIRED_OVERHEAD
     assert results["overhead"] <= budget, (
         f"instrumentation overhead {results['overhead']:.1%} above the "
-        f"{budget:.0%} budget — tracing/histograms are no longer cheap "
-        "enough to leave on"
+        f"{budget:.0%} budget — tracing/histograms/health/canary are no "
+        "longer cheap enough to leave on"
+    )
+    assert results["shadow_mismatches"] == 0, (
+        f"shadow canary found {results['shadow_mismatches']:.0f} divergences "
+        "between the batched kernel and the scalar per-pair path"
     )
 
 
@@ -189,6 +285,11 @@ def collect_results(*, smoke: bool = False):
         Metric(
             "overhead", results["overhead"], higher_is_better=False, tolerance=5.0
         ),
+        # Exact-zero gates: the committed baselines carry all-zero samples,
+        # so the tolerance band collapses to zero and *any* shadow mismatch
+        # or firing alert in CI fails ``bench compare`` outright.
+        Metric("shadow_mismatches", results["shadow_mismatches"], higher_is_better=False),
+        Metric("alerts_firing", results["alerts_firing"], higher_is_better=False),
         Metric("num_queries", results["num_queries"]),
         Metric("num_vertices", results["num_vertices"]),
     ]

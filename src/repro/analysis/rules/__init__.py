@@ -13,6 +13,7 @@ from . import (  # noqa: F401  (imported for registration side effects)
     dtype_discipline,
     kernel_hot_loop,
     lock_discipline,
+    metric_names,
     protocol_drift,
     shm_lifecycle,
 )
@@ -23,6 +24,7 @@ __all__ = [
     "dtype_discipline",
     "kernel_hot_loop",
     "lock_discipline",
+    "metric_names",
     "protocol_drift",
     "shm_lifecycle",
 ]

@@ -52,6 +52,7 @@ _VOCABULARY = {
     "stats",
     "stats json",
     "traces",
+    "alerts",
     "many",
     "one_to_many",
     "one-to-many",

@@ -136,8 +136,9 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "also bind an HTTP admin plane on this port (async mode only): "
             "GET /metrics (Prometheus text exposition incl. latency/stage "
-            "histograms), GET /healthz, POST /publish, GET /traces, "
-            "GET /debug/threads, GET /debug/profile?seconds=N"
+            "histograms and ALERTS series), GET /healthz, POST /publish, "
+            "GET /alerts, GET /traces, GET /debug/threads, "
+            "GET /debug/profile?seconds=N, GET /debug/bundle"
         ),
     )
     serve.add_argument(
@@ -218,6 +219,39 @@ def build_parser() -> argparse.ArgumentParser:
             "(numba > narrow > numpy); an explicit name pins it and makes a "
             "missing backend a startup error instead of a silent fallback "
             "(overrides the REPRO_KERNEL environment variable)"
+        ),
+    )
+    serve.add_argument(
+        "--gc-monitor",
+        action="store_true",
+        help=(
+            "install the gc.callbacks pause monitor for the serve lifetime: "
+            "stop-the-world collection pauses appear as gc_pause_seconds_total "
+            "/ gc_pauses_total in the metrics and feed the GcPauseHigh alert"
+        ),
+    )
+    serve.add_argument(
+        "--shadow-sample",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help=(
+            "shadow correctness canary: asynchronously recompute this "
+            "fraction of served batches (0..1) through the scalar per-pair "
+            "path and count divergences as shadow_mismatches_total "
+            "(default: 0, off)"
+        ),
+    )
+    serve.add_argument(
+        "--health-interval",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help=(
+            "how often the health engine evaluates its alert rules (latency "
+            "SLO burn rate, error rate, cache collapse, event-loop lag, GC "
+            "pauses, worker respawns, dirty-vertex ratio, shadow mismatches) "
+            "against a metrics snapshot; 0 disables the engine (default: 5)"
         ),
     )
 
@@ -495,6 +529,20 @@ def _run_serve_command(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if not 0.0 <= args.shadow_sample <= 1.0:
+        print(
+            "error: --shadow-sample is a sampling rate; it must be between "
+            "0 and 1",
+            file=sys.stderr,
+        )
+        return 2
+    if args.health_interval < 0:
+        print(
+            "error: --health-interval must be non-negative (0 disables "
+            "the health engine)",
+            file=sys.stderr,
+        )
+        return 2
     # --log-json switches every operational announcement to one-JSON-object-
     # per-line events; without it the human-readable lines below stay exactly
     # as they were.  The slow-query log is always structured (it is meant for
@@ -551,6 +599,12 @@ def _run_serve_command(args: argparse.Namespace) -> int:
         )
     except ValueError:  # not in the main thread; keep default behaviour
         pass
+    gc_monitor_enabled = False
+    if args.gc_monitor:
+        from repro.obs import enable_gc_monitor
+
+        enable_gc_monitor()
+        gc_monitor_enabled = True
     engine = None
     try:
         if sharded:
@@ -604,15 +658,62 @@ def _run_serve_command(args: argparse.Namespace) -> int:
             tracer=tracer,
             logger=logger.child("server") if logger is not None else None,
         )
-        return _run_serve_loop(
-            args, server, manager, replay_mutations, serve_stdio, serve_tcp, logger
-        )
+        health, shadow = _start_observability(args, server, logger)
+        try:
+            return _run_serve_loop(
+                args, server, manager, replay_mutations, serve_stdio, serve_tcp, logger
+            )
+        finally:
+            _stop_observability(health, shadow)
     finally:
         if engine is not None:
             engine.close()
         manager.close()
         if previous_handler is not None:
             signal.signal(signal.SIGTERM, previous_handler)
+        if gc_monitor_enabled:
+            from repro.obs import disable_gc_monitor
+
+            disable_gc_monitor()
+
+
+def _start_observability(args, front, logger=None):
+    """Attach the health engine and shadow canary to a serving front end.
+
+    Works for both the threaded :class:`QueryServer` and the asyncio
+    :class:`AsyncQueryFrontend` — each exposes ``metrics_snapshot`` plus the
+    caller-owned ``health`` / ``shadow`` attachment slots.  Returns
+    ``(health, shadow)`` (either may be ``None``) for :func:`_stop_observability`.
+    """
+    from repro.serving import HealthMonitor, ShadowCanary
+
+    health = None
+    shadow = None
+    if args.shadow_sample > 0:
+        shadow = ShadowCanary(
+            args.shadow_sample,
+            logger=logger.child("shadow") if logger is not None else None,
+        )
+        shadow.start()
+        front.shadow = shadow
+    if args.health_interval > 0:
+        health = HealthMonitor(
+            front.metrics_snapshot,
+            interval_seconds=args.health_interval,
+            logger=logger.child("health") if logger is not None else None,
+        )
+        health.start()
+        front.health = health
+    return health, shadow
+
+
+def _stop_observability(health, shadow) -> None:
+    """Stop the serve-lifetime health/shadow threads (either may be ``None``)."""
+    if health is not None:
+        health.stop()
+    if shadow is not None:
+        shadow.flush()
+        shadow.stop()
 
 
 def _warm_serve_cache(args, backend, manager, cache, logger=None) -> int:
@@ -706,12 +807,14 @@ def _run_async_serve(args, backend, manager, metrics, cache, tracer=None, logger
             http_host, http_port = http_address
             print(
                 f"admin plane on http://{http_host}:{http_port} "
-                "(GET /metrics, GET /healthz, POST /publish, GET /traces, "
-                "GET /debug/threads, GET /debug/profile)",
+                "(GET /metrics, GET /healthz, POST /publish, GET /alerts, "
+                "GET /traces, GET /debug/threads, GET /debug/profile, "
+                "GET /debug/bundle)",
                 file=sys.stderr,
             )
         sys.stderr.flush()
 
+    health, shadow = _start_observability(args, frontend, logger)
     try:
         asyncio.run(
             frontend.serve(
@@ -720,6 +823,8 @@ def _run_async_serve(args, backend, manager, metrics, cache, tracer=None, logger
         )
     except KeyboardInterrupt:  # pragma: no cover - non-main-thread loops only
         pass
+    finally:
+        _stop_observability(health, shadow)
     stats = frontend.metrics_snapshot()
     if logger is not None:
         logger.event(

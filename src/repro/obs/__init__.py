@@ -20,6 +20,12 @@ drift.  This package makes performance numbers first-class data:
 * :mod:`~repro.obs.resources` — stdlib-only process resource gauges (RSS,
   open fds, GC collections and pauses) feeding both ``/metrics`` and the
   fingerprints here.
+* :mod:`~repro.obs.names` — the canonical metric/series name registry every
+  exposition key and alert rule must spell its names from (reprolint RL008).
+* :mod:`~repro.obs.health` — the declarative alert-rule engine (threshold,
+  windowed-delta and multi-window SLO burn-rate rules over metric
+  snapshots) with the pending→firing→resolved state machine behind
+  ``serve --health-interval``.
 * :mod:`~repro.obs.scrape` — snapshots a live server's ``GET /metrics``
   exposition into the same :class:`BenchResult` schema, so serving SLOs and
   offline benchmarks share one comparison path.
@@ -38,8 +44,18 @@ from repro.obs.compare import (
 )
 from repro.obs.registry import BenchSuite, get_suite, list_suites, run_suite
 from repro.obs.report import format_trend, load_history
+from repro.obs.health import (
+    AlertState,
+    BurnRateRule,
+    DeltaRule,
+    HealthEngine,
+    SnapshotWindow,
+    ThresholdRule,
+)
+from repro.obs.names import METRIC_HELP, PROMETHEUS_COUNTERS, REGISTERED_NAMES
 from repro.obs.resources import (
     GcPauseMonitor,
+    disable_gc_monitor,
     enable_gc_monitor,
     open_fd_count,
     process_resource_stats,
@@ -58,21 +74,31 @@ from repro.obs.schema import (
     result_filename,
     write_result,
 )
-from repro.obs.scrape import scrape_url
+from repro.obs.scrape import result_from_exposition, scrape_url
 
 __all__ = [
+    "METRIC_HELP",
+    "PROMETHEUS_COUNTERS",
+    "REGISTERED_NAMES",
     "SCHEMA_VERSION",
+    "AlertState",
     "BenchResult",
     "BenchSuite",
+    "BurnRateRule",
+    "DeltaRule",
     "EnvFingerprint",
     "GcPauseMonitor",
+    "HealthEngine",
     "Metric",
     "MetricComparison",
     "SchemaError",
+    "SnapshotWindow",
+    "ThresholdRule",
     "bench_result",
     "collect_fingerprint",
     "compare_paths",
     "compare_results",
+    "disable_gc_monitor",
     "enable_gc_monitor",
     "format_comparisons",
     "format_trend",
@@ -84,6 +110,7 @@ __all__ = [
     "process_resource_stats",
     "read_result",
     "result_filename",
+    "result_from_exposition",
     "rss_bytes",
     "run_suite",
     "run_suites",

@@ -22,6 +22,7 @@ from typing import Dict, Optional
 
 __all__ = [
     "GcPauseMonitor",
+    "disable_gc_monitor",
     "enable_gc_monitor",
     "open_fd_count",
     "process_resource_stats",
@@ -150,6 +151,20 @@ def enable_gc_monitor() -> GcPauseMonitor:
         _MONITOR.install()
         _MONITOR_ENABLED = True
     return _MONITOR
+
+
+def disable_gc_monitor() -> None:
+    """Uninstall the process-wide GC pause monitor (idempotent).
+
+    Accumulated totals survive on the monitor object, but the GC series
+    disappears from :func:`process_resource_stats` — "not measured" rather
+    than a frozen counter masquerading as "no pauses".  Primarily for tests
+    and for tearing down ``serve --gc-monitor`` cleanly.
+    """
+    global _MONITOR_ENABLED
+    with _MONITOR_LOCK:
+        _MONITOR.uninstall()
+        _MONITOR_ENABLED = False
 
 
 def process_resource_stats() -> Dict[str, float]:

@@ -21,7 +21,7 @@ from typing import Optional
 
 from repro.obs.schema import BenchResult, Metric, bench_result
 
-__all__ = ["scrape_url"]
+__all__ = ["result_from_exposition", "scrape_url"]
 
 #: name-suffix → unit inference for exposition sample names.
 _UNIT_SUFFIXES = (
@@ -33,7 +33,7 @@ _UNIT_SUFFIXES = (
 )
 
 _HIGHER_IS_BETTER_HINTS = ("_qps", "hit_rate", "hit_ratio")
-_LOWER_IS_BETTER_HINTS = ("latency", "_lag_seconds", "pause_seconds")
+_LOWER_IS_BETTER_HINTS = ("latency", "_lag_seconds", "pause_seconds", "mismatch")
 
 
 def _infer_unit(name: str) -> str:
@@ -51,26 +51,22 @@ def _infer_direction(name: str) -> Optional[bool]:
     return None
 
 
-def scrape_url(url: str, *, suite: str = "scrape", timeout: float = 10.0) -> BenchResult:
-    """Fetch, validate, and schema-ify one ``/metrics`` exposition.
+def result_from_exposition(body: str, *, suite: str = "scrape") -> BenchResult:
+    """Validate one exposition body and schema-ify its label-free samples.
+
+    The conversion half of :func:`scrape_url`, split out so recorded
+    expositions (test fixtures, saved incident captures) flow through exactly
+    the unit/direction inference a live scrape gets.  Labelled series such as
+    ``ALERTS{...}`` pass grammar validation but carry no label-free sample,
+    so they do not become metrics.
 
     Raises
     ------
-    OSError
-        When the URL cannot be fetched (connection refused, HTTP error, ...).
     AssertionError
         When the body violates the exposition grammar.
     """
     # Lazy import keeps ``repro.obs`` importable without the serving stack.
     from repro.serving.metrics import validate_prometheus_exposition
-
-    if "://" not in url:
-        url = "http://" + url
-    try:
-        with urllib.request.urlopen(url, timeout=timeout) as response:
-            body = response.read().decode("utf-8")
-    except urllib.error.URLError as exc:
-        raise OSError(f"cannot scrape {url}: {exc}") from None
 
     samples = validate_prometheus_exposition(body)
     metrics = [
@@ -83,3 +79,23 @@ def scrape_url(url: str, *, suite: str = "scrape", timeout: float = 10.0) -> Ben
         for name, value in sorted(samples.items())
     ]
     return bench_result(suite, metrics, smoke=False)
+
+
+def scrape_url(url: str, *, suite: str = "scrape", timeout: float = 10.0) -> BenchResult:
+    """Fetch, validate, and schema-ify one ``/metrics`` exposition.
+
+    Raises
+    ------
+    OSError
+        When the URL cannot be fetched (connection refused, HTTP error, ...).
+    AssertionError
+        When the body violates the exposition grammar.
+    """
+    if "://" not in url:
+        url = "http://" + url
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            body = response.read().decode("utf-8")
+    except urllib.error.URLError as exc:
+        raise OSError(f"cannot scrape {url}: {exc}") from None
+    return result_from_exposition(body, suite=suite)

@@ -16,9 +16,13 @@ while the index is updated underneath it.
   the cache-warming replay (:func:`warm_cache`).
 * :mod:`~repro.serving.aio` — :class:`AsyncQueryFrontend`, the asyncio front
   end multiplexing thousands of connections on one event loop, with the
-  HTTP admin plane (Prometheus ``/metrics``, ``/healthz``, ``/publish``)
-  plus the debug surface (``/traces``, ``/debug/threads``,
-  ``/debug/profile``) and graceful drain.
+  HTTP admin plane (Prometheus ``/metrics``, ``/healthz``, ``/publish``,
+  ``/alerts``) plus the debug surface (``/traces``, ``/debug/threads``,
+  ``/debug/profile``, ``/debug/bundle``) and graceful drain.
+* :mod:`~repro.serving.alerts` — :class:`HealthMonitor`, the background
+  health engine evaluating the default SLO/burn-rate alert rules against
+  metrics snapshots, and :class:`ShadowCanary`, the sampled shadow
+  correctness recomputation behind ``serve --shadow-sample``.
 * :mod:`~repro.serving.sharded` — :class:`ShardedQueryEngine`, the
   multi-process engine answering batch shards against named shared-memory
   snapshot generations (the GIL bypass for multi-core serving), with
@@ -34,6 +38,12 @@ while the index is updated underneath it.
 """
 
 from repro.serving.aio import AsyncQueryFrontend
+from repro.serving.alerts import (
+    HealthMonitor,
+    ShadowCanary,
+    alerts_wire_reply,
+    default_alert_rules,
+)
 from repro.serving.cache import CacheStats, LRUCache, cached_query_batch
 from repro.serving.engine import BatchQueryEngine, EngineStats
 from repro.serving.metrics import (
@@ -69,6 +79,10 @@ __all__ = [
     "AsyncQueryFrontend",
     "BatchQueryEngine",
     "EngineStats",
+    "HealthMonitor",
+    "ShadowCanary",
+    "alerts_wire_reply",
+    "default_alert_rules",
     "ShardedQueryEngine",
     "default_worker_count",
     "LRUCache",

@@ -24,11 +24,15 @@ all of them on a single event loop instead:
   and index-health gauges rendered from
   :class:`~repro.serving.metrics.ServerMetrics`), ``GET /healthz`` (JSON
   liveness incl. snapshot version and connection count), ``POST /publish``
-  (hot-swap pending mutations), and a debug surface: ``GET /traces``
-  (recent + slow request traces as JSON), ``GET /debug/threads``
-  (all-thread stack dump) and ``GET /debug/profile?seconds=N`` (cProfile
-  capture of the event loop, pstats text) — curl-able, scrapeable, no
-  client library needed.
+  (hot-swap pending mutations), ``GET /alerts`` (health-engine rule states
+  when a :class:`~repro.serving.alerts.HealthMonitor` is attached), and a
+  debug surface: ``GET /traces`` (recent + slow request traces as JSON),
+  ``GET /debug/threads`` (all-thread stack dump),
+  ``GET /debug/profile?seconds=N`` (cProfile capture of the event loop,
+  pstats text) and ``GET /debug/bundle`` (one-shot JSON diagnostics
+  archive: metrics, alerts, traces, thread dump, index health and the
+  environment fingerprint) — curl-able, scrapeable, no client library
+  needed.
 * **Graceful drain.**  ``SIGTERM``/``SIGINT`` (or :meth:`request_stop`) stop
   admissions, finish every in-flight batch, flush the replies, then close
   the connections — clients always see a final response or a clean EOF, and
@@ -71,6 +75,13 @@ from repro.errors import (
     ServingError,
     VertexError,
 )
+from repro.obs.schema import collect_fingerprint
+from repro.serving.alerts import (
+    HealthMonitor,
+    ShadowCanary,
+    alerts_wire_reply,
+    augment_snapshot,
+)
 from repro.serving.cache import LRUCache, cached_query_batch
 from repro.serving.engine import BatchQueryEngine
 from repro.serving.metrics import (
@@ -79,6 +90,7 @@ from repro.serving.metrics import (
     render_prometheus_text,
 )
 from repro.serving.protocol import (
+    ALERTS_COMMAND,
     OP_ADD,
     OP_PUBLISH,
     OP_REMOVE,
@@ -214,6 +226,11 @@ class AsyncQueryFrontend:
         self.batch_timeout = float(batch_timeout)
         self.max_pending = int(max_pending)
         self.metrics = metrics if metrics is not None else ServerMetrics()
+        #: Optional caller-owned attachments (the CLI wires them): a
+        #: background health engine and the shadow correctness canary.
+        #: Their stats/alerts fold into every metrics snapshot when set.
+        self.health: Optional[HealthMonitor] = None
+        self.shadow: Optional[ShadowCanary] = None
         manager = self.snapshot_manager
         self._cache_version = manager.version if manager is not None else None
         self._health_check_interval = health_check_interval
@@ -313,8 +330,10 @@ class AsyncQueryFrontend:
 
     def metrics_snapshot(self) -> dict:
         """Serving statistics including cache, snapshot version, queue depth,
-        the open-connection count and the index-health gauges (label entries,
-        bit-parallel roots, dirty vertices, generation identity/bytes)."""
+        the open-connection count, the index-health gauges (label entries,
+        bit-parallel roots, dirty vertices, generation identity/bytes) and —
+        when a health monitor / shadow canary is attached — the alert gauges,
+        active alerts and shadow-canary counters."""
         stats = self.metrics.snapshot(**self._metrics_kwargs())
         stats["num_connections"] = self.num_connections
         stats["event_loop_lag_seconds"] = self._loop_lag
@@ -326,7 +345,7 @@ class AsyncQueryFrontend:
             # Health introspection is best effort: a backend mid-teardown
             # (closed sharded engine) must not take /metrics down with it.
             pass
-        return stats
+        return augment_snapshot(stats, health=self.health, shadow=self.shadow)
 
     def metrics_json(self) -> str:
         """Single-line JSON metrics (the ``stats json`` wire reply)."""
@@ -339,6 +358,48 @@ class AsyncQueryFrontend:
     def traces_json(self, *, limit: Optional[int] = 32) -> str:
         """JSON trace dump (``GET /traces`` body and the ``TRACES`` wire reply)."""
         return json.dumps(self.tracer.snapshot(limit=limit), sort_keys=True)
+
+    def alerts_json(self) -> str:
+        """JSON alert payload (``GET /alerts`` body and the ``ALERTS`` reply)."""
+        return alerts_wire_reply(self.health)
+
+    def diagnostics_bundle(self) -> dict:
+        """One-shot diagnostics archive (``GET /debug/bundle``).
+
+        Bundles everything an operator would otherwise collect endpoint by
+        endpoint during an incident: the metrics snapshot (already including
+        alert gauges and shadow counters), the full alert payload, recent and
+        slow traces, an all-thread stack dump, index health, kernel identity
+        and the environment fingerprint.  Runs ``collect_fingerprint`` (a git
+        subprocess) so callers on the event loop must dispatch through the
+        executor.
+        """
+        engine = None
+        try:
+            engine = self._current_engine()
+        except Exception:
+            pass
+        bundle: dict = {
+            "metrics": self.metrics_snapshot(),
+            "alerts": json.loads(self.alerts_json()),
+            "traces": self.tracer.snapshot(limit=32),
+            "threads": self._debug_threads_text(),
+            "kernel": {
+                "kernel_name": getattr(engine, "kernel_name", "unknown"),
+                "kernel_requested": getattr(engine, "kernel_requested", None),
+            },
+        }
+        try:
+            bundle["index_health"] = index_health_stats(
+                engine, self.snapshot_manager
+            )
+        except Exception:
+            bundle["index_health"] = {}
+        try:
+            bundle["environment"] = collect_fingerprint().as_dict()
+        except Exception:
+            bundle["environment"] = {}
+        return bundle
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -467,7 +528,8 @@ class AsyncQueryFrontend:
         self, host: str = "127.0.0.1", port: int = 0, *, backlog: int = 128
     ) -> asyncio.AbstractServer:
         """Start the HTTP admin listener (``/metrics``, ``/healthz``,
-        ``/publish``, ``/traces``, ``/debug/threads``, ``/debug/profile``)."""
+        ``/publish``, ``/alerts``, ``/traces``, ``/debug/threads``,
+        ``/debug/profile``, ``/debug/bundle``)."""
         server = await asyncio.start_server(
             self._handle_http, host, port, backlog=backlog
         )
@@ -869,6 +931,11 @@ class AsyncQueryFrontend:
             request_latencies=[completed - request.created for request in batch],
         )
         self._count_pair_queries(int(sources.shape[0]))
+        shadow = self.shadow
+        if shadow is not None:
+            # After completion so sampling never sits between kernel and
+            # reply; the canary copies the arrays before enqueueing.
+            shadow.maybe_submit(engine, sources, targets, distances)
         if want_spans:
             self._trace_batch(batch, batch_spans, start, eval_done, completed)
 
@@ -932,6 +999,8 @@ class AsyncQueryFrontend:
             return self.metrics_json()
         if command == TRACES_COMMAND:
             return self.traces_json()
+        if command == ALERTS_COMMAND:
+            return self.alerts_json()
         if is_mutation(stripped):
             try:
                 op, endpoints = parse_mutation(stripped)
@@ -1182,6 +1251,29 @@ class AsyncQueryFrontend:
                 writer, 200, text, content_type="text/plain; charset=utf-8"
             )
             return
+        if path == "/alerts":
+            if method != "GET":
+                await self._http_respond(
+                    writer, 405, json.dumps({"error": "use GET"})
+                )
+                return
+            await self._http_respond(writer, 200, self.alerts_json())
+            return
+        if path == "/debug/bundle":
+            if method != "GET":
+                await self._http_respond(
+                    writer, 405, json.dumps({"error": "use GET"})
+                )
+                return
+            # collect_fingerprint shells out to git; keep the loop responsive
+            # by building the bundle on the executor.
+            bundle = await self._loop.run_in_executor(
+                self._executor, self.diagnostics_bundle
+            )
+            await self._http_respond(
+                writer, 200, json.dumps(bundle, sort_keys=True, default=str)
+            )
+            return
         if path == "/metrics":
             if method != "GET":
                 await self._http_respond(
@@ -1242,9 +1334,11 @@ class AsyncQueryFrontend:
                         "/metrics",
                         "/healthz",
                         "/publish",
+                        "/alerts",
                         "/traces",
                         "/debug/threads",
                         "/debug/profile",
+                        "/debug/bundle",
                     ],
                 }
             ),

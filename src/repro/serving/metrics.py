@@ -31,6 +31,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.obs import names
 from repro.obs.resources import process_resource_stats
 from repro.serving.cache import CacheStats
 
@@ -69,62 +70,15 @@ DEFAULT_LATENCY_BUCKETS = (
 #: ``<prefix>_stage_<name>_seconds`` histogram on ``/metrics``.
 STAGE_NAMES = ("queue", "batch", "kernel", "cache_probe")
 
-#: Snapshot keys that are monotonically increasing and therefore exposed with
-#: the Prometheus ``counter`` type; every other numeric key is a ``gauge``.
-PROMETHEUS_COUNTERS = frozenset(
-    {
-        "num_requests",
-        "num_batches",
-        "num_queries",
-        "num_rejected",
-        "num_errors",
-        "num_worker_respawns",
-        "cache_hits",
-        "cache_misses",
-        "cache_evictions",
-        "gc_collections_total",
-        "gc_collected_total",
-        "gc_pause_seconds_total",
-        "gc_pauses_total",
-    }
-)
+#: Monotone snapshot keys → Prometheus ``counter`` type (everything else is a
+#: ``gauge``).  Lives in the shared name registry (``repro.obs.names``) since
+#: PR 10; re-exported here for existing importers.
+PROMETHEUS_COUNTERS = names.PROMETHEUS_COUNTERS
 
 #: Help strings for the best-known snapshot keys; anything else gets a
-#: generated fallback so the exposition stays self-describing.
-_PROMETHEUS_HELP = {
-    "uptime_seconds": "Wall-clock seconds since the metrics object was created.",
-    "num_requests": "Total query requests admitted.",
-    "num_batches": "Total coalesced batches evaluated.",
-    "num_queries": "Total query pairs answered.",
-    "num_rejected": "Requests rejected by admission control.",
-    "num_errors": "Requests that failed with an error.",
-    "num_worker_respawns": "Times the sharded worker pool was rebuilt after breaking.",
-    "qps": "Queries answered per second of uptime.",
-    "busy_fraction": "Fraction of uptime spent evaluating batches.",
-    "average_batch_size": "Mean query pairs per evaluated batch.",
-    "cache_hit_rate": "Fraction of cache lookups served from the hot-pair cache.",
-    "snapshot_version": "Version number of the currently served index snapshot.",
-    "queue_depth": "Requests currently queued for batching.",
-    "num_connections": "Open client connections on the async front end.",
-    "index_label_entries": "Total normal label entries in the served index.",
-    "index_bit_parallel_roots": "Bit-parallel BFS roots carried by the served index.",
-    "index_dirty_vertices": "Shadow-index vertices dirtied since the last publish.",
-    "generation_bytes": "Bytes of the shared-memory generation backing the snapshot.",
-    "kernel_fallback": "1 when the serving kernel backend is a fallback from the requested one.",
-    "kernel_narrow": "1 when the served generation uses the narrow (uint32/uint8) kernel layout.",
-    "process_rss_bytes": "Resident set size of the serving process.",
-    "process_open_fds": "Open file descriptors held by the serving process.",
-    "gc_collections_total": "Garbage collections completed (all generations).",
-    "gc_collected_total": "Objects reclaimed by the garbage collector.",
-    "gc_pause_seconds_total": "Cumulative stop-the-world garbage-collection pause time.",
-    "gc_pauses_total": "Garbage-collection pauses observed by the pause monitor.",
-    "event_loop_lag_seconds": "Latest sampled asyncio event-loop scheduling lag.",
-    "latency_seconds": "End-to-end request latency (admission to reply).",
-    "stage_queue_seconds": "Time requests spend queued before the batcher dequeues them.",
-    "stage_batch_seconds": "Time requests spend in the coalescing window.",
-    "stage_kernel_seconds": "Engine evaluation time per batch (kernel or worker shards).",
-    "stage_cache_probe_seconds": "Hot-pair cache probe time per batch.",
-}
+#: generated fallback so the exposition stays self-describing.  Moved to the
+#: shared name registry alongside the names themselves.
+_PROMETHEUS_HELP = names.METRIC_HELP
 
 
 class Histogram:
@@ -214,8 +168,11 @@ def render_prometheus_text(
     respawned pool is visible to the scraper; the nested ``histograms`` key
     becomes true histogram exposition (``_bucket`` series per ``le`` bound
     plus ``_sum``/``_count``); a ``generation_name`` string becomes an
-    info-style gauge (``<prefix>_generation_info{name="..."} 1``).  Other
-    non-numeric values are skipped.
+    info-style gauge (``<prefix>_generation_info{name="..."} 1``); an
+    ``alerts`` list from the health engine becomes the conventional
+    *unprefixed* ``ALERTS{alertname=...,severity=...,alertstate=...} 1``
+    series Prometheus itself exports for active alerts.  Other non-numeric
+    values are skipped.
     """
     lines = []
 
@@ -229,8 +186,9 @@ def render_prometheus_text(
     generation_name = stats.get("generation_name")
     verbs = stats.get("verbs")
     kernel_ops = stats.get("kernel_ops")
+    alerts = stats.get("alerts")
     for key in sorted(stats):
-        if key in ("workers", "histograms", "generation_name", "verbs", "kernel_ops"):
+        if key in ("workers", "histograms", "generation_name", "verbs", "kernel_ops", "alerts"):
             continue
         value = stats[key]
         if isinstance(value, bool) or not isinstance(value, (int, float)):
@@ -239,9 +197,24 @@ def render_prometheus_text(
         kind = "counter" if key in PROMETHEUS_COUNTERS else "gauge"
         help_text = _PROMETHEUS_HELP.get(key, f"Serving statistic {key}.")
         emit(name, value, kind, help_text)
+    if isinstance(alerts, Sequence) and alerts:
+        name = names.ALERTS_SERIES
+        lines.append(f"# HELP {name} Active alert instances from the serving health engine.")
+        lines.append(f"# TYPE {name} gauge")
+        for alert in sorted(
+            (entry for entry in alerts if isinstance(entry, Mapping)),
+            key=lambda entry: str(entry.get("alertname", "")),
+        ):
+            alertname = alert.get("alertname", "")
+            severity = alert.get("severity", "")
+            alertstate = alert.get("alertstate", "")
+            lines.append(
+                f'{name}{{alertname="{alertname}",severity="{severity}"'
+                f',alertstate="{alertstate}"}} 1'
+            )
     if isinstance(generation_name, str) and generation_name:
         emit(
-            f"{prefix}_generation_info",
+            f"{prefix}_{names.GENERATION_INFO}",
             1,
             "gauge",
             "Identity of the shared-memory generation backing the snapshot.",
@@ -254,14 +227,14 @@ def render_prometheus_text(
         if isinstance(requested, str) and requested:
             labels += f',requested="{requested}"'
         emit(
-            f"{prefix}_kernel_info",
+            f"{prefix}_{names.KERNEL_INFO}",
             1,
             "gauge",
             "Kernel backend serving batch queries (selected vs requested).",
             labels="{" + labels + "}",
         )
     if isinstance(verbs, Mapping) and verbs:
-        name = f"{prefix}_verb_queries_total"
+        name = f"{prefix}_{names.VERB_QUERIES_TOTAL}"
         lines.append(f"# HELP {name} Query pairs answered, broken down by wire verb.")
         lines.append(f"# TYPE {name} counter")
         for verb in sorted(verbs):
@@ -269,7 +242,7 @@ def render_prometheus_text(
                 f'{name}{{verb="{verb}"}} {_prometheus_number(verbs[verb])}'
             )
     if isinstance(kernel_ops, Mapping) and kernel_ops:
-        name = f"{prefix}_kernel_op_queries_total"
+        name = f"{prefix}_{names.KERNEL_OP_QUERIES_TOTAL}"
         lines.append(
             f"# HELP {name} Query pairs evaluated, broken down by kernel backend and operation."
         )
@@ -303,10 +276,14 @@ def render_prometheus_text(
     if isinstance(workers, Mapping) and workers:
         per_worker = {
             "num_shards": ("shards", "counter", "Batch shards evaluated by this worker."),
-            "num_queries": ("queries", "counter", "Query pairs answered by this worker."),
+            names.NUM_QUERIES: ("queries", "counter", "Query pairs answered by this worker."),
             # busy_seconds only ever accumulates — a counter, so PromQL
             # rate() works on it (it was previously mistyped as a gauge).
-            "busy_seconds": ("busy_seconds", "counter", "Cumulative evaluation seconds in this worker."),
+            names.FIELD_BUSY_SECONDS: (
+                names.FIELD_BUSY_SECONDS,
+                "counter",
+                "Cumulative evaluation seconds in this worker.",
+            ),
         }
         for field_name, (suffix, kind, help_text) in per_worker.items():
             name = f"{prefix}_worker_{suffix}"
@@ -446,7 +423,7 @@ class ServerMetrics:
         self._num_worker_respawns = 0
         self._histograms: Dict[str, Histogram] = {}
         if histogram_buckets is not None:
-            self._histograms["latency_seconds"] = Histogram(histogram_buckets)
+            self._histograms[names.LATENCY_SECONDS] = Histogram(histogram_buckets)
             for stage in STAGE_NAMES:
                 self._histograms[f"stage_{stage}_seconds"] = Histogram(histogram_buckets)
         # Per-worker shard accounting for the multi-process engine, keyed by
@@ -488,7 +465,7 @@ class ServerMetrics:
             self._num_queries += num_queries
             self._num_requests += num_requests
             self._busy_seconds += seconds
-            latency_histogram = self._histograms.get("latency_seconds")
+            latency_histogram = self._histograms.get(names.LATENCY_SECONDS)
             if request_latencies:
                 for latency in request_latencies:
                     self._latencies.record(latency)
@@ -532,11 +509,11 @@ class ServerMetrics:
         with self._lock:
             counters = self._workers.setdefault(
                 str(worker),
-                {"num_shards": 0, "num_queries": 0, "busy_seconds": 0.0},
+                {"num_shards": 0, names.NUM_QUERIES: 0, names.FIELD_BUSY_SECONDS: 0.0},
             )
             counters["num_shards"] += 1
-            counters["num_queries"] += num_queries
-            counters["busy_seconds"] += seconds
+            counters[names.NUM_QUERIES] += num_queries
+            counters[names.FIELD_BUSY_SECONDS] += seconds
 
     def observe_verb(self, verb: str, num_queries: int) -> None:
         """Record ``num_queries`` pairs answered under one wire verb.
@@ -604,28 +581,28 @@ class ServerMetrics:
         with self._lock:
             elapsed = max(time.perf_counter() - self._started, 1e-12)
             stats: Dict[str, float] = {
-                "uptime_seconds": elapsed,
-                "num_requests": self._num_requests,
-                "num_batches": self._num_batches,
-                "num_queries": self._num_queries,
-                "num_rejected": self._num_rejected,
-                "num_errors": self._num_errors,
-                "num_worker_respawns": self._num_worker_respawns,
-                "qps": self._num_queries / elapsed,
-                "busy_fraction": min(self._busy_seconds / elapsed, 1.0),
-                "average_batch_size": (
+                names.UPTIME_SECONDS: elapsed,
+                names.NUM_REQUESTS: self._num_requests,
+                names.NUM_BATCHES: self._num_batches,
+                names.NUM_QUERIES: self._num_queries,
+                names.NUM_REJECTED: self._num_rejected,
+                names.NUM_ERRORS: self._num_errors,
+                names.NUM_WORKER_RESPAWNS: self._num_worker_respawns,
+                names.QPS: self._num_queries / elapsed,
+                names.BUSY_FRACTION: min(self._busy_seconds / elapsed, 1.0),
+                names.AVERAGE_BATCH_SIZE: (
                     self._num_queries / self._num_batches if self._num_batches else 0.0
                 ),
             }
             for name, value in self._latencies.percentiles().items():
                 stats[f"latency_{name}_ms"] = value
             if self._workers:
-                shard_queries = [w["num_queries"] for w in self._workers.values()]
-                stats["num_workers"] = len(self._workers)
-                stats["worker_queries_min"] = min(shard_queries)
-                stats["worker_queries_max"] = max(shard_queries)
-                stats["worker_busy_seconds_total"] = sum(
-                    w["busy_seconds"] for w in self._workers.values()
+                shard_queries = [w[names.NUM_QUERIES] for w in self._workers.values()]
+                stats[names.NUM_WORKERS] = len(self._workers)
+                stats[names.WORKER_QUERIES_MIN] = min(shard_queries)
+                stats[names.WORKER_QUERIES_MAX] = max(shard_queries)
+                stats[names.WORKER_BUSY_SECONDS_TOTAL] = sum(
+                    w[names.FIELD_BUSY_SECONDS] for w in self._workers.values()
                 )
                 stats["workers"] = {
                     worker: dict(counters)
@@ -647,9 +624,9 @@ class ServerMetrics:
             for name, value in cache_stats.as_dict().items():
                 stats[f"cache_{name}"] = value
         if snapshot_version is not None:
-            stats["snapshot_version"] = snapshot_version
+            stats[names.SNAPSHOT_VERSION] = snapshot_version
         if queue_depth is not None:
-            stats["queue_depth"] = queue_depth
+            stats[names.QUEUE_DEPTH] = queue_depth
         return stats
 
     def render(self, **snapshot_kwargs) -> str:
@@ -665,6 +642,7 @@ class ServerMetrics:
         histograms = stats.pop("histograms", None)
         verbs = stats.pop("verbs", None)
         kernel_ops = stats.pop("kernel_ops", None)
+        alerts = stats.pop("alerts", None)
         lines = ["serving metrics"]
         for key in sorted(stats):
             value = stats[key]
@@ -688,6 +666,14 @@ class ServerMetrics:
                 for op in sorted(kernel_ops[kernel]):
                     label = f"{kernel}/{op}"
                     lines.append(f"    {label:26s} {int(kernel_ops[kernel][op]):d}")
+        if alerts:
+            lines.append("  alerts")
+            for alert in alerts:
+                label = str(alert.get("alertname", "?"))
+                lines.append(
+                    f"    {label:26s} {alert.get('alertstate', '?')}"
+                    f" ({alert.get('severity', '?')})"
+                )
         if workers:
             lines.append("  workers")
             header = f"    {'worker':>10s} {'shards':>8s} {'queries':>10s} {'busy_s':>10s}"
@@ -697,8 +683,8 @@ class ServerMetrics:
                 lines.append(
                     f"    {worker:>10s} "
                     f"{int(counters.get('num_shards', 0)):>8d} "
-                    f"{int(counters.get('num_queries', 0)):>10d} "
-                    f"{counters.get('busy_seconds', 0.0):>10.4f}"
+                    f"{int(counters.get(names.NUM_QUERIES, 0)):>10d} "
+                    f"{counters.get(names.FIELD_BUSY_SECONDS, 0.0):>10.4f}"
                 )
         return "\n".join(lines)
 
@@ -725,6 +711,8 @@ def index_health_stats(engine, manager=None) -> Dict[str, object]:
 
     * ``index_label_entries`` — total normal label entries in the served index,
     * ``index_bit_parallel_roots`` — bit-parallel BFS roots it carries,
+    * ``index_num_vertices`` — vertices the served index covers (the
+      denominator of the dirty-vertex-ratio alert rule),
     * ``index_dirty_vertices`` — shadow vertices dirtied since the last publish,
     * ``generation_name`` / ``generation_bytes`` — identity and size of the
       shared-memory generation backing the snapshot (shared deployments only),
@@ -745,20 +733,24 @@ def index_health_stats(engine, manager=None) -> Dict[str, object]:
     if index is not None:
         label_set = getattr(index, "label_set", None)
         if label_set is not None:
-            stats["index_label_entries"] = int(label_set.total_entries())
+            stats[names.INDEX_LABEL_ENTRIES] = int(label_set.total_entries())
+            num_vertices = getattr(label_set, "num_vertices", None)
+            if num_vertices is not None:
+                stats[names.INDEX_NUM_VERTICES] = int(num_vertices)
         bit_parallel = getattr(index, "bit_parallel_labels", None)
         if bit_parallel is not None:
-            stats["index_bit_parallel_roots"] = int(bit_parallel.num_roots)
+            stats[names.INDEX_BIT_PARALLEL_ROOTS] = int(bit_parallel.num_roots)
     if manager is not None:
         dirty = getattr(manager, "dirty_vertex_count", None)
         if dirty is not None:
-            stats["index_dirty_vertices"] = int(dirty)
+            stats[names.INDEX_DIRTY_VERTICES] = int(dirty)
         generation = getattr(getattr(manager, "current", None), "generation", None)
         if generation is not None:
             stats["generation_name"] = generation.name
             backend = getattr(generation, "backend", None)
             if backend is not None:
-                stats["generation_bytes"] = int(backend.nbytes())
+                stats[names.GENERATION_BYTES] = int(backend.nbytes())
+    # reprolint: disable=RL008 -- the engine *method* name, not the series
     kernel_info = getattr(engine, "kernel_info", None)
     if callable(kernel_info):
         try:
@@ -768,6 +760,6 @@ def index_health_stats(engine, manager=None) -> Dict[str, object]:
         if info:
             stats["kernel_name"] = str(info.get("selected", ""))
             stats["kernel_requested"] = str(info.get("requested", ""))
-            stats["kernel_fallback"] = int(bool(info.get("fallback")))
-            stats["kernel_narrow"] = int(bool(info.get("narrow")))
+            stats[names.KERNEL_FALLBACK] = int(bool(info.get("fallback")))
+            stats[names.KERNEL_NARROW] = int(bool(info.get("narrow")))
     return stats

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 __all__ = [
+    "ALERTS_COMMAND",
     "MAX_VERTEX_ID",
     "OP_ADD",
     "OP_PUBLISH",
@@ -55,6 +56,10 @@ STATS_COMMANDS = frozenset({"STATS", "STATS JSON"})
 
 #: Recent/slow trace dump command; replies with the trace-ring JSON payload.
 TRACES_COMMAND = "TRACES"
+
+#: Health-engine dump command; replies with the alerts JSON payload (rule
+#: states, firing/pending subsets, recently resolved) on every front end.
+ALERTS_COMMAND = "ALERTS"
 
 #: Canonical per-verb metric labels (``verb_queries_total{verb=...}``).
 VERB_PAIR = "pair"

@@ -49,10 +49,12 @@ from repro.errors import (
     ServingError,
     VertexError,
 )
+from repro.serving.alerts import HealthMonitor, ShadowCanary, alerts_wire_reply, augment_snapshot
 from repro.serving.cache import LRUCache, cached_query_batch
 from repro.serving.engine import BatchQueryEngine
 from repro.serving.metrics import ServerMetrics
 from repro.serving.protocol import (
+    ALERTS_COMMAND,
     OP_ADD,
     OP_PUBLISH,
     OP_REMOVE,
@@ -212,6 +214,12 @@ class QueryServer:
         # Admission flag, dropped *before* the shutdown drain so a client
         # streaming queries cannot keep the drain from ever finishing.
         self._accepting = False
+        # Optional observability attachments (owned by the caller, which
+        # starts/stops them): the health engine folds this server's metrics
+        # snapshots into alert states; the shadow canary re-verifies sampled
+        # served batches against the scalar baseline.
+        self.health: Optional[HealthMonitor] = None
+        self.shadow: Optional[ShadowCanary] = None
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -433,16 +441,26 @@ class QueryServer:
         )
 
     def metrics_snapshot(self) -> dict:
-        """Serving statistics including cache, snapshot version and queue depth."""
-        return self.metrics.snapshot(**self._metrics_kwargs())
+        """Serving statistics including cache, snapshot version and queue depth.
+
+        When a health monitor / shadow canary is attached, their gauges and
+        counters (``alerts_firing``, ``shadow_mismatches_total``, ...) ride
+        the same snapshot — one dictionary feeds every rendering.
+        """
+        stats = self.metrics.snapshot(**self._metrics_kwargs())
+        return augment_snapshot(stats, health=self.health, shadow=self.shadow)
 
     def metrics_json(self) -> str:
         """Single-line JSON metrics (the ``stats json`` wire reply)."""
-        return self.metrics.render_json(**self._metrics_kwargs())
+        return json.dumps(self.metrics_snapshot(), sort_keys=True)
 
     def traces_json(self, *, limit: Optional[int] = 32) -> str:
         """Single-line JSON trace dump (the ``TRACES`` wire reply)."""
         return json.dumps(self.tracer.snapshot(limit=limit), sort_keys=True)
+
+    def alerts_json(self) -> str:
+        """Single-line JSON health report (the ``ALERTS`` wire reply)."""
+        return alerts_wire_reply(self.health)
 
     # ------------------------------------------------------------------ #
     # Mutations (hot-swap write path)
@@ -666,6 +684,11 @@ class QueryServer:
             request_latencies=[completed - request.created for request in batch],
         )
         self._count_pair_queries(int(sources.shape[0]))
+        shadow = self.shadow
+        if shadow is not None:
+            # After the requests completed: sampling must never sit between
+            # the kernel and the reply.  The canary copies the arrays.
+            shadow.maybe_submit(engine, sources, targets, distances)
         if want_spans:
             self._trace_batch(batch, batch_spans, start, eval_done, completed)
 
@@ -707,6 +730,8 @@ def _handle_line(server: QueryServer, line: str) -> Optional[str]:
         return server.metrics_json()
     if command == TRACES_COMMAND:
         return server.traces_json()
+    if command == ALERTS_COMMAND:
+        return server.alerts_json()
     if is_mutation(stripped):
         try:
             op, endpoints = parse_mutation(stripped)

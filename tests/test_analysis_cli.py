@@ -192,7 +192,16 @@ def test_json_report_schema(project):
         "suppressed",
         "errors",
     }
-    assert set(payload["rules"]) == {"RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007"}
+    assert set(payload["rules"]) == {
+        "RL001",
+        "RL002",
+        "RL003",
+        "RL004",
+        "RL005",
+        "RL006",
+        "RL007",
+        "RL008",
+    }
     (finding,) = payload["findings"]
     assert set(finding) == {
         "rule",

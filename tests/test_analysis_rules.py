@@ -1,4 +1,4 @@
-"""Per-rule fixtures for the reprolint analyzers (RL001–RL007).
+"""Per-rule fixtures for the reprolint analyzers (RL001–RL008).
 
 Each rule gets at least a true-positive, a suppressed, and a clean fixture.
 Fixtures are in-memory modules linted through :func:`check_source` under a
@@ -21,7 +21,16 @@ def _lint(source: str, *, path: str = "src/repro/serving/module.py", rule=None):
 
 def test_all_rules_registered():
     ids = [rule.id for rule in all_rules()]
-    assert ids == ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007"]
+    assert ids == [
+        "RL001",
+        "RL002",
+        "RL003",
+        "RL004",
+        "RL005",
+        "RL006",
+        "RL007",
+        "RL008",
+    ]
     for rule in all_rules():
         assert rule.name and rule.description and rule.rationale
 
@@ -594,6 +603,83 @@ def test_rl007_suppression():
         """,
         path="benchmarks/bench_legacy.py",
         rule="RL007",
+    )
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# RL008 — metric names come from the repro.obs.names registry
+# ---------------------------------------------------------------------------
+
+
+def test_rl008_flags_registered_name_spelled_inline():
+    findings = _lint(
+        """
+        def snapshot():
+            return {"cache_hit_rate": 1.0}
+        """,
+        path="src/repro/serving/metrics.py",
+        rule="RL008",
+    )
+    assert len(findings) == 1
+    assert "repro.obs.names constant" in findings[0].message
+
+
+def test_rl008_flags_unregistered_metric_shaped_literal():
+    findings = _lint(
+        """
+        def snapshot():
+            return {"made_up_widgets_total": 1.0}
+        """,
+        path="src/repro/serving/alerts.py",
+        rule="RL008",
+    )
+    assert len(findings) == 1
+    assert "not in" in findings[0].message
+    assert "register" in findings[0].message
+
+
+def test_rl008_clean_with_constants_fstrings_and_structural_keys():
+    findings = _lint(
+        '''
+        from repro.obs import names
+
+        def snapshot(name):
+            """Docstring mentioning shadow_mismatches_total stays exempt."""
+            return {
+                names.CACHE_HIT_RATE: 1.0,
+                f"latency_{name}_ms": 2.0,
+                "num_shards": 4,
+                "buckets": [],
+            }
+        ''',
+        path="src/repro/obs/health.py",
+        rule="RL008",
+    )
+    assert findings == []
+
+
+def test_rl008_out_of_scope_paths_untouched():
+    source = """
+    def snapshot():
+        return {"cache_hit_rate": 1.0, "made_up_widgets_total": 2.0}
+    """
+    for path in (
+        "src/repro/obs/names.py",
+        "src/repro/serving/server.py",
+        "src/repro/obs/resources.py",
+    ):
+        assert _lint(source, path=path, rule="RL008") == []
+
+
+def test_rl008_suppression():
+    findings = _lint(
+        """
+        def probe(engine):
+            return getattr(engine, "kernel_info", None)  # reprolint: disable=RL008
+        """,
+        path="src/repro/serving/metrics.py",
+        rule="RL008",
     )
     assert findings == []
 

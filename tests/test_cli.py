@@ -316,6 +316,85 @@ class TestServeCommand:
         assert payload["num_recorded"] == 1
         assert payload["slow_threshold_ms"] == 0.0
 
+    def _stats_from_session(self, capsys):
+        import json
+
+        lines = [
+            line for line in capsys.readouterr().out.splitlines()
+            if line.startswith("{")
+        ]
+        return json.loads(lines[-1])
+
+    def test_serve_gc_monitor_enables_and_tears_down(
+        self, index_path, capsys, monkeypatch
+    ):
+        import gc
+        import io
+
+        callbacks_before = len(gc.callbacks)
+        monkeypatch.setattr("sys.stdin", io.StringIO("0 5\nSTATS\nQUIT\n"))
+        assert main(["serve", str(index_path), "--gc-monitor"]) == 0
+        # The pause series only exist while the hook is installed.
+        stats = self._stats_from_session(capsys)
+        assert "gc_pauses_total" in stats
+        assert "gc_pause_seconds_total" in stats
+        # The process-wide gc callback must not leak out of the serve call.
+        assert len(gc.callbacks) == callbacks_before
+
+    def test_serve_without_gc_monitor_has_no_pause_series(
+        self, index_path, capsys, monkeypatch
+    ):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("STATS\nQUIT\n"))
+        assert main(["serve", str(index_path)]) == 0
+        # "Not measured" rather than an eternally-zero counter.
+        assert "gc_pauses_total" not in self._stats_from_session(capsys)
+
+    def test_serve_shadow_sample_session(self, index_path, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("0 5\n1 6\nSTATS\nQUIT\n"))
+        assert main(["serve", str(index_path), "--shadow-sample", "1.0"]) == 0
+        stats = self._stats_from_session(capsys)
+        assert stats["shadow_mismatches_total"] == 0.0
+        assert "shadow_pairs_total" in stats
+        # The health engine rides along at its default interval.
+        assert "alerts_firing" in stats
+
+    def test_serve_health_interval_zero_disables_engine(
+        self, index_path, capsys, monkeypatch
+    ):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("STATS\nQUIT\n"))
+        assert main(["serve", str(index_path), "--health-interval", "0"]) == 0
+        stats = self._stats_from_session(capsys)
+        assert "alerts_firing" not in stats
+
+    def test_serve_alerts_wire_verb_over_stdio(
+        self, index_path, capsys, monkeypatch
+    ):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("ALERTS\nQUIT\n"))
+        assert main(["serve", str(index_path)]) == 0
+        report = self._stats_from_session(capsys)
+        assert report["enabled"] is True
+        assert {rule["alertname"] for rule in report["rules"]} >= {
+            "LatencySLOBurnRate",
+            "ShadowMismatch",
+        }
+
+    def test_serve_shadow_sample_rejects_out_of_range(self, index_path, capsys):
+        assert main(["serve", str(index_path), "--shadow-sample", "1.5"]) == 2
+        assert "--shadow-sample" in capsys.readouterr().err
+        assert main(["serve", str(index_path), "--shadow-sample", "-0.5"]) == 2
+
+    def test_serve_health_interval_rejects_negative(self, index_path, capsys):
+        assert main(["serve", str(index_path), "--health-interval", "-1"]) == 2
+        assert "--health-interval" in capsys.readouterr().err
+
     def test_serve_slow_ms_without_log_json_keeps_human_messages(
         self, index_path, capsys, monkeypatch
     ):

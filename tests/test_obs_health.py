@@ -1,0 +1,343 @@
+"""Tests for the health engine: snapshot windows, rule shapes, alert lifecycle.
+
+Everything here drives :class:`HealthEngine` with an explicit monotonic clock
+and hand-built snapshots — the engine never reads time itself, so the
+``pending → firing → resolved`` state machine is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.health import (
+    AlertState,
+    BurnRateRule,
+    DeltaRule,
+    HealthEngine,
+    SnapshotWindow,
+    ThresholdRule,
+)
+
+
+def _hist(count, good, *, key="latency_seconds"):
+    """Cumulative histogram snapshot: ``good`` observations <= 25 ms."""
+    return {
+        "histograms": {
+            key: {
+                "buckets": [(0.025, float(good)), (float("inf"), float(count))],
+                "count": float(count),
+            }
+        }
+    }
+
+
+class _EventLog:
+    """Minimal StructuredLogger stand-in recording ``event()`` calls."""
+
+    def __init__(self):
+        self.events = []
+
+    def event(self, name, **fields):
+        self.events.append((name, fields))
+
+
+class TestSnapshotWindow:
+    def test_latest_and_value(self):
+        window = SnapshotWindow()
+        assert window.latest() is None
+        assert window.value("qps") is None
+        window.append(0.0, {"qps": 10.0, "label": "text"})
+        window.append(1.0, {"qps": 20.0})
+        assert window.latest() == {"qps": 20.0}
+        assert window.value("qps") == 20.0
+        # Non-numeric (and bool) values read as missing, not as numbers.
+        window.append(2.0, {"qps": True})
+        assert window.value("qps") is None
+
+    def test_eviction_keeps_one_entry_beyond_horizon(self):
+        window = SnapshotWindow(horizon_seconds=10.0)
+        for t in range(25):
+            window.append(float(t), {"n": float(t)})
+        # Entries strictly inside the horizon survive, plus exactly one at or
+        # beyond it so the longest window stays covered.
+        assert len(window) == 11
+        assert window.delta("n", 10.0) == 10.0
+
+    def test_delta_requires_covered_window(self):
+        window = SnapshotWindow()
+        window.append(0.0, {"n": 5.0})
+        window.append(3.0, {"n": 9.0})
+        # Only 3 s of history: a 10 s window must not extrapolate.
+        assert window.delta("n", 10.0) is None
+        assert window.delta("n", 3.0) == 4.0
+
+    def test_delta_clamps_counter_reset(self):
+        window = SnapshotWindow()
+        window.append(0.0, {"n": 100.0})
+        window.append(60.0, {"n": 3.0})  # process restarted mid-window
+        assert window.delta("n", 60.0) == 0.0
+
+    def test_delta_missing_key_treated_as_zero_start(self):
+        window = SnapshotWindow()
+        window.append(0.0, {})
+        window.append(60.0, {"n": 7.0})
+        assert window.delta("n", 60.0) == 7.0
+        assert window.delta("missing", 60.0) is None
+
+    def test_histogram_delta(self):
+        window = SnapshotWindow()
+        window.append(0.0, _hist(100, 90))
+        window.append(60.0, _hist(300, 110))
+        buckets, count = window.histogram_delta("latency_seconds", 60.0)
+        assert count == 200.0
+        assert dict(buckets)[0.025] == 20.0
+        assert window.histogram_delta("latency_seconds", 120.0) is None
+        assert window.histogram_delta("other", 60.0) is None
+
+    def test_horizon_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SnapshotWindow(horizon_seconds=0.0)
+
+
+class TestThresholdRule:
+    def _window(self, snapshot):
+        window = SnapshotWindow()
+        window.append(0.0, snapshot)
+        return window
+
+    def test_plain_gauge(self):
+        rule = ThresholdRule("r", "ticket", metric="lag", threshold=0.25)
+        assert rule.evaluate(self._window({"lag": 0.5})) == 0.5
+        assert rule.breached(0.5)
+        assert not rule.breached(0.25)  # default op is strict >
+        assert rule.evaluate(self._window({})) is None
+
+    def test_ratio_and_zero_denominator(self):
+        rule = ThresholdRule(
+            "r", "ticket", metric="dirty", denominator="total", threshold=0.25
+        )
+        assert rule.evaluate(self._window({"dirty": 30.0, "total": 100.0})) == 0.3
+        # A zero denominator is insufficient data, not a division error.
+        assert rule.evaluate(self._window({"dirty": 30.0, "total": 0.0})) is None
+
+    def test_guard_gates_evaluation(self):
+        rule = ThresholdRule(
+            "r",
+            "ticket",
+            metric="hit_rate",
+            threshold=0.10,
+            op="<",
+            guard_metric="traffic",
+            guard_min=1000.0,
+        )
+        # Below the guard (or missing), the rule reports no data even though
+        # the hit rate itself would breach.
+        assert rule.evaluate(self._window({"hit_rate": 0.0, "traffic": 10.0})) is None
+        assert rule.evaluate(self._window({"hit_rate": 0.0})) is None
+        assert rule.evaluate(self._window({"hit_rate": 0.0, "traffic": 5000.0})) == 0.0
+
+    def test_unknown_operator_rejected(self):
+        rule = ThresholdRule("r", "ticket", metric="x", threshold=1.0, op="!=")
+        with pytest.raises(ValueError):
+            rule.breached(2.0)
+
+
+class TestDeltaRule:
+    def _window(self, old, new, seconds=60.0):
+        window = SnapshotWindow()
+        window.append(0.0, old)
+        window.append(seconds, new)
+        return window
+
+    def test_raw_increase(self):
+        rule = DeltaRule("r", "page", numerator=("respawns",), threshold=0.0)
+        window = self._window({"respawns": 1.0}, {"respawns": 3.0})
+        assert rule.evaluate(window) == 2.0
+        assert rule.breached(2.0)
+        assert not rule.breached(0.0)
+
+    def test_ratio_with_zero_denominator_is_zero(self):
+        rule = DeltaRule(
+            "r",
+            "page",
+            numerator=("errors",),
+            denominator=("requests",),
+            threshold=0.05,
+        )
+        # No traffic in the window → no error rate, not missing data: the
+        # alert must resolve on an idle server, not wedge in its last state.
+        window = self._window(
+            {"errors": 5.0, "requests": 100.0}, {"errors": 5.0, "requests": 100.0}
+        )
+        assert rule.evaluate(window) == 0.0
+
+    def test_summed_numerator_and_rate(self):
+        rule = DeltaRule(
+            "r",
+            "page",
+            numerator=("errors", "rejected"),
+            denominator=("requests", "rejected"),
+            threshold=0.05,
+        )
+        window = self._window(
+            {"errors": 0.0, "rejected": 0.0, "requests": 0.0},
+            {"errors": 4.0, "rejected": 6.0, "requests": 94.0},
+        )
+        assert rule.evaluate(window) == pytest.approx(0.1)
+
+    def test_uncovered_window_is_missing_data(self):
+        rule = DeltaRule("r", "page", numerator=("n",), threshold=0.0)
+        window = SnapshotWindow()
+        window.append(0.0, {"n": 1.0})
+        assert rule.evaluate(window) is None
+
+
+class TestBurnRateRule:
+    def _rule(self, **overrides):
+        kwargs = dict(
+            name="LatencySLOBurnRate",
+            severity="page",
+            histogram="latency_seconds",
+            objective=0.99,
+            threshold_seconds=0.025,
+            short_window_seconds=60.0,
+            long_window_seconds=300.0,
+        )
+        kwargs.update(overrides)
+        return BurnRateRule(**kwargs)
+
+    def test_construction_validation(self):
+        with pytest.raises(ValueError):
+            self._rule(objective=1.0)
+        with pytest.raises(ValueError):
+            self._rule(short_window_seconds=300.0, long_window_seconds=60.0)
+
+    def test_validate_bounds(self):
+        rule = self._rule()
+        rule.validate_bounds((0.001, 0.025, float("inf")))
+        with pytest.raises(ValueError):
+            rule.validate_bounds((0.001, 0.005, float("inf")))
+
+    def test_requires_both_windows(self):
+        rule = self._rule()
+        window = SnapshotWindow()
+        window.append(0.0, _hist(0, 0))
+        window.append(90.0, _hist(1000, 0))  # short window covered, long not
+        assert rule.evaluate(window) is None
+
+    def test_value_is_minimum_of_both_windows(self):
+        rule = self._rule()
+        window = SnapshotWindow()
+        # Long window: mostly fast history; short window: a total cliff.
+        window.append(0.0, _hist(0, 0))
+        window.append(100.0, _hist(10_000, 10_000))
+        window.append(310.0, _hist(12_000, 10_000))
+        value = rule.evaluate(window)
+        # Short (60 s) burn = 100; long (300 s) slow fraction = 2000/12000.
+        long_burn = (2_000.0 / 12_000.0) / 0.01
+        assert value == pytest.approx(long_burn)
+        assert rule.breached(value)
+
+    def test_missing_threshold_bound_is_missing_data(self):
+        rule = self._rule(threshold_seconds=0.017)
+        window = SnapshotWindow()
+        window.append(0.0, _hist(0, 0))
+        window.append(310.0, _hist(1000, 0))
+        assert rule.evaluate(window) is None
+
+    def test_no_observations_is_missing_data(self):
+        rule = self._rule()
+        window = SnapshotWindow()
+        window.append(0.0, _hist(100, 100))
+        window.append(310.0, _hist(100, 100))
+        assert rule.evaluate(window) is None
+
+
+class TestHealthEngineLifecycle:
+    def _engine(self, for_seconds=5.0, logger=None):
+        rule = ThresholdRule(
+            "LagHigh", "ticket", metric="lag", threshold=0.25, for_seconds=for_seconds
+        )
+        return HealthEngine([rule], logger=logger)
+
+    def test_duplicate_rule_names_rejected(self):
+        rule = ThresholdRule("Same", "ticket", metric="x", threshold=1.0)
+        with pytest.raises(ValueError):
+            HealthEngine([rule, rule])
+
+    def test_pending_then_firing_then_resolved(self):
+        log = _EventLog()
+        engine = self._engine(logger=log)
+        assert engine.observe({"lag": 0.1}, now=0.0) == []
+        assert engine.observe({"lag": 0.9}, now=1.0) == ["LagHigh:pending"]
+        assert engine.active_alerts() == [
+            {"alertname": "LagHigh", "severity": "ticket", "alertstate": "pending"}
+        ]
+        assert engine.alert_gauges() == {"alerts_firing": 0.0, "alerts_pending": 1.0}
+        # Still inside the for-duration: no new event, still pending.
+        assert engine.observe({"lag": 0.9}, now=3.0) == []
+        assert engine.observe({"lag": 0.9}, now=6.0) == ["LagHigh:firing"]
+        assert engine.alert_gauges() == {"alerts_firing": 1.0, "alerts_pending": 0.0}
+        assert engine.observe({"lag": 0.1}, now=8.0) == ["LagHigh:resolved"]
+        assert engine.active_alerts() == []
+        assert engine.alert_gauges() == {"alerts_firing": 0.0, "alerts_pending": 0.0}
+        assert [name for name, _ in log.events] == [
+            "alert_pending",
+            "alert_firing",
+            "alert_resolved",
+        ]
+        fired = dict(log.events)["alert_firing"]
+        assert fired["alertname"] == "LagHigh"
+        assert fired["severity"] == "ticket"
+
+    def test_pending_blip_clears_silently(self):
+        log = _EventLog()
+        engine = self._engine(logger=log)
+        engine.observe({"lag": 0.9}, now=0.0)
+        # The breach clears before the for-duration: no page, no resolved
+        # event — nobody was ever notified (matching Prometheus).
+        assert engine.observe({"lag": 0.1}, now=2.0) == []
+        assert engine.active_alerts() == []
+        assert [name for name, _ in log.events] == ["alert_pending"]
+
+    def test_zero_for_duration_fires_immediately(self):
+        engine = self._engine(for_seconds=0.0)
+        assert engine.observe({"lag": 0.9}, now=0.0) == ["LagHigh:firing"]
+
+    def test_missing_data_does_not_breach(self):
+        engine = self._engine(for_seconds=0.0)
+        assert engine.observe({}, now=0.0) == []
+        assert engine.active_alerts() == []
+
+    def test_alerts_payload_shape_and_recent(self):
+        engine = self._engine(for_seconds=0.0)
+        engine.observe({"lag": 0.9}, now=0.0)
+        engine.observe({"lag": 0.1}, now=4.0)
+        payload = engine.alerts_payload(now=10.0)
+        assert payload["enabled"] is True
+        (entry,) = payload["rules"]
+        assert entry["alertname"] == "LagHigh"
+        assert entry["alertstate"] == "ok"
+        assert entry["for"] == 0.0
+        assert payload["firing"] == [] and payload["pending"] == []
+        (recent,) = payload["recent"]
+        assert recent["alertname"] == "LagHigh"
+        assert recent["held"] == 4.0
+        assert recent["resolved_age"] == 6.0
+
+    def test_broken_logger_never_breaks_observation(self):
+        class Exploding:
+            def event(self, *args, **kwargs):
+                raise RuntimeError("sink down")
+
+        engine = self._engine(for_seconds=0.0, logger=Exploding())
+        assert engine.observe({"lag": 0.9}, now=0.0) == ["LagHigh:firing"]
+
+    def test_alert_state_as_dict_ages(self):
+        state = AlertState(state="firing", since=5.0, value=2.0)
+        assert state.as_dict(now=8.0) == {
+            "alertstate": "firing",
+            "age": 3.0,
+            "value": 2.0,
+        }
+        assert AlertState().as_dict(now=8.0) == {"alertstate": "ok"}

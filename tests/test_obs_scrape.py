@@ -1,0 +1,104 @@
+"""Tests for ``repro.obs.scrape``: exposition → BenchResult conversion.
+
+Runs the inference against a *recorded* exposition rendered by the real
+serving renderer — including the labelled ``ALERTS`` series and the shadow
+canary counters — so the scrape path is exercised on exactly the text a live
+front end exposes, without a socket.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import names, result_from_exposition
+from repro.serving.metrics import render_prometheus_text
+
+
+def _recorded_exposition():
+    """Render a snapshot shaped like a live server's, with alerts active."""
+    stats = {
+        names.NUM_REQUESTS: 42.0,
+        names.CACHE_HIT_RATE: 0.85,
+        names.EVENT_LOOP_LAG_SECONDS: 0.001,
+        names.GC_PAUSE_SECONDS_TOTAL: 0.25,
+        names.SHADOW_PAIRS_TOTAL: 4096.0,
+        names.SHADOW_MISMATCHES_TOTAL: 0.0,
+        names.ALERTS_FIRING: 1.0,
+        names.QPS: 120000.0,
+        "alerts": [
+            {
+                "alertname": "ShadowMismatch",
+                "severity": "page",
+                "alertstate": "firing",
+            }
+        ],
+        "histograms": {
+            names.LATENCY_SECONDS: {
+                "buckets": [(0.025, 40.0), (float("inf"), 42.0)],
+                "count": 42.0,
+                "sum": 0.9,
+            }
+        },
+    }
+    return render_prometheus_text(stats)
+
+
+class TestResultFromExposition:
+    @pytest.fixture
+    def result(self):
+        return result_from_exposition(_recorded_exposition())
+
+    def _metric(self, result, name):
+        (match,) = [m for m in result.metrics if m.name == name]
+        return match
+
+    def test_suite_and_schema_shape(self, result):
+        assert result.suite == "scrape"
+        assert result.metrics  # label-free samples became metrics
+
+    def test_labelled_alerts_series_is_not_a_metric(self, result):
+        """``ALERTS{...}`` passes grammar validation but carries labels, so
+        it must not appear as a gateable metric."""
+        assert "ALERTS" not in {m.name for m in result.metrics}
+        assert 'ALERTS{alertname="ShadowMismatch"' in _recorded_exposition()
+
+    def test_mismatch_counter_gates_downward(self, result):
+        metric = self._metric(result, "repro_pll_shadow_mismatches_total")
+        assert metric.value == 0.0
+        assert metric.higher_is_better is False
+
+    def test_unit_inference_from_suffixes(self, result):
+        assert (
+            self._metric(result, "repro_pll_event_loop_lag_seconds").unit == "seconds"
+        )
+        assert (
+            self._metric(result, "repro_pll_gc_pause_seconds_total").unit == "seconds"
+        )
+        assert self._metric(result, "repro_pll_shadow_pairs_total").unit == ""
+
+    def test_direction_inference(self, result):
+        assert self._metric(result, "repro_pll_cache_hit_rate").higher_is_better is True
+        assert self._metric(result, "repro_pll_qps").higher_is_better is True
+        assert (
+            self._metric(result, "repro_pll_event_loop_lag_seconds").higher_is_better
+            is False
+        )
+        assert (
+            self._metric(result, "repro_pll_gc_pause_seconds_total").higher_is_better
+            is False
+        )
+        # Plain counters stay informational: their value is uptime-relative.
+        assert self._metric(result, "repro_pll_num_requests").higher_is_better is None
+
+    def test_histogram_summary_series_survive(self, result):
+        names_seen = {m.name for m in result.metrics}
+        assert "repro_pll_latency_seconds_count" in names_seen
+        assert "repro_pll_latency_seconds_sum" in names_seen
+
+    def test_custom_suite_name(self):
+        result = result_from_exposition(_recorded_exposition(), suite="incident-4711")
+        assert result.suite == "incident-4711"
+
+    def test_malformed_exposition_rejected(self):
+        with pytest.raises(AssertionError):
+            result_from_exposition("this is not an exposition\n")
